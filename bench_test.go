@@ -1,0 +1,270 @@
+package afrixp
+
+// One benchmark per paper table and figure (see DESIGN.md §5), plus
+// ablation benches for the design choices the pipeline makes. The
+// table/figure benches share one cached campaign (building it is
+// BenchmarkFullCampaign's job) and measure regeneration of their
+// artifact from the collected data; the campaign covers the windows of
+// every figure.
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"afrixp/internal/cusum"
+	"afrixp/internal/levelshift"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+var (
+	benchOnce sync.Once
+	benchRes  *Campaign
+)
+
+// benchCampaign runs one shared 8-month campaign at reduced scale —
+// long enough to cover every figure window (fig1 in March through
+// fig3a ending late October).
+func benchCampaign(b *testing.B) *Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRes = RunCampaign(CampaignConfig{
+			Seed: 1, Scale: 0.08, Days: 255,
+		})
+	})
+	return benchRes
+}
+
+func BenchmarkFullCampaign(b *testing.B) {
+	// The end-to-end cost of a one-week, all-VP campaign: world
+	// construction, discovery, probing, threshold-sweep analysis.
+	for i := 0; i < b.N; i++ {
+		RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+			StartOffsetDays: 14, DisableLoss: true})
+	}
+}
+
+func BenchmarkTable1Sensitivity(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := Table1(res)
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		Table1Report(res).Render(io.Discard)
+	}
+}
+
+func BenchmarkTable2Evolution(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Table2(res)) == 0 {
+			b.Fatal("no rows")
+		}
+		Table2Report(res).Render(io.Discard)
+	}
+}
+
+// benchFigure measures extraction + rendering of one figure.
+func benchFigure(b *testing.B, id string) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		for _, fig := range Figures(res) {
+			if fig.ID != id {
+				continue
+			}
+			found = true
+			if err := fig.Render(io.Discard, 100, 14); err != nil {
+				b.Fatal(err)
+			}
+			if err := fig.WriteCSV(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !found {
+			b.Fatalf("figure %s not covered by the bench campaign", id)
+		}
+	}
+}
+
+func BenchmarkFigure1GhanatelPhase1(b *testing.B)  { benchFigure(b, "fig1") }
+func BenchmarkFigure2aGhanatelPhase2(b *testing.B) { benchFigure(b, "fig2a") }
+func BenchmarkFigure2bGhanatelLoss(b *testing.B)   { benchFigure(b, "fig2b") }
+func BenchmarkFigure3aKnetRTT(b *testing.B)        { benchFigure(b, "fig3a") }
+func BenchmarkFigure3bKnetLoss(b *testing.B)       { benchFigure(b, "fig3b") }
+func BenchmarkFigure4aNetpagePhase1(b *testing.B)  { benchFigure(b, "fig4a") }
+func BenchmarkFigure4bNetpagePhase2(b *testing.B)  { benchFigure(b, "fig4b") }
+
+func BenchmarkHeadlineCongestedFraction(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, frac := Headline(res); frac < 0 {
+			b.Fatal("negative fraction")
+		}
+	}
+}
+
+func BenchmarkBdrmapAccuracy(b *testing.B) {
+	// A fresh single-VP border-mapping run per iteration — the §4
+	// validation workload.
+	w := NewWorld(WorldOptions{Seed: 2, Scale: 0.08})
+	vp, _ := w.VPByID("VP1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := BorderMap(w, vp, w.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if frac, _, _ := ValidateNeighbors(res, w.TruthNeighbors(vp)); frac < 0.5 {
+			b.Fatalf("coverage %v", frac)
+		}
+	}
+}
+
+func BenchmarkWaveformStats(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Waveforms(res)) == 0 {
+			b.Fatal("no waveforms")
+		}
+	}
+}
+
+// ---------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------
+
+// ablationSeries is a 30-day diurnal congestion series with noise and
+// short blips — the input on which the ablations disagree.
+func ablationSeries() *timeseries.Series {
+	rng := rand.New(rand.NewSource(9))
+	s := timeseries.NewRegular(0, 5*time.Minute, 30*288)
+	for i := 0; i < s.Len(); i++ {
+		h := s.TimeAt(i).HourOfDay()
+		v := 2.0
+		if h >= 10 && h < 16 {
+			v += 22
+		}
+		if i%288 == 40 { // daily 5-minute blip
+			v += 60
+		}
+		s.Set(i, v+math.Abs(0.6*rng.NormFloat64()))
+	}
+	return s
+}
+
+// BenchmarkAblationMinDuration compares detection with and without
+// the paper's 30-minute minimum event duration. Without it, the daily
+// blip inflates the event count.
+func BenchmarkAblationMinDuration(b *testing.B) {
+	s := ablationSeries()
+	with := levelshift.DefaultConfig()
+	without := levelshift.DefaultConfig()
+	without.MinDuration = 0
+	without.AggregateTo = 0 // native resolution keeps the blips visible
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw := levelshift.Analyze(s, with)
+		ro := levelshift.Analyze(s, without)
+		if len(ro.Events) < len(rw.Events) {
+			b.Fatalf("ablation lost events: %d < %d", len(ro.Events), len(rw.Events))
+		}
+	}
+}
+
+// BenchmarkAblationSanitize compares Δt_UD with and without level
+// shift sanitization — the paper sanitizes before computing GIXA–KNET
+// durations.
+func BenchmarkAblationSanitize(b *testing.B) {
+	s := ablationSeries()
+	cfg := levelshift.DefaultConfig()
+	res := levelshift.Analyze(s, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := levelshift.Result{Events: res.Events}
+		san := levelshift.Result{Events: levelshift.Sanitize(res.Events, 90*time.Minute, cfg.MinDuration)}
+		if san.MeanDuration() < raw.MeanDuration() {
+			b.Fatal("sanitization must merge, not shrink, events")
+		}
+	}
+}
+
+// BenchmarkAblationRankCUSUM compares the rank-based detector against
+// raw-value CUSUM on an outlier-ridden series: the rank variant is
+// the paper's choice because ICMP stragglers poison raw means.
+func BenchmarkAblationRankCUSUM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 600)
+	for i := range xs {
+		v := 5.0
+		if i >= 300 {
+			v = 21
+		}
+		if i%41 == 0 {
+			v = 800 // straggler
+		}
+		xs[i] = v + rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := cusum.Detect(xs, cusum.Config{Seed: 1, MinMagnitude: 8})
+		if len(ranked) == 0 {
+			b.Fatal("rank CUSUM missed the shift")
+		}
+		_ = cusum.DetectRaw(xs, cusum.Config{Seed: 1, MinMagnitude: 8})
+	}
+}
+
+// BenchmarkAblationNearEndCheck quantifies the near-end-flat
+// requirement: without it, upstream congestion (shifting both ends)
+// would be misattributed to the probed link.
+func BenchmarkAblationNearEndCheck(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		withCheck, withoutCheck := 0, 0
+		for _, vr := range res.VPs {
+			for _, lr := range vr.SortedLinks() {
+				v, ok := lr.Verdicts[10]
+				if !ok {
+					continue
+				}
+				if v.Congested {
+					withCheck++
+				}
+				if v.Flagged && v.Diurnal.Diurnal && v.Symmetric {
+					withoutCheck++ // near-end requirement dropped
+				}
+			}
+		}
+		if withoutCheck < withCheck {
+			b.Fatal("dropping a filter cannot reduce detections")
+		}
+	}
+}
+
+// BenchmarkTSLPSamplingThroughput measures raw per-round probing cost
+// — the number that bounds full-year campaign time.
+func BenchmarkTSLPSamplingThroughput(b *testing.B) {
+	w := NewWorld(WorldOptions{Seed: 3, Scale: 0.08})
+	vp, _ := w.VPByID("VP4")
+	p := NewProber(w, vp)
+	ts, err := p.NewTSLP(vp.CaseLinks["QCELL-NETPAGE"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Round(simclock.Time(int64(i%100000) * int64(5*time.Minute)))
+	}
+}

@@ -1,0 +1,146 @@
+// Command observatory runs the year-long measurement campaign the way
+// the paper's infrastructure did — continuous TSLP probing from all
+// six VPs with warts-format measurement archives — and writes reports,
+// figure CSVs, and raw measurement files into an output directory.
+//
+//	observatory -out ./obs-run -days 90 -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"afrixp"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/report"
+	"afrixp/internal/simclock"
+	"afrixp/internal/warts"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "observatory-out", "output directory")
+		days   = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
+		scale  = flag.Float64("scale", 1.0, "world scale")
+		seed   = flag.Uint64("seed", 0, "world seed")
+		noLoss = flag.Bool("no-loss", false, "skip loss campaigns")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+	start := time.Now()
+	c := afrixp.RunCampaign(afrixp.CampaignConfig{
+		Seed: *seed, Scale: *scale, Days: *days,
+		DisableLoss: *noLoss, Progress: os.Stderr,
+	})
+	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
+
+	// Reports.
+	reportPath := filepath.Join(*out, "report.txt")
+	rf, err := os.Create(reportPath)
+	if err != nil {
+		fatal("create report: %v", err)
+	}
+	afrixp.Table1Report(c).Render(rf)
+	fmt.Fprintln(rf)
+	afrixp.Table2Report(c).Render(rf)
+	fmt.Fprintln(rf)
+	rows, frac := afrixp.Headline(c)
+	for _, r := range rows {
+		fmt.Fprintf(rf, "%s: %d/%d links congested (%.1f%%)\n",
+			r.VP, r.Congested, r.Links, 100*r.Fraction)
+	}
+	fmt.Fprintf(rf, "overall congested fraction: %.1f%% (paper: 2.2%%)\n", 100*frac)
+	fmt.Fprintf(rf, "bdrmap mean coverage: %.1f%% (paper: 96.2%%)\n",
+		100*afrixp.BdrmapAccuracy(c))
+	rf.Close()
+
+	// Figures: ASCII into the report dir, CSVs alongside.
+	for _, fig := range afrixp.Figures(c) {
+		csvPath := filepath.Join(*out, fig.ID+".csv")
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			fatal("create %s: %v", csvPath, err)
+		}
+		if err := fig.WriteCSV(cf); err != nil {
+			fatal("write %s: %v", csvPath, err)
+		}
+		cf.Close()
+		pf, err := os.Create(filepath.Join(*out, fig.ID+".txt"))
+		if err != nil {
+			fatal("create plot: %v", err)
+		}
+		fig.Render(pf, 120, 16)
+		pf.Close()
+		sf, err := os.Create(filepath.Join(*out, fig.ID+".svg"))
+		if err != nil {
+			fatal("create svg: %v", err)
+		}
+		if err := fig.WriteSVG(sf, 960, 380); err != nil {
+			fatal("write svg: %v", err)
+		}
+		sf.Close()
+	}
+
+	// Raw measurement archive: re-emit each VP's collected series as
+	// warts records (the campaign keeps aggregated series; the
+	// archive carries one record per retained sample).
+	archive := filepath.Join(*out, "measurements.warts")
+	af, err := os.Create(archive)
+	if err != nil {
+		fatal("create archive: %v", err)
+	}
+	wr, err := warts.NewWriter(af)
+	if err != nil {
+		fatal("warts: %v", err)
+	}
+	records := 0
+	for _, vr := range c.VPs {
+		for _, lr := range vr.SortedLinks() {
+			ls := lr.Collector.Series()
+			emit := func(s []float64, at func(int) simclock.Time,
+				responder netaddr.Addr, respType uint8) {
+				for i, v := range s {
+					rec := &warts.Record{
+						Type: warts.TypeTSLP, VP: vr.VP.Monitor,
+						At: at(i), Target: lr.Target.Far,
+						Responder: responder, RespType: respType,
+					}
+					if v != v { // NaN: lost/not taken
+						rec.Lost = true
+					} else {
+						rec.RTT = time.Duration(v * float64(time.Millisecond))
+					}
+					if err := wr.Write(rec); err != nil {
+						fatal("warts write: %v", err)
+					}
+					records++
+				}
+			}
+			emit(ls.Near.Values, ls.Near.TimeAt, lr.Target.Near, 11 /* time exceeded */)
+			emit(ls.Far.Values, ls.Far.TimeAt, lr.Target.Far, 0 /* echo reply */)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		fatal("warts flush: %v", err)
+	}
+	af.Close()
+
+	// Summary table to stdout.
+	t := &report.Table{Title: "observatory run complete",
+		Header: []string{"artifact", "path"}}
+	t.AddRow("report", reportPath)
+	t.AddRow("warts archive", fmt.Sprintf("%s (%d records)", archive, records))
+	t.AddRow("figure CSVs", filepath.Join(*out, "fig*.csv"))
+	t.Render(os.Stdout)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

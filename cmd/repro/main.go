@@ -1,0 +1,190 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation from a simulated campaign and prints paper-vs-measured
+// comparisons.
+//
+// Usage:
+//
+//	repro [-days N] [-scale F] [-seed N] [-csvdir DIR] [-quiet]
+//	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
+//	      [-asrank] [-whatif]
+//
+// With no selection flags, everything is produced. The default run
+// covers the paper's full 13-month campaign at scale 1.0; use -days
+// and -scale for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"afrixp"
+	"afrixp/internal/experiments"
+	"afrixp/internal/report"
+	"afrixp/internal/scenario"
+)
+
+func main() {
+	var (
+		days     = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
+		startOff = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
+		scale    = flag.Float64("scale", 1.0, "synthetic population scale")
+		seed     = flag.Uint64("seed", 0, "world seed (0 = default)")
+		csvDir   = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		noLoss   = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
+		doTable1 = flag.Bool("table1", false, "Table 1: threshold sensitivity")
+		doTable2 = flag.Bool("table2", false, "Table 2: per-VP evolution")
+		doFigs   = flag.Bool("figs", false, "Figures 1-4")
+		doHead   = flag.Bool("headline", false, "§6.1 congested fraction")
+		doBdrmap = flag.Bool("bdrmap", false, "§4 bdrmap validation")
+		doWaves  = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
+		doRels   = flag.Bool("asrank", false, "AS-relationship inference validation")
+		doWhatIf = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
+	)
+	flag.Parse()
+
+	all := !(*doTable1 || *doTable2 || *doFigs || *doHead || *doBdrmap || *doWaves || *doRels || *doWhatIf)
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	fmt.Fprintf(os.Stderr, "building world (scale %.2f) and running campaign...\n", *scale)
+	start := time.Now()
+	c := afrixp.RunCampaign(afrixp.CampaignConfig{
+		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
+		DisableLoss: *noLoss, Progress: progress,
+	})
+	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
+
+	out := os.Stdout
+	if all || *doTable1 {
+		afrixp.Table1Report(c).Render(out)
+		fmt.Fprintln(out)
+		report.RenderComparisons(out, "Table 1 paper-vs-measured (10 ms column)", table1Comparisons(c))
+		fmt.Fprintln(out)
+	}
+	if all || *doTable2 {
+		afrixp.Table2Report(c).Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || *doHead {
+		rows, frac := afrixp.Headline(c)
+		t := &report.Table{Title: "§6.1: fraction of discovered links that experienced congestion",
+			Header: []string{"VP", "links", "congested", "fraction"}}
+		for _, r := range rows {
+			t.AddRow(r.VP, fmt.Sprint(r.Links), fmt.Sprint(r.Congested),
+				fmt.Sprintf("%.1f%%", 100*r.Fraction))
+		}
+		t.AddRow("All", "", "", fmt.Sprintf("%.1f%%", 100*frac))
+		t.Render(out)
+		fmt.Fprintf(out, "paper: 2.2%% of discovered links congested; measured: %.1f%%\n\n", 100*frac)
+	}
+	if all || *doBdrmap {
+		fmt.Fprintf(out, "§4 bdrmap validation: mean neighbor coverage %.1f%% (paper: 96.2%%)\n\n",
+			100*afrixp.BdrmapAccuracy(c))
+	}
+	if all || *doWaves {
+		t := &report.Table{Title: "§5.2 waveform statistics (sanitized level shifts)",
+			Header: []string{"case", "A_w (ms)", "Δt_UD", "events", "class", "paper A_w", "paper Δt_UD"}}
+		paper := map[string][2]string{
+			"GIXA-GHANATEL": {"27.9", "~20h"},
+			"GIXA-KNET":     {"17.5", "2h14m"},
+			"QCELL-NETPAGE": {"10.7", "6h22m"},
+		}
+		for _, wf := range afrixp.Waveforms(c) {
+			p := paper[wf.Case]
+			t.AddRow(wf.Case, fmt.Sprintf("%.1f", wf.AW),
+				wf.DeltaTUD.Round(time.Minute).String(),
+				fmt.Sprint(wf.Events), wf.Class, p[0], p[1])
+		}
+		t.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || *doRels {
+		ri, err := experiments.RunRelInference(scenario.Options{Seed: *seed, Scale: *scale},
+			afrixp.Date(2016, 3, 17))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asrank: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "AS-rank stand-in: %d collector paths; %.0f%% of ground-truth links visible,\n",
+				ri.Paths, 100*ri.Covered)
+			fmt.Fprintf(out, "  %.0f%% of visible links classified exactly; bdrmap peers truth=%d inferred=%d\n\n",
+				100*ri.Exact/ri.Covered, ri.PeersTruth, ri.PeersInferred)
+		}
+	}
+	if all || *doWhatIf {
+		pts, err := experiments.RunUpgradeWhatIf(scenario.Options{Seed: *seed, Scale: *scale}, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whatif: %v\n", err)
+		} else {
+			t := &report.Table{Title: "what-if: NETPAGE upgrade capacity sweep (actual choice: 1 Gbps)",
+				Header: []string{"upgrade to", "still congested", "post-upgrade P95 RTT"}}
+			for _, pt := range pts {
+				t.AddRow(fmt.Sprintf("%.0f Mbps", pt.UpgradeBps/1e6),
+					fmt.Sprint(pt.CongestedAfter),
+					fmt.Sprintf("%.1f ms", pt.PeakP95Ms))
+			}
+			t.Render(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if all || *doFigs {
+		for _, fig := range afrixp.Figures(c) {
+			if err := fig.Render(out, 100, 14); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", fig.ID, err)
+				continue
+			}
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fig); err != nil {
+					fmt.Fprintf(os.Stderr, "csv %s: %v\n", fig.ID, err)
+				}
+			}
+		}
+	}
+}
+
+func table1Comparisons(c *afrixp.Campaign) []report.PaperComparison {
+	paper := map[string]int{"VP1": 4, "VP2": 5, "VP3": 56, "VP4": 1, "VP5": 147, "VP6": 88}
+	paperD := map[string]int{"VP1": 2, "VP2": 2, "VP3": 1, "VP4": 1, "VP5": 0, "VP6": 0}
+	var rows []report.PaperComparison
+	for _, r := range afrixp.Table1(c) {
+		if r.VP == "All VPs" {
+			continue
+		}
+		rows = append(rows, report.PaperComparison{
+			Experiment: "table1", Metric: r.VP + " flagged@10ms (diurnal)",
+			Paper:      fmt.Sprintf("%d (%d)", paper[r.VP], paperD[r.VP]),
+			Measured:   fmt.Sprintf("%d (%d)", r.Flagged[10], r.Diurnal[10]),
+			ShapeHolds: (paperD[r.VP] == 0) == (r.Diurnal[10] == 0),
+			Note:       "counts scale with -scale",
+		})
+	}
+	return rows
+}
+
+func writeCSV(dir string, fig experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fig.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	svg, err := os.Create(filepath.Join(dir, fig.ID+".svg"))
+	if err != nil {
+		return err
+	}
+	defer svg.Close()
+	return fig.WriteSVG(svg, 960, 380)
+}

@@ -1,0 +1,111 @@
+// Command tracesim runs traceroute/ping measurements from one of the
+// paper's vantage points against the simulated world — the
+// scamper-on-an-Ark-monitor experience in miniature.
+//
+//	tracesim -vp VP1 -target 196.60.0.12
+//	tracesim -vp VP4 -case QCELL-NETPAGE -at 2016-03-09T13:30
+//	tracesim -vp VP1 -rr -target 196.60.0.12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"afrixp"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/simclock"
+)
+
+func main() {
+	var (
+		vpID    = flag.String("vp", "VP1", "vantage point (VP1..VP6)")
+		target  = flag.String("target", "", "destination IPv4 address")
+		caseLnk = flag.String("case", "", "probe a named case link's far end (e.g. GIXA-GHANATEL)")
+		at      = flag.String("at", "2016-03-09T12:00", "virtual time (2006-01-02T15:04)")
+		rr      = flag.Bool("rr", false, "send a record-route probe instead of a traceroute")
+		scale   = flag.Float64("scale", 0.2, "world scale")
+		seed    = flag.Uint64("seed", 0, "world seed")
+	)
+	flag.Parse()
+
+	when, err := time.Parse("2006-01-02T15:04", *at)
+	if err != nil {
+		fatal("bad -at: %v", err)
+	}
+	t := simclock.At(when.UTC())
+
+	w := afrixp.NewWorld(afrixp.WorldOptions{Seed: *seed, Scale: *scale})
+	w.AdvanceTo(t)
+	vp, ok := w.VPByID(*vpID)
+	if !ok {
+		fatal("unknown VP %q", *vpID)
+	}
+
+	var dst netaddr.Addr
+	switch {
+	case *caseLnk != "":
+		lt, ok := vp.CaseLinks[*caseLnk]
+		if !ok {
+			fatal("%s has no case link %q (have %v)", *vpID, *caseLnk, keys(vp.CaseLinks))
+		}
+		dst = lt.Far
+	case *target != "":
+		dst, err = netaddr.ParseAddr(*target)
+		if err != nil {
+			fatal("bad -target: %v", err)
+		}
+	default:
+		fatal("need -target or -case")
+	}
+
+	p := afrixp.NewProber(w, vp)
+	if *rr {
+		res, err := p.RRPing(dst, t)
+		if err != nil {
+			fatal("rr ping: %v", err)
+		}
+		if res.Lost {
+			fmt.Println("record-route probe lost")
+			return
+		}
+		fmt.Printf("record-route to %v: rtt %v, %d stamps (full=%v)\n",
+			dst, res.RTT.Round(time.Microsecond), len(res.Recorded), res.Full)
+		for i, a := range res.Recorded {
+			fmt.Printf("  %2d  %v\n", i+1, a)
+		}
+		return
+	}
+
+	fmt.Printf("traceroute from %s (%s) to %v at %v\n", vp.ID, vp.Monitor, dst, t)
+	hops, err := p.Traceroute(dst, 24, t)
+	if err != nil {
+		fatal("traceroute: %v", err)
+	}
+	for _, h := range hops {
+		if h.Lost {
+			fmt.Printf("  %2d  *\n", h.TTL)
+			continue
+		}
+		mark := ""
+		if h.Reached {
+			mark = "  (destination)"
+		}
+		fmt.Printf("  %2d  %-16v %9.3f ms%s\n", h.TTL, h.Responder,
+			float64(h.RTT)/1e6, mark)
+	}
+}
+
+func keys(m map[string]afrixp.LinkTarget) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

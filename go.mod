@@ -1,0 +1,3 @@
+module afrixp
+
+go 1.22

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"time"
+
+	"afrixp/internal/loss"
+	"afrixp/internal/prober"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// Collector streams one link's TSLP rounds into RTT series. To keep a
+// year-long multi-VP campaign in memory, samples land directly in
+// min-filtered bins of AggStep (default 30 minutes, the resolution the
+// level-shift detector runs at); an optional full-resolution window
+// retains 5-minute samples for the case-study figures.
+type Collector struct {
+	TSLP *prober.TSLP
+
+	near, far *timeseries.Series
+	// fullNear/fullFar retain native-resolution samples inside Window.
+	fullNear, fullFar *timeseries.Series
+	window            simclock.Interval
+
+	// farLossRounds / farRounds track round-level far loss for the
+	// "probes unsuccessful" signal.
+	farRounds, farLostRounds int
+}
+
+// CollectorConfig sizes a Collector.
+type CollectorConfig struct {
+	// Campaign is the full probing interval.
+	Campaign simclock.Interval
+	// Step is the probing cadence (default 5 minutes).
+	Step simclock.Duration
+	// AggStep is the stored bin width (default 30 minutes).
+	AggStep simclock.Duration
+	// FullResWindow, when non-degenerate, retains native-resolution
+	// series over the given sub-interval (for figures).
+	FullResWindow simclock.Interval
+}
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.Step <= 0 {
+		c.Step = 5 * time.Minute
+	}
+	if c.AggStep <= 0 {
+		c.AggStep = 30 * time.Minute
+	}
+	return c
+}
+
+// NewCollector builds a collector for one TSLP session.
+func NewCollector(ts *prober.TSLP, cfg CollectorConfig) *Collector {
+	cfg = cfg.withDefaults()
+	nAgg := cfg.Campaign.NumSteps(cfg.AggStep)
+	c := &Collector{
+		TSLP:   ts,
+		near:   timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg),
+		far:    timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg),
+		window: cfg.FullResWindow,
+	}
+	if cfg.FullResWindow.Duration() > 0 {
+		n := cfg.FullResWindow.NumSteps(cfg.Step)
+		c.fullNear = timeseries.NewRegular(cfg.FullResWindow.Start, cfg.Step, n)
+		c.fullFar = timeseries.NewRegular(cfg.FullResWindow.Start, cfg.Step, n)
+	}
+	return c
+}
+
+// Round probes the link once and records the result.
+func (c *Collector) Round(t simclock.Time) {
+	s := c.TSLP.Round(t)
+	c.farRounds++
+	if s.FarLost {
+		c.farLostRounds++
+	}
+	record := func(agg, full *timeseries.Series, lost bool, rtt simclock.Duration) {
+		if lost {
+			return
+		}
+		ms := float64(rtt) / float64(time.Millisecond)
+		if i := agg.Index(t); i >= 0 {
+			if timeseries.IsMissing(agg.Values[i]) || ms < agg.Values[i] {
+				agg.Values[i] = ms // streaming min filter
+			}
+		}
+		if full != nil && c.window.Contains(t) {
+			full.SetAt(t, ms)
+		}
+	}
+	record(c.near, c.fullNear, s.NearLost, s.NearRTT)
+	record(c.far, c.fullFar, s.FarLost, s.FarRTT)
+}
+
+// Series returns the aggregated link series for analysis.
+func (c *Collector) Series() LinkSeries {
+	return LinkSeries{Target: c.TSLP.Target, Near: c.near, Far: c.far}
+}
+
+// FullRes returns the native-resolution window series (nil when not
+// configured).
+func (c *Collector) FullRes() (near, far *timeseries.Series) {
+	return c.fullNear, c.fullFar
+}
+
+// FarLossFraction is the fraction of rounds whose far probe was lost.
+func (c *Collector) FarLossFraction() float64 {
+	if c.farRounds == 0 {
+		return 0
+	}
+	return float64(c.farLostRounds) / float64(c.farRounds)
+}
+
+// RunLossCampaign drives 1 pps loss probing over an interval at the
+// paper's cadence — continuous batches of 100 probes — returning the
+// far-end batches. To keep virtual cost proportional to information,
+// probes are issued in one 100-probe batch per batchEvery (default
+// 10 min), which matches the paper's effective batch granularity.
+func RunLossCampaign(ts *prober.TSLP, iv simclock.Interval, batchEvery simclock.Duration) []loss.Batch {
+	if batchEvery <= 0 {
+		batchEvery = 10 * time.Minute
+	}
+	var col loss.Collector
+	iv.Steps(batchEvery, func(t simclock.Time) {
+		for i := 0; i < loss.BatchSize; i++ {
+			at := t.Add(time.Duration(i) * time.Second)
+			_, farLost := ts.LossRound(at)
+			col.Record(at, farLost)
+		}
+	})
+	return col.Batches()
+}

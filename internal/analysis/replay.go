@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/packet"
+	"afrixp/internal/prober"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+	"afrixp/internal/warts"
+)
+
+// FromWarts reconstructs per-link TSLP series from an archived warts
+// stream — the offline-analysis path: Ark monitors upload warts
+// archives and the pipeline re-runs over them. TSLP records carry the
+// link's far address as Target (both probes of a round are addressed
+// to the far end; the near probe is merely TTL-limited to expire one
+// hop earlier) and the answering end as Responder, so a record is a
+// near sample when it answered with time-exceeded and a far sample
+// when the far address itself echoed.
+//
+// Grid bounds come from campaign; records outside it are dropped.
+// step should match the probing cadence (5 minutes in the paper).
+// The result maps VP name → link → series.
+func FromWarts(r *warts.Reader, campaign simclock.Interval, step simclock.Duration) (map[string]map[prober.LinkTarget]LinkSeries, error) {
+	if step <= 0 {
+		step = 5 * time.Minute
+	}
+	n := campaign.NumSteps(step)
+
+	type key struct {
+		vp  string
+		far netaddr.Addr
+	}
+	type link struct {
+		near     *timeseries.Series
+		far      *timeseries.Series
+		nearAddr netaddr.Addr
+	}
+	links := make(map[key]*link)
+	ensure := func(k key) *link {
+		l, ok := links[k]
+		if !ok {
+			l = &link{
+				near: timeseries.NewRegular(campaign.Start, step, n),
+				far:  timeseries.NewRegular(campaign.Start, step, n),
+			}
+			links[k] = l
+		}
+		return l
+	}
+
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: replaying warts: %w", err)
+		}
+		if rec.Type != warts.TypeTSLP || !campaign.Contains(rec.At) {
+			continue
+		}
+		l := ensure(key{vp: rec.VP, far: rec.Target})
+		ms := float64(rec.RTT) / float64(time.Millisecond)
+		if rec.RespType == packet.ICMPTimeExceeded {
+			if !rec.Responder.IsZero() {
+				l.nearAddr = rec.Responder
+			}
+			if !rec.Lost {
+				// Streaming min filter onto the grid, matching the
+				// live Collector's behavior for repeated samples.
+				if i := l.near.Index(rec.At); i >= 0 {
+					if timeseries.IsMissing(l.near.Values[i]) || ms < l.near.Values[i] {
+						l.near.Values[i] = ms
+					}
+				}
+			}
+		} else {
+			if !rec.Lost {
+				if i := l.far.Index(rec.At); i >= 0 {
+					if timeseries.IsMissing(l.far.Values[i]) || ms < l.far.Values[i] {
+						l.far.Values[i] = ms
+					}
+				}
+			}
+		}
+	}
+
+	out := make(map[string]map[prober.LinkTarget]LinkSeries)
+	for k, l := range links {
+		if out[k.vp] == nil {
+			out[k.vp] = make(map[prober.LinkTarget]LinkSeries)
+		}
+		target := prober.LinkTarget{Near: l.nearAddr, Far: k.far}
+		out[k.vp][target] = LinkSeries{Target: target, Near: l.near, Far: l.far}
+	}
+	return out, nil
+}

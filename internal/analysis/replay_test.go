@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"afrixp/internal/prober"
+	"afrixp/internal/queue"
+	"afrixp/internal/simclock"
+	"afrixp/internal/trafficmodel"
+	"afrixp/internal/warts"
+)
+
+// TestWartsReplayMatchesLiveAnalysis records a live campaign into a
+// warts archive, replays it, and checks the replayed verdict agrees
+// with the live one — the offline-analysis closed loop.
+func TestWartsReplayMatchesLiveAnalysis(t *testing.T) {
+	w := buildLive(t)
+	w.port.Queue = queue.NewFluid(queue.Config{
+		CapacityBps: 100e6, BufferDrain: 25 * time.Millisecond,
+		Load: trafficmodel.Diurnal{BaseBps: 30e6, PeakBps: 130e6, PeakHour: 14,
+			Width: 3, Seed: 4}.Load(),
+	})
+	var buf bytes.Buffer
+	ww, err := warts.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prober.New(w.nw, w.vp, prober.Config{Name: "mon", Warts: ww})
+	ts, err := p.NewTSLP(prober.LinkTarget{Near: w.near, Far: w.far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := simclock.Interval{Start: 0, End: simclock.Time(14 * 24 * time.Hour)}
+	col := NewCollector(ts, CollectorConfig{Campaign: campaign})
+	campaign.Steps(5*time.Minute, col.Round)
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	live := AnalyzeLink(col.Series(), DefaultConfig())
+	if !live.Congested {
+		t.Fatal("live analysis should detect congestion")
+	}
+
+	rd, err := warts.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := FromWarts(rd, campaign, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpLinks, ok := replayed["mon"]
+	if !ok || len(vpLinks) != 1 {
+		t.Fatalf("replay found %d VPs / %d links", len(replayed), len(vpLinks))
+	}
+	for target, ls := range vpLinks {
+		if target.Near != w.near || target.Far != w.far {
+			t.Fatalf("replayed target %v, want %v→%v", target, w.near, w.far)
+		}
+		v := AnalyzeLink(ls, DefaultConfig())
+		if v.Congested != live.Congested {
+			t.Fatalf("replay verdict %v, live %v", v.Congested, live.Congested)
+		}
+		if v.AW < live.AW*0.7 || v.AW > live.AW*1.3 {
+			t.Fatalf("replay A_w %.1f vs live %.1f", v.AW, live.AW)
+		}
+		// Sample parity: the replayed far series carries the same
+		// present-count as the live aggregated one, modulo the grid
+		// aggregation factor.
+		if ls.Far.PresentCount() == 0 || ls.Near.PresentCount() == 0 {
+			t.Fatal("replayed series empty")
+		}
+	}
+}
+
+func TestFromWartsSkipsForeignRecords(t *testing.T) {
+	var buf bytes.Buffer
+	ww, _ := warts.NewWriter(&buf)
+	ww.Write(&warts.Record{Type: warts.TypePing, VP: "x", At: 0})
+	ww.Write(&warts.Record{Type: warts.TypeTSLP, VP: "x",
+		At: simclock.Time(100 * 24 * time.Hour)}) // outside campaign
+	ww.Flush()
+	rd, _ := warts.NewReader(&buf)
+	out, err := FromWarts(rd, simclock.Interval{Start: 0, End: simclock.Time(24 * time.Hour)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("non-TSLP / out-of-window records must be ignored: %v", out)
+	}
+}

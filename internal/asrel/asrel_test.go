@@ -1,0 +1,252 @@
+package asrel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRelInvert(t *testing.T) {
+	cases := map[Rel]Rel{Customer: Provider, Provider: Customer, Peer: Peer, Sibling: Sibling, None: None}
+	for r, want := range cases {
+		if got := r.Invert(); got != want {
+			t.Errorf("%v.Invert() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if Customer.String() != "customer" || Peer.String() != "peer" ||
+		Provider.String() != "provider" || Sibling.String() != "sibling" || None.String() != "none" {
+		t.Fatal("Rel.String incomplete")
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if ASN(30997).String() != "AS30997" {
+		t.Fatal("ASN formatting wrong")
+	}
+}
+
+func TestProviderCustomerSymmetry(t *testing.T) {
+	g := NewGraph()
+	g.SetProvider(100, 200) // 200 provides transit to 100
+	if g.Rel(100, 200) != Provider {
+		t.Fatal("customer should see provider")
+	}
+	if g.Rel(200, 100) != Customer {
+		t.Fatal("provider should see customer")
+	}
+	if got := g.Providers(100); !reflect.DeepEqual(got, []ASN{200}) {
+		t.Fatalf("Providers = %v", got)
+	}
+	if got := g.Customers(200); !reflect.DeepEqual(got, []ASN{100}) {
+		t.Fatalf("Customers = %v", got)
+	}
+}
+
+func TestPeerSymmetry(t *testing.T) {
+	g := NewGraph()
+	g.SetPeer(1, 2)
+	if g.Rel(1, 2) != Peer || g.Rel(2, 1) != Peer {
+		t.Fatal("peering must be symmetric")
+	}
+}
+
+func TestRelNoneForStrangers(t *testing.T) {
+	g := NewGraph()
+	g.AddAS(1, "a", "orgA")
+	if g.Rel(1, 99) != None || g.Rel(98, 99) != None {
+		t.Fatal("strangers must be None")
+	}
+}
+
+func TestRemoveLink(t *testing.T) {
+	g := NewGraph()
+	g.SetPeer(1, 2)
+	g.RemoveLink(1, 2)
+	if g.Rel(1, 2) != None || g.Rel(2, 1) != None {
+		t.Fatal("RemoveLink must clear both directions")
+	}
+	g.RemoveLink(5, 6) // absent links are a no-op
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph()
+	g.SetPeer(10, 5)
+	g.SetPeer(10, 30)
+	g.SetProvider(10, 2)
+	if got := g.Neighbors(10); !reflect.DeepEqual(got, []ASN{2, 5, 30}) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	if g.Degree(10) != 3 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestSiblingsFromOrgAndExplicit(t *testing.T) {
+	g := NewGraph()
+	g.AddAS(1, "tel-a", "TelecomCo")
+	g.AddAS(2, "tel-b", "TelecomCo")
+	g.AddAS(3, "other", "OtherCo")
+	g.SetSibling(1, 4) // explicit sibling outside the org map
+	sibs := g.Siblings(1)
+	if !reflect.DeepEqual(sibs, []ASN{2, 4}) {
+		t.Fatalf("Siblings = %v", sibs)
+	}
+	if g.OrgOf(2) != "TelecomCo" || g.Name(1) != "tel-a" {
+		t.Fatal("org/name lookups wrong")
+	}
+}
+
+func TestCustomerCone(t *testing.T) {
+	g := NewGraph()
+	// 1 provides to 2 and 3; 2 provides to 4; 3 peers with 5.
+	g.SetProvider(2, 1)
+	g.SetProvider(3, 1)
+	g.SetProvider(4, 2)
+	g.SetPeer(3, 5)
+	cone := g.CustomerCone(1)
+	for _, a := range []ASN{1, 2, 3, 4} {
+		if !cone[a] {
+			t.Errorf("cone should contain %v", a)
+		}
+	}
+	if cone[5] {
+		t.Error("peers are not in the customer cone")
+	}
+	if len(g.CustomerCone(4)) != 1 {
+		t.Error("stub cone is itself only")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGraph()
+	g.AddAS(1, "a", "A")
+	g.SetPeer(1, 2)
+	c := g.Clone()
+	c.RemoveLink(1, 2)
+	c.AddAS(3, "c", "C")
+	if g.Rel(1, 2) != Peer {
+		t.Fatal("clone mutation leaked")
+	}
+	if g.Name(3) != "" {
+		t.Fatal("clone AS registration leaked")
+	}
+}
+
+func TestASesSorted(t *testing.T) {
+	g := NewGraph()
+	g.AddAS(9, "", "")
+	g.AddAS(3, "", "")
+	g.SetPeer(5, 7)
+	if got := g.ASes(); !reflect.DeepEqual(got, []ASN{3, 5, 7, 9}) {
+		t.Fatalf("ASes = %v", got)
+	}
+}
+
+// buildHierarchy constructs a small realistic hierarchy:
+// tier1 {1,2} peer; regionals {10,11} buy from both tier1s and peer
+// with each other; stubs 100..105 buy from regionals.
+func buildHierarchy() *Graph {
+	g := NewGraph()
+	g.SetPeer(1, 2)
+	for _, r := range []ASN{10, 11} {
+		g.SetProvider(r, 1)
+		g.SetProvider(r, 2)
+	}
+	g.SetPeer(10, 11)
+	for i := ASN(100); i <= 105; i++ {
+		if i%2 == 0 {
+			g.SetProvider(i, 10)
+		} else {
+			g.SetProvider(i, 11)
+		}
+	}
+	return g
+}
+
+// validPaths generates the valley-free paths a route collector would
+// see in the hierarchy: stub → regional → tier1(s) → regional → stub.
+func validPaths(g *Graph) [][]ASN {
+	var paths [][]ASN
+	// Stub-to-stub via shared regional or via tier1 backbone.
+	stubs := []ASN{100, 101, 102, 103, 104, 105}
+	for _, s := range stubs {
+		for _, d := range stubs {
+			if s == d {
+				continue
+			}
+			sp, dp := s%2, d%2
+			switch {
+			case sp == dp && sp == 0:
+				paths = append(paths, []ASN{s, 10, d})
+			case sp == dp:
+				paths = append(paths, []ASN{s, 11, d})
+			default:
+				// across regionals: use their peering
+				if sp == 0 {
+					paths = append(paths, []ASN{s, 10, 11, d})
+				} else {
+					paths = append(paths, []ASN{s, 11, 10, d})
+				}
+			}
+		}
+	}
+	// Regionals reaching the world through tier1 peering.
+	paths = append(paths,
+		[]ASN{100, 10, 1, 2, 11, 101},
+		[]ASN{102, 10, 2, 1, 11, 103},
+		[]ASN{10, 1, 2, 11},
+		[]ASN{11, 2, 1, 10},
+	)
+	return paths
+}
+
+func TestInferFromPathsRecoversHierarchy(t *testing.T) {
+	truth := buildHierarchy()
+	inferred := InferFromPaths(validPaths(truth))
+	exact, covered, total := Accuracy(truth, inferred)
+	if total != 12 {
+		t.Fatalf("total truth links = %d, want 12", total)
+	}
+	if covered < 0.9 {
+		t.Fatalf("covered = %v, want ≥0.9", covered)
+	}
+	if exact < 0.7 {
+		t.Fatalf("exact = %v, want ≥0.7 (got %v of %d)", exact, exact, total)
+	}
+	// The stub→regional links must never be inferred as peering.
+	if r := inferred.Rel(100, 10); r != Provider && r != None {
+		t.Errorf("stub uplink inferred as %v", r)
+	}
+}
+
+func TestInferIgnoresPrependsAndShortPaths(t *testing.T) {
+	paths := [][]ASN{
+		{1},
+		{2, 2, 3}, // prepend collapses to one link
+	}
+	g := InferFromPaths(paths)
+	if g.Rel(2, 2) != None {
+		t.Fatal("self-link must not exist")
+	}
+	if g.Rel(2, 3) == None {
+		t.Fatal("link 2-3 should be inferred")
+	}
+}
+
+func TestAccuracyEmptyTruth(t *testing.T) {
+	e, c, n := Accuracy(NewGraph(), NewGraph())
+	if e != 0 || c != 0 || n != 0 {
+		t.Fatal("empty truth should yield zeros")
+	}
+}
+
+func TestComparableDegree(t *testing.T) {
+	if !comparableDegree(10, 19) || comparableDegree(10, 21) {
+		t.Fatal("factor-2 heuristic wrong")
+	}
+	if comparableDegree(0, 5) {
+		t.Fatal("zero degree is never comparable")
+	}
+}

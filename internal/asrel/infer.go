@@ -1,0 +1,162 @@
+package asrel
+
+import "sort"
+
+// InferFromPaths reconstructs AS relationships from a set of observed
+// AS paths using a simplified Gao algorithm, standing in for CAIDA's
+// AS-rank input to bdrmap. For each path, the AS with the highest
+// transit degree is taken as the path's summit: links left of the
+// summit are inferred customer→provider, links right of it
+// provider→customer. The summit link itself is inferred peer-peer when
+// the two summit-adjacent ASes have comparable degree. Votes across
+// all paths are tallied and the majority relationship wins.
+//
+// The inference is deliberately imperfect in the ways the real
+// algorithm is (mistaking small peer links for transit when degrees
+// are skewed); bdrmap's validation step measures exactly that gap.
+func InferFromPaths(paths [][]ASN) *Graph {
+	// Transit degree: number of distinct neighbors seen in any path.
+	neigh := make(map[ASN]map[ASN]bool)
+	note := func(a, b ASN) {
+		if neigh[a] == nil {
+			neigh[a] = make(map[ASN]bool)
+		}
+		neigh[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] {
+				continue // prepending collapse
+			}
+			note(p[i], p[i+1])
+			note(p[i+1], p[i])
+		}
+	}
+	degree := func(a ASN) int { return len(neigh[a]) }
+
+	type pair struct{ a, b ASN }
+	votes := make(map[pair]map[Rel]int)
+	vote := func(a, b ASN, r Rel) {
+		// Canonicalize so each undirected link has one ballot box,
+		// storing the relationship of b relative to a with a < b.
+		if a > b {
+			a, b = b, a
+			r = r.Invert()
+		}
+		k := pair{a, b}
+		if votes[k] == nil {
+			votes[k] = make(map[Rel]int)
+		}
+		votes[k][r]++
+	}
+
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		// Find the summit: the highest-degree AS, ties to the earliest.
+		top, topDeg := 0, -1
+		for i, a := range p {
+			if d := degree(a); d > topDeg {
+				top, topDeg = i, d
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			if a == b {
+				continue
+			}
+			switch {
+			case i+1 < top: // strictly uphill
+				vote(a, b, Provider) // b provides transit to a
+			case i >= top: // strictly downhill (summit edge handled below)
+				if i == top && comparableDegree(degree(a), degree(b)) {
+					vote(a, b, Peer)
+				} else {
+					vote(a, b, Customer)
+				}
+			default: // i+1 == top: edge climbing into the summit
+				if comparableDegree(degree(a), degree(b)) {
+					vote(a, b, Peer)
+				} else {
+					vote(a, b, Provider)
+				}
+			}
+		}
+	}
+
+	g := NewGraph()
+	// Deterministic iteration for reproducible inference output.
+	keys := make([]pair, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		best, bestN := None, -1
+		for _, r := range []Rel{Customer, Peer, Provider} {
+			if n := votes[k][r]; n > bestN {
+				best, bestN = r, n
+			}
+		}
+		switch best {
+		case Peer:
+			g.SetPeer(k.a, k.b)
+		case Provider: // k.b provides transit to k.a
+			g.SetProvider(k.a, k.b)
+		case Customer:
+			g.SetProvider(k.b, k.a)
+		}
+	}
+	return g
+}
+
+// comparableDegree reports whether two transit degrees are within a
+// factor of 2 of each other — the peering heuristic.
+func comparableDegree(d1, d2 int) bool {
+	if d1 == 0 || d2 == 0 {
+		return false
+	}
+	if d1 > d2 {
+		d1, d2 = d2, d1
+	}
+	return d2 <= 2*d1
+}
+
+// Accuracy compares an inferred graph against ground truth, returning
+// the fraction of truth links whose relationship was inferred exactly,
+// the fraction inferred with any relationship, and the total number of
+// truth links considered (sibling links are skipped — the inference
+// has no organization data).
+func Accuracy(truth, inferred *Graph) (exact, covered float64, total int) {
+	var nExact, nCovered int
+	for _, a := range truth.ASes() {
+		for _, b := range truth.Neighbors(a) {
+			if a >= b {
+				continue // count each undirected link once
+			}
+			r := truth.Rel(a, b)
+			if r == Sibling {
+				continue
+			}
+			total++
+			ir := inferred.Rel(a, b)
+			if ir == None {
+				continue
+			}
+			nCovered++
+			if ir == r {
+				nExact++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(nExact) / float64(total), float64(nCovered) / float64(total), total
+}

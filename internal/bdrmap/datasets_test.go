@@ -1,0 +1,134 @@
+package bdrmap
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/geo"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
+	"afrixp/internal/prober"
+	"afrixp/internal/registry"
+)
+
+func netsimLinkSpec(sub netaddr.Prefix) netsim.LinkSpec {
+	return netsim.LinkSpec{Subnet: sub}
+}
+
+// TestRIRFallbackOwnership: an AS whose interconnect block is
+// delegated by the RIR but never announced in BGP must still be
+// attributable through the delegation's org→ASN chain.
+func TestRIRFallbackOwnership(t *testing.T) {
+	w := build(t)
+	// AS600 sits behind the transit provider AS500, so traces to its
+	// prefix cross AS500's interconnect even when AS500 announces
+	// nothing itself.
+	w.nw.BGP.Graph().SetProvider(600, 500)
+	w.cfg.BGP.Announce(600, mp("10.60.0.0/16"))
+	r500 := w.nw.RoutersOf(500)[0]
+	r600 := w.nw.AddNode("r600", 600)
+	h600 := w.nw.AddNode("h600", 600)
+	w.nw.ConnectLink(r500, r600, netsimLinkSpec(mp("10.60.255.0/30")))
+	w.nw.ConnectLink(r600, h600, netsimLinkSpec(mp("10.60.254.0/30")))
+	w.nw.AddLoopback(h600, ma("10.60.0.1"), "lo.h600")
+	w.nw.InvalidateRoutes()
+
+	// Withdraw AS500's announcement: its own transit-link address
+	// (10.50.255.x) vanishes from the prefix→AS table…
+	w.cfg.BGP.Withdraw(500, mp("10.50.0.0/16"))
+	// …but the RIR has delegated that space to ORG-R500, which also
+	// holds AS500.
+	rirFile := &registry.File{Registry: "afrinic", Delegations: []registry.Delegation{
+		{Registry: "afrinic", CC: "gh", Type: "ipv4",
+			Prefix: mp("10.50.0.0/16"), Date: time.Now(), Status: "allocated", Opaque: "ORG-R500"},
+		{Registry: "afrinic", CC: "gh", Type: "asn",
+			ASN: 500, Date: time.Now(), Status: "allocated", Opaque: "ORG-R500"},
+	}}
+	cfg := w.cfg
+	cfg.RIR = registry.NewIndex(rirFile)
+
+	p := prober.New(w.nw, w.vp, prober.Config{})
+	res, err := Run(p, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasNeighbor(500) {
+		t.Fatalf("RIR fallback did not attribute the transit link: %v", res.Neighbors)
+	}
+}
+
+func TestGeoConsistencyCheck(t *testing.T) {
+	w := build(t)
+	db := geo.NewDB()
+	rdns := geo.NewRDNS()
+	// The GIXA fabric and member 200's port geolocate to Ghana —
+	// consistent with the exchange's country.
+	db.Add(geo.Entry{Prefix: mp("196.49.7.0/24"), Country: "gh", City: "accra"})
+	// Member 300's port is (wrongly) geolocated to Kenya: the §5.1
+	// cross-check must flag it.
+	db.Add(geo.Entry{Prefix: mp("196.49.7.11/32"), Country: "ke", City: "nairobi"})
+	cfg := w.cfg
+	cfg.Geo = db
+	cfg.RDNS = rdns
+
+	p := prober.New(w.nw, w.vp, prober.Config{})
+	res, err := Run(p, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged, consistent int
+	for _, l := range res.PeeringLinks() {
+		if l.GeoConsistent {
+			consistent++
+		} else {
+			flagged++
+			if l.Far != ma("196.49.7.11") {
+				t.Fatalf("wrong link flagged: %+v", l)
+			}
+		}
+	}
+	if flagged != 1 || consistent != 1 {
+		t.Fatalf("flagged=%d consistent=%d, want 1/1", flagged, consistent)
+	}
+}
+
+func TestGeoRDNSContradictionFlagged(t *testing.T) {
+	w := build(t)
+	db := geo.NewDB()
+	rdns := geo.NewRDNS()
+	db.Add(geo.Entry{Prefix: mp("196.49.7.0/24"), Country: "gh", City: "accra"})
+	// rDNS for member 200's port claims Nairobi — contradicting the
+	// geolocation database.
+	rdns.Register(ma("196.49.7.10"), "xe0-1.br1.nbo.ke.member200.net")
+	cfg := w.cfg
+	cfg.Geo = db
+	cfg.RDNS = rdns
+
+	p := prober.New(w.nw, w.vp, prober.Config{})
+	res, err := Run(p, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.PeeringLinks() {
+		if l.Far == ma("196.49.7.10") && l.GeoConsistent {
+			t.Fatal("rDNS contradiction not flagged")
+		}
+		if l.Far == ma("196.49.7.11") && !l.GeoConsistent {
+			t.Fatal("clean link wrongly flagged")
+		}
+	}
+}
+
+func TestGeoCheckSkippedWithoutDatasets(t *testing.T) {
+	w := build(t)
+	p := prober.New(w.nw, w.vp, prober.Config{})
+	res, err := Run(p, w.cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Links {
+		if !l.GeoConsistent {
+			t.Fatalf("without geo datasets every link is consistent: %+v", l)
+		}
+	}
+}

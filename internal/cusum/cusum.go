@@ -1,0 +1,290 @@
+// Package cusum implements Taylor-style change-point analysis: the
+// cumulative-sum chart with bootstrap significance testing, applied
+// recursively to segment a series into constant-level regions. The
+// paper's level-shift detector "identifies changes in the direction of
+// the rank-based non-parametric statistical cumulative sum (CUSUM)
+// test as evidence of a level-shift" [Taylor 2000]; ranks make the
+// test robust to the heavy-tailed RTT outliers ICMP measurement is
+// full of.
+package cusum
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Bootstraps is the number of shuffles per significance test.
+	// Default 100.
+	Bootstraps int
+	// Confidence in (0,1) required to accept a change point.
+	// Default 0.95.
+	Confidence float64
+	// MinSegment is the minimum number of samples on each side of a
+	// change point. Default 2.
+	MinSegment int
+	// UseRanks switches to the rank-based (non-parametric) variant
+	// the paper uses. Default is true in Detect; DetectRaw keeps raw
+	// values.
+	UseRanks bool
+	// MinMagnitude, when positive, drops change points whose level
+	// change (in original units) is smaller — the paper's magnitude
+	// threshold that suppresses detections caused by measurement
+	// noise. Weakest-first removal re-merges the adjacent segments.
+	MinMagnitude float64
+	// Seed makes the bootstrap deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bootstraps <= 0 {
+		c.Bootstraps = 100
+	}
+	if c.Confidence <= 0 {
+		c.Confidence = 0.95
+	}
+	if c.MinSegment < 2 {
+		c.MinSegment = 2
+	}
+	return c
+}
+
+// ChangePoint is a detected shift between two constant-level segments.
+type ChangePoint struct {
+	// Index is the first sample of the new level.
+	Index int
+	// Confidence is the bootstrap confidence of the detection.
+	Confidence float64
+	// Before and After are the mean levels (of the original values,
+	// not the ranks) on each side, over the local segments.
+	Before, After float64
+}
+
+// Magnitude returns the signed level change.
+func (cp ChangePoint) Magnitude() float64 { return cp.After - cp.Before }
+
+// Detect runs rank-based recursive change-point detection over xs and
+// returns the accepted change points in index order.
+func Detect(xs []float64, cfg Config) []ChangePoint {
+	cfg = cfg.withDefaults()
+	cfg.UseRanks = true
+	return detect(xs, cfg)
+}
+
+// DetectRaw runs the same analysis on raw values (no rank transform).
+func DetectRaw(xs []float64, cfg Config) []ChangePoint {
+	cfg = cfg.withDefaults()
+	cfg.UseRanks = false
+	return detect(xs, cfg)
+}
+
+func detect(xs []float64, cfg Config) []ChangePoint {
+	work := xs
+	if cfg.UseRanks {
+		work = Ranks(xs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var cps []int
+	var confs []float64
+	segment(work, 0, len(work), cfg, rng, &cps, &confs)
+	order := make([]int, len(cps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cps[order[a]] < cps[order[b]] })
+
+	indices := make([]int, 0, len(cps))
+	byIndex := make(map[int]float64, len(cps))
+	for _, oi := range order {
+		indices = append(indices, cps[oi])
+		byIndex[cps[oi]] = confs[oi]
+	}
+	indices = filterByMagnitude(xs, indices, cfg.MinMagnitude)
+
+	out := make([]ChangePoint, 0, len(indices))
+	prev := 0
+	for k, idx := range indices {
+		next := len(xs)
+		if k+1 < len(indices) {
+			next = indices[k+1]
+		}
+		out = append(out, ChangePoint{
+			Index:      idx,
+			Confidence: byIndex[idx],
+			Before:     mean(xs[prev:idx]),
+			After:      mean(xs[idx:next]),
+		})
+		prev = idx
+	}
+	return out
+}
+
+// filterByMagnitude removes, weakest first, change points whose level
+// change across adjacent segments falls below minMag, re-merging the
+// segments after each removal.
+func filterByMagnitude(xs []float64, indices []int, minMag float64) []int {
+	if minMag <= 0 {
+		return indices
+	}
+	kept := append([]int(nil), indices...)
+	for {
+		if len(kept) == 0 {
+			return kept
+		}
+		// Compute each kept point's magnitude under current segmentation.
+		weakest, weakestMag := -1, minMag
+		for k, idx := range kept {
+			lo := 0
+			if k > 0 {
+				lo = kept[k-1]
+			}
+			hi := len(xs)
+			if k+1 < len(kept) {
+				hi = kept[k+1]
+			}
+			mag := abs(mean(xs[idx:hi]) - mean(xs[lo:idx]))
+			if mag < weakestMag {
+				weakest, weakestMag = k, mag
+			}
+		}
+		if weakest < 0 {
+			return kept
+		}
+		kept = append(kept[:weakest], kept[weakest+1:]...)
+	}
+}
+
+// segment recursively tests [lo,hi) for a change point.
+func segment(xs []float64, lo, hi int, cfg Config, rng *rand.Rand, cps *[]int, confs *[]float64) {
+	n := hi - lo
+	if n < 2*cfg.MinSegment {
+		return
+	}
+	idx, diff := maxCusumSplit(xs[lo:hi])
+	if idx < cfg.MinSegment || idx > n-cfg.MinSegment {
+		// Re-clamp: pick the best split within the allowed band.
+		idx, diff = maxCusumSplitBounded(xs[lo:hi], cfg.MinSegment)
+		if idx < 0 {
+			return
+		}
+	}
+	conf := bootstrapConfidence(xs[lo:hi], diff, cfg.Bootstraps, rng)
+	if conf < cfg.Confidence {
+		return
+	}
+	*cps = append(*cps, lo+idx)
+	*confs = append(*confs, conf)
+	segment(xs, lo, lo+idx, cfg, rng, cps, confs)
+	segment(xs, lo+idx, hi, cfg, rng, cps, confs)
+}
+
+// maxCusumSplit computes the CUSUM chart of xs and returns the index
+// after the extreme excursion (the estimated change point) plus the
+// chart range Smax−Smin (the detection statistic).
+func maxCusumSplit(xs []float64) (int, float64) {
+	m := mean(xs)
+	var s, smax, smin float64
+	argExt := 0
+	absExt := 0.0
+	for i, x := range xs {
+		s += x - m
+		if s > smax {
+			smax = s
+		}
+		if s < smin {
+			smin = s
+		}
+		if a := abs(s); a > absExt {
+			absExt = a
+			argExt = i
+		}
+	}
+	return argExt + 1, smax - smin
+}
+
+// maxCusumSplitBounded restricts the split to [minSeg, n-minSeg].
+func maxCusumSplitBounded(xs []float64, minSeg int) (int, float64) {
+	m := mean(xs)
+	var s, smax, smin float64
+	argExt, absExt := -1, -1.0
+	for i, x := range xs {
+		s += x - m
+		if s > smax {
+			smax = s
+		}
+		if s < smin {
+			smin = s
+		}
+		split := i + 1
+		if split >= minSeg && split <= len(xs)-minSeg {
+			if a := abs(s); a > absExt {
+				absExt = a
+				argExt = split
+			}
+		}
+	}
+	if argExt < 0 {
+		return -1, 0
+	}
+	return argExt, smax - smin
+}
+
+// bootstrapConfidence estimates how often a random reordering of xs
+// produces a smaller CUSUM range than observed.
+func bootstrapConfidence(xs []float64, observed float64, n int, rng *rand.Rand) float64 {
+	if observed <= 0 {
+		return 0
+	}
+	shuf := append([]float64(nil), xs...)
+	smaller := 0
+	for b := 0; b < n; b++ {
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		if _, diff := maxCusumSplit(shuf); diff < observed {
+			smaller++
+		}
+	}
+	return float64(smaller) / float64(n)
+}
+
+// Ranks replaces each value by its (average-tie) rank, the
+// non-parametric transform of the paper's detector.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,140 @@
+// Package diurnal decides whether an RTT series exhibits a recurring
+// daily pattern — the paper's criterion separating genuinely congested
+// links ("persistent diurnal pattern indicating peak-hour congestion")
+// from links that merely trip the level-shift threshold through noise
+// or slow ICMP generation (the VP5/VP6 rows of Table 1, flagged but
+// with zero diurnal links).
+//
+// The detector folds the series by time of day and requires both a
+// sufficient daily amplitude and day-to-day consistency: each day's
+// profile must correlate with the average profile. Random regime
+// shifts produce amplitude without consistency; flat series produce
+// neither.
+package diurnal
+
+import (
+	"math"
+	"time"
+
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// BinWidth is the time-of-day fold bin. Default 30 minutes.
+	BinWidth simclock.Duration
+	// MinAmplitudeMs is the required peak-to-floor amplitude of the
+	// folded profile. Default 8 ms (just under the paper's 10 ms
+	// level-shift threshold, since min-filtering shaves peaks).
+	MinAmplitudeMs float64
+	// MinConsistency is the required mean correlation between per-day
+	// profiles and the overall profile. Default 0.5.
+	MinConsistency float64
+	// MinDays is the minimum number of evaluable days. Default 5.
+	MinDays int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinWidth <= 0 {
+		c.BinWidth = 30 * time.Minute
+	}
+	if c.MinAmplitudeMs <= 0 {
+		c.MinAmplitudeMs = 8
+	}
+	if c.MinConsistency <= 0 {
+		c.MinConsistency = 0.5
+	}
+	if c.MinDays <= 0 {
+		c.MinDays = 5
+	}
+	return c
+}
+
+// Verdict is the detector output.
+type Verdict struct {
+	// Diurnal is the overall decision.
+	Diurnal bool
+	// AmplitudeMs is the folded profile's P95−P5 spread.
+	AmplitudeMs float64
+	// Consistency is the mean per-day correlation with the profile.
+	Consistency float64
+	// PeakHour is the fractional hour of the profile maximum.
+	PeakHour float64
+	// DaysEvaluated counts days with enough samples to score.
+	DaysEvaluated int
+}
+
+// Detect runs the analysis.
+func Detect(s *timeseries.Series, cfg Config) Verdict {
+	cfg = cfg.withDefaults()
+	var v Verdict
+	if s.Len() == 0 {
+		return v
+	}
+	profile := s.FoldDaily(cfg.BinWidth, timeseries.Mean)
+	present := make([]float64, 0, len(profile))
+	for _, p := range profile {
+		if !timeseries.IsMissing(p) {
+			present = append(present, p)
+		}
+	}
+	if len(present) < len(profile)/2 {
+		return v
+	}
+	v.AmplitudeMs = timeseries.Quantile(present, 0.95) - timeseries.Quantile(present, 0.05)
+
+	// Peak hour.
+	peakBin, peakVal := 0, math.Inf(-1)
+	for b, p := range profile {
+		if !timeseries.IsMissing(p) && p > peakVal {
+			peakBin, peakVal = b, p
+		}
+	}
+	v.PeakHour = float64(peakBin) * cfg.BinWidth.Hours()
+
+	// Day-to-day consistency.
+	nBins := len(profile)
+	var corrSum float64
+	for _, day := range s.SplitDays() {
+		dayProf := day.FoldDaily(cfg.BinWidth, timeseries.Mean)
+		if r, ok := correlate(dayProf, profile, nBins/2); ok {
+			corrSum += r
+			v.DaysEvaluated++
+		}
+	}
+	if v.DaysEvaluated > 0 {
+		v.Consistency = corrSum / float64(v.DaysEvaluated)
+	}
+	v.Diurnal = v.AmplitudeMs >= cfg.MinAmplitudeMs &&
+		v.Consistency >= cfg.MinConsistency &&
+		v.DaysEvaluated >= cfg.MinDays
+	return v
+}
+
+// correlate computes the Pearson correlation between two profiles over
+// bins present in both, requiring at least minBins shared bins.
+func correlate(a, b []float64, minBins int) (float64, bool) {
+	var xs, ys []float64
+	for i := range a {
+		if i < len(b) && !timeseries.IsMissing(a[i]) && !timeseries.IsMissing(b[i]) {
+			xs = append(xs, a[i])
+			ys = append(ys, b[i])
+		}
+	}
+	if len(xs) < minBins || len(xs) < 3 {
+		return 0, false
+	}
+	mx, my := timeseries.Mean(xs), timeseries.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, false
+	}
+	return sxy / math.Sqrt(sxx*syy), true
+}

@@ -1,0 +1,175 @@
+package diurnal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"afrixp/internal/timeseries"
+)
+
+// series builds days of 5-minute samples from a value function of
+// (dayIndex, hourOfDay).
+func series(days int, fn func(day int, hour float64) float64) *timeseries.Series {
+	s := timeseries.NewRegular(0, 5*time.Minute, days*288)
+	for i := 0; i < s.Len(); i++ {
+		t := s.TimeAt(i)
+		s.Set(i, fn(t.Day(), t.HourOfDay()))
+	}
+	return s
+}
+
+func TestCleanDiurnalDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := series(14, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 9 && h < 17 {
+			v = 25
+		}
+		return v + math.Abs(0.5*rng.NormFloat64())
+	})
+	v := Detect(s, Config{})
+	if !v.Diurnal {
+		t.Fatalf("clean diurnal not detected: %+v", v)
+	}
+	if v.AmplitudeMs < 15 {
+		t.Fatalf("amplitude = %v", v.AmplitudeMs)
+	}
+	if v.PeakHour < 9 || v.PeakHour >= 17 {
+		t.Fatalf("peak hour = %v", v.PeakHour)
+	}
+	if v.DaysEvaluated < 13 {
+		t.Fatalf("days = %d", v.DaysEvaluated)
+	}
+}
+
+func TestFlatSeriesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := series(14, func(int, float64) float64 {
+		return 3 + math.Abs(0.8*rng.NormFloat64())
+	})
+	if v := Detect(s, Config{}); v.Diurnal {
+		t.Fatalf("flat series detected diurnal: %+v", v)
+	}
+}
+
+func TestRandomRegimeShiftsRejected(t *testing.T) {
+	// Slow-ICMP regimes: RTT jumps to 30 ms for random multi-hour
+	// blocks at arbitrary times of day. Level-shift detectors flag
+	// this; the diurnal check must not.
+	rng := rand.New(rand.NewSource(3))
+	level := 2.0
+	s := timeseries.NewRegular(0, 5*time.Minute, 20*288)
+	for i := 0; i < s.Len(); i++ {
+		if i%60 == 0 && rng.Float64() < 0.3 { // reconsider every 5h
+			if level == 2 {
+				level = 30
+			} else {
+				level = 2
+			}
+		}
+		s.Set(i, level+math.Abs(0.5*rng.NormFloat64()))
+	}
+	v := Detect(s, Config{})
+	if v.Diurnal {
+		t.Fatalf("random regimes detected as diurnal: %+v", v)
+	}
+	if v.Consistency > 0.5 {
+		t.Fatalf("random regimes should have low consistency: %v", v.Consistency)
+	}
+}
+
+func TestWeekdayWeekendAmplitudeStillDiurnal(t *testing.T) {
+	// QCELL–NETPAGE: 35 ms weekday spikes, 15 ms weekend spikes — the
+	// pattern differs in amplitude but stays diurnal.
+	rng := rand.New(rand.NewSource(4))
+	s := timeseries.NewRegular(0, 5*time.Minute, 21*288)
+	for i := 0; i < s.Len(); i++ {
+		tm := s.TimeAt(i)
+		amp := 35.0
+		if tm.IsWeekend() {
+			amp = 15
+		}
+		h := tm.HourOfDay()
+		v := 1.5
+		if h >= 10 && h < 16 {
+			v += amp
+		}
+		s.Set(i, v+math.Abs(0.5*rng.NormFloat64()))
+	}
+	v := Detect(s, Config{})
+	if !v.Diurnal {
+		t.Fatalf("amplitude-modulated diurnal rejected: %+v", v)
+	}
+}
+
+func TestLossySeriesTolerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := series(14, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 12 && h < 20 {
+			v = 20
+		}
+		return v + math.Abs(0.4*rng.NormFloat64())
+	})
+	for i := 0; i < s.Len(); i++ {
+		if rng.Float64() < 0.25 {
+			s.Set(i, timeseries.Missing)
+		}
+	}
+	if v := Detect(s, Config{}); !v.Diurnal {
+		t.Fatalf("lossy diurnal rejected: %+v", v)
+	}
+}
+
+func TestTooFewDaysRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := series(3, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 9 && h < 17 {
+			v = 25
+		}
+		return v + math.Abs(0.3*rng.NormFloat64())
+	})
+	if v := Detect(s, Config{MinDays: 5}); v.Diurnal {
+		t.Fatalf("3-day series accepted: %+v", v)
+	}
+}
+
+func TestSmallAmplitudeRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := series(14, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 9 && h < 17 {
+			v = 5 // only 3 ms swing
+		}
+		return v + math.Abs(0.2*rng.NormFloat64())
+	})
+	if v := Detect(s, Config{MinAmplitudeMs: 8}); v.Diurnal {
+		t.Fatalf("3 ms amplitude accepted: %+v", v)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	if v := Detect(timeseries.NewRegular(0, time.Minute, 0), Config{}); v.Diurnal {
+		t.Fatal("empty series accepted")
+	}
+	s := timeseries.NewRegular(0, 5*time.Minute, 288)
+	if v := Detect(s, Config{}); v.Diurnal {
+		t.Fatal("all-missing series accepted")
+	}
+}
+
+func TestCorrelateEdgeCases(t *testing.T) {
+	if _, ok := correlate([]float64{1, 2}, []float64{1, 2}, 1); ok {
+		t.Fatal("fewer than 3 shared bins must fail")
+	}
+	if _, ok := correlate([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}, 2); ok {
+		t.Fatal("zero-variance profile must fail")
+	}
+	r, ok := correlate([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}, 2)
+	if !ok || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation: %v %v", r, ok)
+	}
+}

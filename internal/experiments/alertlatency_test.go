@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/scenario"
+)
+
+func TestAlertLatency(t *testing.T) {
+	rows, err := RunAlertLatency(scenario.Options{Seed: 17, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byCase := map[string]AlertLatency{}
+	for _, r := range rows {
+		byCase[r.Case] = r
+	}
+	np := byCase["QCELL-NETPAGE"]
+	if !np.Alerted {
+		t.Fatal("NETPAGE congestion never alerted")
+	}
+	if np.OnsetLag > 10*24*time.Hour {
+		t.Fatalf("NETPAGE onset lag %v", np.OnsetLag)
+	}
+	if !np.Cleared {
+		t.Fatal("NETPAGE mitigation never confirmed")
+	}
+	if np.ClearedLag > 14*24*time.Hour {
+		t.Fatalf("NETPAGE cleared lag %v", np.ClearedLag)
+	}
+	gh := byCase["GIXA-GHANATEL"]
+	if !gh.Alerted {
+		t.Fatal("GHANATEL congestion never alerted")
+	}
+	if gh.OnsetLag > 12*24*time.Hour {
+		t.Fatalf("GHANATEL onset lag %v", gh.OnsetLag)
+	}
+	if gh.Cleared {
+		t.Fatal("GHANATEL was never mitigated in-window")
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// shortRun drives a 30-day scaled-down campaign covering the
+// QCELL–NETPAGE phase-1/phase-2 transition.
+func shortRun(t testing.TB) *Result {
+	t.Helper()
+	return Run(Config{
+		Opts: scenario.Options{Seed: 3, Scale: 0.12},
+		Campaign: simclock.Interval{
+			Start: simclock.Date(2016, time.April, 10),
+			End:   simclock.Date(2016, time.May, 10),
+		},
+		RefreshEvery: 10 * 24 * time.Hour,
+	})
+}
+
+var cached *Result
+
+func run(t testing.TB) *Result {
+	if cached == nil {
+		cached = shortRun(t)
+	}
+	return cached
+}
+
+func TestCampaignDiscoversLinksPerVP(t *testing.T) {
+	res := run(t)
+	if len(res.VPs) != 6 {
+		t.Fatalf("VPs = %d", len(res.VPs))
+	}
+	for _, vr := range res.VPs {
+		if len(vr.Links) == 0 {
+			t.Errorf("%s discovered no links", vr.VP.ID)
+		}
+		if len(vr.Snapshots) == 0 {
+			t.Errorf("%s has no snapshots", vr.VP.ID)
+		}
+		for _, s := range vr.Snapshots {
+			if s.Coverage < 0.85 {
+				t.Errorf("%s snapshot %v coverage %.2f", vr.VP.ID, s.At, s.Coverage)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := run(t)
+	rows := Table1(res)
+	if rows[len(rows)-1].VP != "All VPs" {
+		t.Fatal("missing total row")
+	}
+	byVP := map[string]Table1Row{}
+	for _, r := range rows {
+		byVP[r.VP] = r
+	}
+	// Flagged counts must be monotonically non-increasing in the
+	// threshold for every VP — the Table 1 invariant.
+	for _, r := range rows {
+		prev := int(1 << 30)
+		for _, thr := range res.Cfg.Thresholds {
+			if r.Flagged[thr] > prev {
+				t.Errorf("%s: flagged rises with threshold: %v", r.VP, r.Flagged)
+			}
+			prev = r.Flagged[thr]
+			if r.Diurnal[thr] > r.Flagged[thr] {
+				t.Errorf("%s: diurnal exceeds flagged", r.VP)
+			}
+		}
+	}
+	// The noise populations must flag far more links at VP5/VP6 than
+	// they mark diurnal (the 147(0) / 88(0) shape).
+	for _, vp := range []string{"VP5", "VP6"} {
+		r := byVP[vp]
+		if r.Flagged[10] < 3 {
+			t.Errorf("%s: flagged[10] = %d, want several", vp, r.Flagged[10])
+		}
+		if r.Diurnal[10] != 0 {
+			t.Errorf("%s: diurnal = %d, want 0", vp, r.Diurnal[10])
+		}
+	}
+	// VP4's NETPAGE is congested and diurnal within this window.
+	if byVP["VP4"].Diurnal[10] < 1 {
+		t.Errorf("VP4 diurnal = %d, want ≥1", byVP["VP4"].Diurnal[10])
+	}
+	// Rendering works.
+	var buf bytes.Buffer
+	if err := Table1Report(res).Render(&buf); err != nil || buf.Len() == 0 {
+		t.Fatal("Table1Report render failed")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := run(t)
+	rows := Table2(res)
+	if len(rows) != 18 { // 6 VPs × 3 snapshots
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Links < r.PeeringLinks {
+			t.Errorf("%s: peering links exceed links", r.VP)
+		}
+		if r.Neighbors < r.Peers {
+			t.Errorf("%s: peers exceed neighbors", r.VP)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Table2Report(res).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadlineFractionSmall(t *testing.T) {
+	res := run(t)
+	rows, frac := Headline(res)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's key result: congestion is rare (2.2 %). Our scaled
+	// world must agree in shape: more than zero, well under 20 %.
+	if frac <= 0 || frac > 0.2 {
+		t.Fatalf("congested fraction = %.3f, want (0, 0.2]", frac)
+	}
+}
+
+func TestBdrmapAccuracyHigh(t *testing.T) {
+	res := run(t)
+	if acc := BdrmapAccuracy(res); acc < 0.9 {
+		t.Fatalf("bdrmap accuracy = %.2f", acc)
+	}
+}
+
+func TestWaveformsIncludeNetpage(t *testing.T) {
+	res := run(t)
+	wfs := Waveforms(res)
+	found := false
+	for _, wf := range wfs {
+		if wf.Case == "QCELL-NETPAGE" {
+			found = true
+			if wf.AW < 5 || wf.AW > 40 {
+				t.Errorf("NETPAGE A_w = %.1f", wf.AW)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("QCELL-NETPAGE waveform missing")
+	}
+}
+
+func TestFiguresExtractable(t *testing.T) {
+	res := run(t)
+	figs := Figures(res)
+	// The 30-day window covers fig4a (tail) and fig4b (start).
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+		var buf bytes.Buffer
+		if err := f.Render(&buf, 70, 12); err != nil {
+			t.Errorf("%s render: %v", f.ID, err)
+		}
+		buf.Reset()
+		if err := f.WriteCSV(&buf); err != nil || buf.Len() == 0 {
+			t.Errorf("%s csv: %v", f.ID, err)
+		}
+	}
+	if !ids["fig4a"] || !ids["fig4b"] {
+		t.Fatalf("figure coverage: %v", ids)
+	}
+}
+
+func TestCaseLinkSymmetryChecked(t *testing.T) {
+	res := run(t)
+	vr, _ := res.VPByID("VP4")
+	lr, ok := vr.CaseLink("QCELL-NETPAGE")
+	if !ok {
+		t.Fatal("case link missing")
+	}
+	if lr.Symmetry == nil {
+		t.Fatal("record-route symmetry not measured for the case link")
+	}
+	if !lr.Symmetry.Symmetric {
+		t.Fatalf("paper-world routes are symmetric: %+v", lr.Symmetry)
+	}
+	// Symmetric verdicts must propagate into the analysis.
+	if v := lr.Verdicts[10]; !v.Symmetric {
+		t.Fatal("verdict lost the symmetry bit")
+	}
+}
+
+func TestNetpagePhaseContrast(t *testing.T) {
+	res := run(t)
+	var fa, fb *Figure
+	for i := range Figures(res) {
+		figs := Figures(res)
+		switch figs[i].ID {
+		case "fig4a":
+			fa = &figs[i]
+		case "fig4b":
+			fb = &figs[i]
+		}
+	}
+	if fa == nil || fb == nil {
+		t.Skip("figures not covered by window")
+	}
+	sa, sb := fa.Stats(), fb.Stats()
+	if sa.P95 < sb.P95+5 {
+		t.Fatalf("phase 1 P95 %.1f should exceed phase 2 P95 %.1f by >5ms", sa.P95, sb.P95)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"afrixp/internal/loss"
+	"afrixp/internal/report"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// Figure is one reproduced plot: near/far RTT series (figures 1, 2a,
+// 3a, 4a, 4b) or a loss-rate series (figures 2b, 3b).
+type Figure struct {
+	ID    string
+	Title string
+	// Near/Far are RTT series (ms) on the native 5-minute grid; nil
+	// for loss figures.
+	Near, Far *timeseries.Series
+	// Loss is the batch loss-rate series (percent); nil for RTT
+	// figures.
+	Loss *timeseries.Series
+	// Window is the plotted interval.
+	Window simclock.Interval
+}
+
+// figureSpec ties a figure to its case link and window.
+type figureSpec struct {
+	id, title, caseName, vp string
+	window                  simclock.Interval
+	isLoss                  bool
+}
+
+func figureSpecs() []figureSpec {
+	return []figureSpec{
+		{id: "fig1", vp: "VP1", caseName: "GIXA-GHANATEL",
+			title:  "Figure 1: RTTs GIXA–GHANATEL in part of phase 1",
+			window: simclock.Interval{Start: simclock.Date(2016, time.March, 15), End: simclock.Date(2016, time.April, 5)}},
+		{id: "fig2a", vp: "VP1", caseName: "GIXA-GHANATEL",
+			title:  "Figure 2a: RTTs GIXA–GHANATEL in phase 2",
+			window: simclock.Interval{Start: simclock.Date(2016, time.June, 15), End: simclock.Date(2016, time.August, 6)}},
+		{id: "fig2b", vp: "VP1", caseName: "GIXA-GHANATEL", isLoss: true,
+			title:  "Figure 2b: packet loss GIXA–GHANATEL in phase 2",
+			window: simclock.Interval{Start: simclock.Date(2016, time.July, 21), End: simclock.Date(2016, time.August, 6)}},
+		{id: "fig3a", vp: "VP1", caseName: "GIXA-KNET",
+			title:  "Figure 3a: RTTs GIXA–KNET (diurnal onset 2016-08-06)",
+			window: simclock.Interval{Start: simclock.Date(2016, time.August, 1), End: simclock.Date(2016, time.October, 31)}},
+		{id: "fig3b", vp: "VP1", caseName: "GIXA-KNET", isLoss: true,
+			title:  "Figure 3b: packet loss GIXA–KNET",
+			window: simclock.Interval{Start: simclock.Date(2016, time.July, 21), End: simclock.Date(2017, time.March, 27)}},
+		{id: "fig4a", vp: "VP4", caseName: "QCELL-NETPAGE",
+			title:  "Figure 4a: RTTs QCELL–NETPAGE in phase 1 (before the upgrade)",
+			window: simclock.Interval{Start: simclock.Date(2016, time.February, 29), End: simclock.Date(2016, time.April, 28)}},
+		{id: "fig4b", vp: "VP4", caseName: "QCELL-NETPAGE",
+			title:  "Figure 4b: RTTs QCELL–NETPAGE in phase 2 (after the upgrade)",
+			window: simclock.Interval{Start: simclock.Date(2016, time.April, 28), End: simclock.Date(2016, time.June, 30)}},
+	}
+}
+
+// Figures extracts every reproducible figure from the campaign. When
+// the campaign interval does not cover a figure's window (short test
+// runs), that figure is skipped.
+func Figures(res *Result) []Figure {
+	var out []Figure
+	for _, spec := range figureSpecs() {
+		vr, ok := res.VPByID(spec.vp)
+		if !ok {
+			continue
+		}
+		lr, ok := vr.CaseLink(spec.caseName)
+		if !ok {
+			continue
+		}
+		win := clamp(spec.window, res.Cfg.Campaign)
+		if win.Duration() <= 0 {
+			continue
+		}
+		fig := Figure{ID: spec.id, Title: spec.title, Window: win}
+		if spec.isLoss {
+			if len(lr.LossBatches) == 0 {
+				continue
+			}
+			start, step, n := loss.GridFor(win)
+			fig.Loss = loss.ToSeries(lr.LossBatches, start, step, n)
+			if fig.Loss.PresentCount() == 0 {
+				continue
+			}
+		} else {
+			near, far := lr.Collector.FullRes()
+			if near == nil || far == nil {
+				continue
+			}
+			fig.Near = near.Slice(win.Start, win.End)
+			fig.Far = far.Slice(win.Start, win.End)
+			if fig.Far.PresentCount() == 0 {
+				continue
+			}
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Render writes the figure as an ASCII plot.
+func (f Figure) Render(w io.Writer, width, height int) error {
+	if _, err := fmt.Fprintln(w, f.Title); err != nil {
+		return err
+	}
+	if f.Loss != nil {
+		return report.ASCIIPlot(w, []string{"loss %"}, []rune{'x'}, width, height, f.Loss)
+	}
+	return report.ASCIIPlot(w, []string{"far RTT", "near RTT"}, []rune{'o', '.'},
+		width, height, f.Far, f.Near)
+}
+
+// WriteCSV exports the figure's series.
+func (f Figure) WriteCSV(w io.Writer) error {
+	if f.Loss != nil {
+		return report.WriteSeriesCSV(w, []string{"loss_pct"}, f.Loss)
+	}
+	return report.WriteSeriesCSV(w, []string{"near_ms", "far_ms"}, f.Near, f.Far)
+}
+
+// WriteSVG renders the figure as a standalone SVG chart.
+func (f Figure) WriteSVG(w io.Writer, width, height int) error {
+	if f.Loss != nil {
+		return report.WriteSVG(w, f.Title, "loss (%)", width, height,
+			report.SVGSeries{Name: "far-end loss", Series: f.Loss, Scatter: true})
+	}
+	return report.WriteSVG(w, f.Title, "RTT (ms)", width, height,
+		report.SVGSeries{Name: "far RTT", Series: f.Far},
+		report.SVGSeries{Name: "near RTT", Series: f.Near},
+	)
+}
+
+// Stats summarizes the plotted series for paper-vs-measured rows.
+func (f Figure) Stats() timeseries.Stats {
+	switch {
+	case f.Loss != nil:
+		return f.Loss.Summarize()
+	case f.Far != nil:
+		return f.Far.Summarize()
+	default:
+		return timeseries.Stats{}
+	}
+}

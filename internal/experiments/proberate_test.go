@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"afrixp/internal/scenario"
+)
+
+func TestProbeRateAblation(t *testing.T) {
+	pts, err := RunProbeRateAblation(scenario.Options{Seed: 4, Scale: 0.1},
+		[]float64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At or below the paper's 100 pps the policer never engages…
+	if pts[0].ResponseRate < 0.99 || pts[1].ResponseRate < 0.99 {
+		t.Fatalf("low rates policed: %+v", pts[:2])
+	}
+	// …well above it, most probes die.
+	if pts[2].ResponseRate > 0.5 {
+		t.Fatalf("1000 pps should be heavily policed: %+v", pts[2])
+	}
+	// Response rate is monotone non-increasing in probe rate.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ResponseRate > pts[i-1].ResponseRate+0.01 {
+			t.Fatalf("response rate rose with probing rate: %+v", pts)
+		}
+	}
+}
+
+func TestProbeTargetHelper(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 4, Scale: 0.1})
+	if _, ok := probeTargetAddr(w, "VP4", "QCELL-NETPAGE"); !ok {
+		t.Fatal("helper lost the case link")
+	}
+	if _, ok := probeTargetAddr(w, "VP9", "X"); ok {
+		t.Fatal("unknown VP must miss")
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/bdrmap"
+	"afrixp/internal/ixpdir"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
+	"afrixp/internal/prober"
+	"afrixp/internal/registry"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// VantageCoverage quantifies the paper's §3/§8 observation that VP
+// placement determines what a probe can see: a VP on the IXP content
+// network discovers every member accessing the content, while a VP
+// inside one member sees that member's own neighbors. The experiment
+// plants an additional probe inside a member of the same IXP as a
+// content-network VP and compares the discovered link sets.
+type VantageCoverage struct {
+	IXP string
+	// ContentLinks / MemberLinks are the discovered link counts.
+	ContentLinks, MemberLinks int
+	// ContentNeighbors / MemberNeighbors are the AS neighbor counts.
+	ContentNeighbors, MemberNeighbors int
+	// SharedFarASes counts far ASes both vantage points discovered.
+	SharedFarASes int
+	// The two probes should see *each other's* networks: the member
+	// VP discovers the content AS (it provides the member transit to
+	// the caches), the content VP discovers the member.
+	MemberSeesContentAS, ContentSeesMemberAS bool
+}
+
+// RunVantageCoverage executes the comparison at GIXA: the real VP1
+// (content network) versus a synthetic probe hosted inside GHANATEL.
+func RunVantageCoverage(opts scenario.Options, at simclock.Time) (*VantageCoverage, error) {
+	w := scenario.Paper(opts)
+	w.AdvanceTo(at)
+	vp1, ok := w.VPByID("VP1")
+	if !ok {
+		return nil, fmt.Errorf("experiments: VP1 missing")
+	}
+
+	cfg := func(siblings []asrel.ASN) bdrmap.Config {
+		return bdrmap.Config{
+			BGP:      w.BGP,
+			Rels:     w.Graph,
+			RIR:      registry.NewIndex(w.RIRFile),
+			IXP:      ixpdir.NewIndex(w.Directory),
+			Siblings: siblings,
+		}
+	}
+
+	contentRes, err := bdrmap.Run(
+		prober.New(w.Net, vp1.Node, prober.Config{Name: "content-vp"}),
+		cfg(vp1.Siblings), at)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plant a probe inside GHANATEL: a host behind its border router,
+	// exactly how VP4–VP6 are hosted inside members.
+	ghBorder := w.Net.RoutersOf(scenario.ASGhanatel)
+	if len(ghBorder) == 0 {
+		return nil, fmt.Errorf("experiments: GHANATEL has no routers")
+	}
+	probe := w.Net.AddNode("vp.ghanatel-extra", scenario.ASGhanatel)
+	// Address the probe link from an unused corner of GHANATEL's /16.
+	ghPrefix, _, okP := w.BGP.PrefixOriginOf(wFirstAddrOf(w, ghBorder[0]))
+	if !okP {
+		return nil, fmt.Errorf("experiments: cannot locate GHANATEL prefix")
+	}
+	sub := ghPrefix.Nth(15 * 256) // x.x.15.0, inside the infra /20
+	w.Net.ConnectLink(probe, ghBorder[0], netsim.LinkSpec{
+		AddrA: sub + 1, AddrB: sub + 2,
+	})
+	w.Net.SetGateway(probe, w.Net.Iface(probe.Ifaces[0]))
+	w.Net.InvalidateRoutes()
+
+	memberRes, err := bdrmap.Run(
+		prober.New(w.Net, probe, prober.Config{Name: "member-vp"}),
+		cfg(nil), at)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &VantageCoverage{
+		IXP:              vp1.IXP,
+		ContentLinks:     len(contentRes.Links),
+		MemberLinks:      len(memberRes.Links),
+		ContentNeighbors: len(contentRes.Neighbors),
+		MemberNeighbors:  len(memberRes.Neighbors),
+	}
+	seen := make(map[asrel.ASN]bool)
+	for _, a := range contentRes.Neighbors {
+		seen[a] = true
+	}
+	for _, a := range memberRes.Neighbors {
+		if seen[a] {
+			out.SharedFarASes++
+		}
+	}
+	out.MemberSeesContentAS = memberRes.HasNeighbor(vp1.HostAS)
+	out.ContentSeesMemberAS = contentRes.HasNeighbor(scenario.ASGhanatel)
+	return out, nil
+}
+
+// wFirstAddrOf returns the first interface address of a node, used to
+// locate its AS prefix.
+func wFirstAddrOf(w *scenario.World, n *netsim.Node) netaddr.Addr {
+	return w.Net.SrcAddr(n)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"afrixp/internal/scenario"
+)
+
+func TestVantageCoverage(t *testing.T) {
+	vc, err := RunVantageCoverage(scenario.Options{Seed: 8, Scale: 0.15}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.IXP != "GIXA" {
+		t.Fatalf("IXP = %s", vc.IXP)
+	}
+	// The content-network VP sees every member accessing the content;
+	// the member-hosted VP sees GHANATEL's own neighbors (its transit
+	// and customers), a different and typically smaller set at this
+	// small IXP.
+	if vc.ContentNeighbors < 5 {
+		t.Fatalf("content VP neighbors = %d", vc.ContentNeighbors)
+	}
+	if vc.MemberNeighbors < 1 {
+		t.Fatalf("member VP neighbors = %d", vc.MemberNeighbors)
+	}
+	if vc.ContentNeighbors == vc.MemberNeighbors && vc.SharedFarASes == vc.ContentNeighbors {
+		t.Fatal("the two vantage points should not see identical worlds")
+	}
+	// The probes see each other's networks (the transit relationship
+	// between GHANATEL and the content network is visible from both
+	// sides), but their neighbor horizons differ.
+	if !vc.MemberSeesContentAS {
+		t.Fatal("member VP should discover the content AS")
+	}
+	if !vc.ContentSeesMemberAS {
+		t.Fatal("content VP should discover GHANATEL")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"afrixp/internal/scenario"
+)
+
+func TestUpgradeWhatIf(t *testing.T) {
+	pts, err := RunUpgradeWhatIf(scenario.Options{Seed: 5, Scale: 0.1},
+		[]float64{11e6, 50e6, 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// An 11 Mbps "upgrade" barely covers the 10 Mbps port's demand:
+	// peak load (~11.5 Mbps) still saturates it → congestion persists.
+	if !pts[0].CongestedAfter {
+		t.Fatalf("11 Mbps upgrade should not clear the congestion: %+v", pts[0])
+	}
+	// 50 Mbps and 1 Gbps both clear it — the operators' 1 Gbps was
+	// comfortable over-provisioning.
+	if pts[1].CongestedAfter || pts[2].CongestedAfter {
+		t.Fatalf("adequate upgrades still congested: %+v", pts[1:])
+	}
+	// Latency improves monotonically with capacity.
+	if !(pts[0].PeakP95Ms > pts[1].PeakP95Ms && pts[1].PeakP95Ms >= pts[2].PeakP95Ms-0.01) {
+		t.Fatalf("P95 not monotone: %+v", pts)
+	}
+}

@@ -1,0 +1,183 @@
+// Package geo stands in for the Netacuity Edge database and the
+// reverse-DNS hint extraction the paper uses as added checks that
+// discovered links were really established at the studied IXPs (§5.1).
+// It provides a prefix-keyed geolocation database with a line-oriented
+// interchange format, a reverse-DNS registry following operator naming
+// conventions, and a hint parser that extracts country/city codes from
+// interface names.
+package geo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"afrixp/internal/lpm"
+	"afrixp/internal/netaddr"
+)
+
+// Entry is one geolocation record.
+type Entry struct {
+	Prefix  netaddr.Prefix
+	Country string // ISO-3166 alpha-2, lower case ("gh")
+	City    string // lower case ("accra")
+}
+
+// DB is a longest-prefix-match geolocation database.
+type DB struct {
+	table *lpm.Table[Entry]
+	n     int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{table: lpm.New[Entry]()} }
+
+// Add inserts a record; later inserts of the same prefix win.
+func (db *DB) Add(e Entry) {
+	e.Country = strings.ToLower(e.Country)
+	e.City = strings.ToLower(e.City)
+	db.table.Insert(e.Prefix, e)
+	db.n++
+}
+
+// Lookup geolocates an address via its most specific covering prefix.
+func (db *DB) Lookup(addr netaddr.Addr) (Entry, bool) {
+	return db.table.Lookup(addr)
+}
+
+// Write serializes the database: one "prefix|country|city" line per
+// record, most-specific ordering not required.
+func (db *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	db.table.Walk(func(p netaddr.Prefix, e Entry) bool {
+		_, err = fmt.Fprintf(bw, "%s|%s|%s\n", p, e.Country, e.City)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Parse reads the database format.
+func Parse(r io.Reader) (*DB, error) {
+	db := NewDB()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "|")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("geo: line %d: want 3 fields, got %d", lineNo, len(f))
+		}
+		p, err := netaddr.ParsePrefix(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("geo: line %d: %v", lineNo, err)
+		}
+		db.Add(Entry{Prefix: p, Country: f[1], City: f[2]})
+	}
+	return db, sc.Err()
+}
+
+// RDNS is the reverse-DNS registry of the simulated internetwork.
+type RDNS struct {
+	names map[netaddr.Addr]string
+}
+
+// NewRDNS returns an empty registry.
+func NewRDNS() *RDNS { return &RDNS{names: make(map[netaddr.Addr]string)} }
+
+// Register binds a PTR name to an address.
+func (r *RDNS) Register(addr netaddr.Addr, name string) {
+	r.names[addr] = strings.ToLower(name)
+}
+
+// Lookup returns the PTR name for addr.
+func (r *RDNS) Lookup(addr netaddr.Addr) (string, bool) {
+	n, ok := r.names[addr]
+	return n, ok
+}
+
+// InterfaceName composes a conventional operator interface name, e.g.
+// "gi0-1.cr1.accra.gh.example.net" — the shapes the hint parser
+// understands.
+func InterfaceName(ifaceLabel, router, city, cc, domain string) string {
+	return strings.ToLower(strings.Join(
+		[]string{ifaceLabel, router, city, cc, domain}, "."))
+}
+
+// Hints are location tokens extracted from a PTR name.
+type Hints struct {
+	Country string
+	City    string
+}
+
+// knownCities maps city tokens (and common airport-style codes) used
+// by African operators to (city, country).
+var knownCities = map[string][2]string{
+	"accra":        {"accra", "gh"},
+	"acc":          {"accra", "gh"},
+	"johannesburg": {"johannesburg", "za"},
+	"jnb":          {"johannesburg", "za"},
+	"nairobi":      {"nairobi", "ke"},
+	"nbo":          {"nairobi", "ke"},
+	"daressalaam":  {"dar es salaam", "tz"},
+	"dar":          {"dar es salaam", "tz"},
+	"serekunda":    {"serekunda", "gm"},
+	"banjul":       {"banjul", "gm"},
+	"bjl":          {"banjul", "gm"},
+	"kigali":       {"kigali", "rw"},
+	"kgl":          {"kigali", "rw"},
+}
+
+// knownCountries is the set of country-code tokens recognized in
+// names (the studied sub-regions plus common transit locations).
+var knownCountries = map[string]bool{
+	"gh": true, "za": true, "ke": true, "tz": true, "gm": true, "rw": true,
+	"ng": true, "uk": true, "fr": true, "us": true, "pt": true,
+}
+
+// ParseHints extracts country/city hints from a PTR name by scanning
+// dot- and dash-separated tokens.
+func ParseHints(name string) Hints {
+	var h Hints
+	for _, tok := range strings.FieldsFunc(strings.ToLower(name), func(r rune) bool {
+		return r == '.' || r == '-' || r == '_'
+	}) {
+		if c, ok := knownCities[tok]; ok && h.City == "" {
+			h.City = c[0]
+			if h.Country == "" {
+				h.Country = c[1]
+			}
+		}
+		if knownCountries[tok] && h.Country == "" {
+			h.Country = tok
+		}
+	}
+	return h
+}
+
+// Consistent reports whether the geolocation of addr and the rDNS
+// hints agree (either source missing counts as consistent — the check
+// only fires on contradiction, as in the paper's sanity pass).
+func Consistent(db *DB, rdns *RDNS, addr netaddr.Addr) bool {
+	e, okDB := db.Lookup(addr)
+	name, okR := rdns.Lookup(addr)
+	if !okDB || !okR {
+		return true
+	}
+	h := ParseHints(name)
+	if h.Country != "" && h.Country != e.Country {
+		return false
+	}
+	if h.City != "" && e.City != "" && h.City != e.City {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afrixp/internal/netaddr"
+)
+
+func ma(s string) netaddr.Addr   { return netaddr.MustParseAddr(s) }
+func mp(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func sampleDB() *DB {
+	db := NewDB()
+	db.Add(Entry{Prefix: mp("196.49.0.0/16"), Country: "GH", City: "Accra"})
+	db.Add(Entry{Prefix: mp("196.49.128.0/17"), Country: "gh", City: "kumasi"})
+	db.Add(Entry{Prefix: mp("196.223.14.0/23"), Country: "ke", City: "nairobi"})
+	return db
+}
+
+func TestLookupMostSpecificAndCaseFolding(t *testing.T) {
+	db := sampleDB()
+	e, ok := db.Lookup(ma("196.49.1.1"))
+	if !ok || e.Country != "gh" || e.City != "accra" {
+		t.Fatalf("lookup: %+v %v", e, ok)
+	}
+	e, ok = db.Lookup(ma("196.49.200.1"))
+	if !ok || e.City != "kumasi" {
+		t.Fatalf("most specific: %+v", e)
+	}
+	if _, ok := db.Lookup(ma("8.8.8.8")); ok {
+		t.Fatal("unknown space must miss")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleDB().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.Lookup(ma("196.223.14.9"))
+	if !ok || e.Country != "ke" || e.City != "nairobi" {
+		t.Fatalf("round trip: %+v %v", e, ok)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"196.49.0.0/16|gh", "notaprefix|gh|accra"} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+	db, err := Parse(strings.NewReader("# comment\n\n"))
+	if err != nil || db == nil {
+		t.Fatal("comments/blank lines must parse")
+	}
+}
+
+func TestRDNS(t *testing.T) {
+	r := NewRDNS()
+	r.Register(ma("196.49.7.1"), "GE0-0.SW1.Accra.GH.gixa.org.gh")
+	name, ok := r.Lookup(ma("196.49.7.1"))
+	if !ok || name != "ge0-0.sw1.accra.gh.gixa.org.gh" {
+		t.Fatalf("rdns: %q %v", name, ok)
+	}
+	if _, ok := r.Lookup(ma("1.2.3.4")); ok {
+		t.Fatal("unknown addr must miss")
+	}
+}
+
+func TestInterfaceName(t *testing.T) {
+	got := InterfaceName("Gi0-1", "cr1", "Nairobi", "KE", "liquid.tel")
+	if got != "gi0-1.cr1.nairobi.ke.liquid.tel" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestParseHints(t *testing.T) {
+	cases := []struct {
+		name          string
+		country, city string
+	}{
+		{"ge0-0.sw1.accra.gh.gixa.org.gh", "gh", "accra"},
+		{"xe-1-2.cr1.jnb.liquid.net", "za", "johannesburg"},
+		{"core1-nbo.tespok.ke", "ke", "nairobi"},
+		{"router.example.com", "", ""},
+		{"po1.edge.dar.tz.tix.or.tz", "tz", "dar es salaam"},
+	}
+	for _, c := range cases {
+		h := ParseHints(c.name)
+		if h.Country != c.country || h.City != c.city {
+			t.Errorf("ParseHints(%q) = %+v, want %s/%s", c.name, h, c.country, c.city)
+		}
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	db := sampleDB()
+	r := NewRDNS()
+	r.Register(ma("196.49.7.1"), "sw1.accra.gh.gixa.org.gh")
+	r.Register(ma("196.49.7.2"), "sw2.nbo.tespok.ke") // contradicts GH geo
+	// Consistent hint.
+	if !Consistent(db, r, ma("196.49.7.1")) {
+		t.Fatal("matching hint judged inconsistent")
+	}
+	// Contradicting hint.
+	if Consistent(db, r, ma("196.49.7.2")) {
+		t.Fatal("contradicting hint judged consistent")
+	}
+	// Missing rDNS or geo entry: consistent by default.
+	if !Consistent(db, r, ma("196.49.9.9")) {
+		t.Fatal("no-rdns addr must be consistent")
+	}
+	if !Consistent(db, r, ma("8.8.8.8")) {
+		t.Fatal("no-geo addr must be consistent")
+	}
+}

@@ -1,0 +1,183 @@
+// Package interview encodes what the paper obtained by talking to the
+// IXP operators: ground-truth annotations about each link — whether it
+// was really congested, why, and what changed when. The scenario
+// attaches annotations when it authors congestion; the validation
+// engine then confronts the measurement pipeline's verdicts with them,
+// reproducing the paper's §6 cause analysis programmatically.
+package interview
+
+import (
+	"fmt"
+	"sort"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/prober"
+	"afrixp/internal/simclock"
+)
+
+// Cause labels why a link showed (or appeared to show) congestion.
+type Cause string
+
+// Causes seen in the paper.
+const (
+	// CauseTransitUnderprovisioned: a transit link too small for the
+	// demand (GIXA–GHANATEL phase 1: 100 Mbps feeding the GGC).
+	CauseTransitUnderprovisioned Cause = "transit-underprovisioned"
+	// CausePeeringDispute: capacity withheld during a payment dispute
+	// (GIXA–GHANATEL phase 2).
+	CausePeeringDispute Cause = "peering-dispute"
+	// CausePortUnderprovisioned: an IXP member port too small for
+	// content demand (QCELL–NETPAGE's 10 Mbps port).
+	CausePortUnderprovisioned Cause = "port-underprovisioned"
+	// CauseUnknownExternal: operator denies congestion; cause needs
+	// the far network's cooperation (GIXA–KNET).
+	CauseUnknownExternal Cause = "unknown-external"
+	// CauseSlowICMP: control-plane artifact, not data-plane
+	// congestion.
+	CauseSlowICMP Cause = "slow-icmp"
+	// CauseNone: clean link.
+	CauseNone Cause = "none"
+)
+
+// Phase is one episode in a link's annotated history.
+type Phase struct {
+	Interval simclock.Interval
+	Cause    Cause
+	// Note is free-text operator detail.
+	Note string
+}
+
+// Annotation is the operator ground truth for one link.
+type Annotation struct {
+	VP     string
+	Target prober.LinkTarget
+	// NearName/FarName are human labels ("GIXA", "GHANATEL").
+	NearName, FarName string
+	// CongestedTruth: whether the link's data plane was really
+	// congested at any point.
+	CongestedTruth bool
+	// Class is the ground-truth sustained/transient label.
+	Class analysis.Classification
+	// Phases carries the episode history.
+	Phases []Phase
+	// OperatorConfirmed: the operator corroborated the inference
+	// (KNET's operator did not, despite the measured pattern).
+	OperatorConfirmed bool
+}
+
+// PrimaryCause returns the first non-none phase cause.
+func (a *Annotation) PrimaryCause() Cause {
+	for _, p := range a.Phases {
+		if p.Cause != CauseNone {
+			return p.Cause
+		}
+	}
+	return CauseNone
+}
+
+// Registry stores annotations keyed by (VP, link).
+type Registry struct {
+	byKey map[string]*Annotation
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byKey: make(map[string]*Annotation)} }
+
+func key(vp string, t prober.LinkTarget) string {
+	return fmt.Sprintf("%s|%v|%v", vp, t.Near, t.Far)
+}
+
+// Add stores an annotation (replacing any previous one for the link).
+func (r *Registry) Add(a *Annotation) { r.byKey[key(a.VP, a.Target)] = a }
+
+// Find returns the annotation for a link.
+func (r *Registry) Find(vp string, t prober.LinkTarget) (*Annotation, bool) {
+	a, ok := r.byKey[key(vp, t)]
+	return a, ok
+}
+
+// All returns annotations sorted by VP then target, for reports.
+func (r *Registry) All() []*Annotation {
+	out := make([]*Annotation, 0, len(r.byKey))
+	for _, a := range r.byKey {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VP != out[j].VP {
+			return out[i].VP < out[j].VP
+		}
+		if out[i].Target.Near != out[j].Target.Near {
+			return out[i].Target.Near < out[j].Target.Near
+		}
+		return out[i].Target.Far < out[j].Target.Far
+	})
+	return out
+}
+
+// Validation scores pipeline verdicts against ground truth.
+type Validation struct {
+	// TruePositives: congested per truth and per pipeline.
+	TruePositives int
+	// FalsePositives: pipeline says congested, truth disagrees.
+	FalsePositives int
+	// FalseNegatives: truth congested, pipeline missed it.
+	FalseNegatives int
+	// TrueNegatives: both agree the link is clean.
+	TrueNegatives int
+	// ClassMatches: true positives whose sustained/transient label
+	// also matches.
+	ClassMatches int
+	// Mismatches lists human-readable disagreements.
+	Mismatches []string
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was reported.
+func (v Validation) Precision() float64 {
+	if v.TruePositives+v.FalsePositives == 0 {
+		return 1
+	}
+	return float64(v.TruePositives) / float64(v.TruePositives+v.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was congested.
+func (v Validation) Recall() float64 {
+	if v.TruePositives+v.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(v.TruePositives) / float64(v.TruePositives+v.FalseNegatives)
+}
+
+// Validate confronts verdicts with annotations. Links without an
+// annotation are treated as clean ground truth.
+func (r *Registry) Validate(vp string, verdicts []analysis.Verdict) Validation {
+	var val Validation
+	for _, v := range verdicts {
+		ann, ok := r.Find(vp, v.Target)
+		truth := ok && ann.CongestedTruth
+		switch {
+		case truth && v.Congested:
+			val.TruePositives++
+			if ann.Class == v.Class {
+				val.ClassMatches++
+			} else {
+				val.Mismatches = append(val.Mismatches, fmt.Sprintf(
+					"%s %v: class %v, operator says %v", vp, v.Target, v.Class, ann.Class))
+			}
+		case truth && !v.Congested:
+			val.FalseNegatives++
+			val.Mismatches = append(val.Mismatches, fmt.Sprintf(
+				"%s %v: missed congestion (%s)", vp, v.Target, ann.PrimaryCause()))
+		case !truth && v.Congested:
+			val.FalsePositives++
+			cause := CauseNone
+			if ok {
+				cause = ann.PrimaryCause()
+			}
+			val.Mismatches = append(val.Mismatches, fmt.Sprintf(
+				"%s %v: spurious congestion (truth: %s)", vp, v.Target, cause))
+		default:
+			val.TrueNegatives++
+		}
+	}
+	return val
+}

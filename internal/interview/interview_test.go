@@ -1,0 +1,129 @@
+package interview
+
+import (
+	"strings"
+	"testing"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/prober"
+)
+
+func lt(near, far string) prober.LinkTarget {
+	return prober.LinkTarget{
+		Near: netaddr.MustParseAddr(near),
+		Far:  netaddr.MustParseAddr(far),
+	}
+}
+
+func TestRegistryAddFind(t *testing.T) {
+	r := NewRegistry()
+	a := &Annotation{VP: "VP1", Target: lt("10.0.0.1", "10.0.0.2"),
+		FarName: "GHANATEL", CongestedTruth: true}
+	r.Add(a)
+	got, ok := r.Find("VP1", a.Target)
+	if !ok || got.FarName != "GHANATEL" {
+		t.Fatal("Find failed")
+	}
+	if _, ok := r.Find("VP2", a.Target); ok {
+		t.Fatal("wrong VP must miss")
+	}
+	// Replacement.
+	r.Add(&Annotation{VP: "VP1", Target: a.Target, FarName: "X"})
+	if got, _ := r.Find("VP1", a.Target); got.FarName != "X" {
+		t.Fatal("Add must replace")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Add(&Annotation{VP: "VP2", Target: lt("10.0.0.1", "10.0.0.2")})
+	r.Add(&Annotation{VP: "VP1", Target: lt("10.0.0.9", "10.0.0.2")})
+	r.Add(&Annotation{VP: "VP1", Target: lt("10.0.0.1", "10.0.0.2")})
+	all := r.All()
+	if len(all) != 3 || all[0].VP != "VP1" || all[2].VP != "VP2" {
+		t.Fatalf("order: %+v", all)
+	}
+	if all[0].Target.Near != netaddr.MustParseAddr("10.0.0.1") {
+		t.Fatal("within-VP order wrong")
+	}
+}
+
+func TestPrimaryCause(t *testing.T) {
+	a := &Annotation{Phases: []Phase{
+		{Cause: CauseNone},
+		{Cause: CauseTransitUnderprovisioned},
+		{Cause: CausePeeringDispute},
+	}}
+	if a.PrimaryCause() != CauseTransitUnderprovisioned {
+		t.Fatal("PrimaryCause wrong")
+	}
+	if (&Annotation{}).PrimaryCause() != CauseNone {
+		t.Fatal("empty annotation cause wrong")
+	}
+}
+
+func TestValidateAllQuadrants(t *testing.T) {
+	r := NewRegistry()
+	tgtTP := lt("1.0.0.1", "1.0.0.2")
+	tgtFN := lt("2.0.0.1", "2.0.0.2")
+	tgtFP := lt("3.0.0.1", "3.0.0.2")
+	tgtTN := lt("4.0.0.1", "4.0.0.2")
+	r.Add(&Annotation{VP: "VP1", Target: tgtTP, CongestedTruth: true,
+		Class:  analysis.Sustained,
+		Phases: []Phase{{Cause: CausePortUnderprovisioned}}})
+	r.Add(&Annotation{VP: "VP1", Target: tgtFN, CongestedTruth: true,
+		Phases: []Phase{{Cause: CauseTransitUnderprovisioned}}})
+	r.Add(&Annotation{VP: "VP1", Target: tgtFP, CongestedTruth: false,
+		Phases: []Phase{{Cause: CauseSlowICMP}}})
+
+	verdicts := []analysis.Verdict{
+		{Target: tgtTP, Congested: true, Class: analysis.Sustained},
+		{Target: tgtFN, Congested: false},
+		{Target: tgtFP, Congested: true, Class: analysis.Transient},
+		{Target: tgtTN, Congested: false},
+	}
+	val := r.Validate("VP1", verdicts)
+	if val.TruePositives != 1 || val.FalseNegatives != 1 ||
+		val.FalsePositives != 1 || val.TrueNegatives != 1 {
+		t.Fatalf("quadrants: %+v", val)
+	}
+	if val.ClassMatches != 1 {
+		t.Fatalf("class matches = %d", val.ClassMatches)
+	}
+	if val.Precision() != 0.5 || val.Recall() != 0.5 {
+		t.Fatalf("precision %v recall %v", val.Precision(), val.Recall())
+	}
+	if len(val.Mismatches) != 2 {
+		t.Fatalf("mismatches: %v", val.Mismatches)
+	}
+	joined := strings.Join(val.Mismatches, "\n")
+	if !strings.Contains(joined, "missed congestion") ||
+		!strings.Contains(joined, "spurious congestion") {
+		t.Fatalf("mismatch text: %s", joined)
+	}
+}
+
+func TestValidateClassMismatchNoted(t *testing.T) {
+	r := NewRegistry()
+	tgt := lt("1.0.0.1", "1.0.0.2")
+	r.Add(&Annotation{VP: "VP4", Target: tgt, CongestedTruth: true,
+		Class: analysis.Transient})
+	val := r.Validate("VP4", []analysis.Verdict{
+		{Target: tgt, Congested: true, Class: analysis.Sustained},
+	})
+	if val.TruePositives != 1 || val.ClassMatches != 0 {
+		t.Fatalf("%+v", val)
+	}
+	if len(val.Mismatches) != 1 || !strings.Contains(val.Mismatches[0], "class") {
+		t.Fatalf("mismatch: %v", val.Mismatches)
+	}
+}
+
+func TestValidatePerfectScores(t *testing.T) {
+	r := NewRegistry()
+	val := r.Validate("VP1", []analysis.Verdict{{Target: lt("1.1.1.1", "2.2.2.2")}})
+	if val.Precision() != 1 || val.Recall() != 1 || val.TrueNegatives != 1 {
+		t.Fatalf("%+v", val)
+	}
+}

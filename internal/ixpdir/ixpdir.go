@@ -1,0 +1,199 @@
+// Package ixpdir models the public IXP directories the paper's
+// pipeline consumes: a PeeringDB/PCH-style list of IXPs with their
+// peering (and management) prefixes, plus the PCH-style IP→ASN port
+// mapping published at prefix.pch.net. bdrmap uses the prefix list to
+// recognize interdomain links established across an IXP fabric, and
+// the analysis (§5.1) uses it to classify discovered links as "at the
+// IXP".
+package ixpdir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/lpm"
+	"afrixp/internal/netaddr"
+)
+
+// IXP is one exchange point record.
+type IXP struct {
+	Name     string // short name, e.g. "GIXA"
+	Country  string // ISO code, e.g. "GH"
+	Region   string // African sub-region, e.g. "West Africa"
+	Launched int    // year
+	// PeeringLAN is the shared switch-fabric prefix members address
+	// their ports from.
+	PeeringLAN netaddr.Prefix
+	// Management is the IXP's management/content-network prefix (may
+	// be zero). GIXA's separated content network (§6.2.1) lives here.
+	Management netaddr.Prefix
+}
+
+// Directory is the full dataset.
+type Directory struct {
+	IXPs []IXP
+	// PortAssignments is the PCH-style ip→asn mapping of member ports.
+	PortAssignments []PortAssignment
+}
+
+// PortAssignment maps one fabric address to the member AS using it.
+type PortAssignment struct {
+	IXPName string
+	Addr    netaddr.Addr
+	ASN     asrel.ASN
+}
+
+// Write serializes the directory in a line-oriented format:
+//
+//	ixp|GIXA|GH|West Africa|2005|196.49.7.0/24|196.49.8.0/24
+//	port|GIXA|196.49.7.10|29614
+func Write(w io.Writer, d *Directory) error {
+	bw := bufio.NewWriter(w)
+	for _, x := range d.IXPs {
+		mgmt := ""
+		if x.Management.Bits != 0 || !x.Management.Addr.IsZero() {
+			mgmt = x.Management.String()
+		}
+		fmt.Fprintf(bw, "ixp|%s|%s|%s|%d|%s|%s\n",
+			x.Name, x.Country, x.Region, x.Launched, x.PeeringLAN, mgmt)
+	}
+	for _, p := range d.PortAssignments {
+		fmt.Fprintf(bw, "port|%s|%s|%d\n", p.IXPName, p.Addr, uint32(p.ASN))
+	}
+	return bw.Flush()
+}
+
+// Parse reads the directory format back.
+func Parse(r io.Reader) (*Directory, error) {
+	sc := bufio.NewScanner(r)
+	d := &Directory{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "|")
+		switch f[0] {
+		case "ixp":
+			if len(f) != 7 {
+				return nil, fmt.Errorf("ixpdir: line %d: want 7 fields, got %d", lineNo, len(f))
+			}
+			year, err := strconv.Atoi(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("ixpdir: line %d: bad year %q", lineNo, f[4])
+			}
+			lan, err := netaddr.ParsePrefix(f[5])
+			if err != nil {
+				return nil, fmt.Errorf("ixpdir: line %d: %v", lineNo, err)
+			}
+			x := IXP{Name: f[1], Country: f[2], Region: f[3], Launched: year, PeeringLAN: lan}
+			if f[6] != "" {
+				mgmt, err := netaddr.ParsePrefix(f[6])
+				if err != nil {
+					return nil, fmt.Errorf("ixpdir: line %d: %v", lineNo, err)
+				}
+				x.Management = mgmt
+			}
+			d.IXPs = append(d.IXPs, x)
+		case "port":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("ixpdir: line %d: want 4 fields, got %d", lineNo, len(f))
+			}
+			addr, err := netaddr.ParseAddr(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("ixpdir: line %d: %v", lineNo, err)
+			}
+			asn, err := strconv.ParseUint(f[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("ixpdir: line %d: bad asn %q", lineNo, f[3])
+			}
+			d.PortAssignments = append(d.PortAssignments,
+				PortAssignment{IXPName: f[1], Addr: addr, ASN: asrel.ASN(asn)})
+		default:
+			return nil, fmt.Errorf("ixpdir: line %d: unknown record %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Index provides the lookups the measurement pipeline needs.
+type Index struct {
+	byPrefix *lpm.Table[*IXP]
+	byName   map[string]*IXP
+	ports    map[netaddr.Addr]PortAssignment
+}
+
+// NewIndex builds lookup structures over the directory. Both peering
+// and management prefixes map to their IXP.
+func NewIndex(d *Directory) *Index {
+	ix := &Index{
+		byPrefix: lpm.New[*IXP](),
+		byName:   make(map[string]*IXP),
+		ports:    make(map[netaddr.Addr]PortAssignment),
+	}
+	for i := range d.IXPs {
+		x := &d.IXPs[i]
+		ix.byPrefix.Insert(x.PeeringLAN, x)
+		if x.Management.Bits != 0 {
+			ix.byPrefix.Insert(x.Management, x)
+		}
+		ix.byName[x.Name] = x
+	}
+	for _, p := range d.PortAssignments {
+		ix.ports[p.Addr] = p
+	}
+	return ix
+}
+
+// IXPForAddr returns the IXP whose peering or management prefix covers
+// addr — the §5.1 test for "link established at the IXP".
+func (ix *Index) IXPForAddr(addr netaddr.Addr) (*IXP, bool) {
+	return ix.byPrefix.Lookup(addr)
+}
+
+// OnPeeringLAN reports whether addr is on some IXP's peering fabric
+// (management prefixes do not count).
+func (ix *Index) OnPeeringLAN(addr netaddr.Addr) bool {
+	x, ok := ix.byPrefix.Lookup(addr)
+	return ok && x.PeeringLAN.Contains(addr)
+}
+
+// ByName returns the IXP record with the given short name.
+func (ix *Index) ByName(name string) (*IXP, bool) {
+	x, ok := ix.byName[name]
+	return x, ok
+}
+
+// PortOwner returns the member AS assigned a fabric address, per the
+// PCH-style mapping.
+func (ix *Index) PortOwner(addr netaddr.Addr) (asrel.ASN, bool) {
+	p, ok := ix.ports[addr]
+	return p.ASN, ok
+}
+
+// Members returns the distinct member ASNs with ports at the named
+// IXP, sorted.
+func (ix *Index) Members(name string) []asrel.ASN {
+	seen := make(map[asrel.ASN]bool)
+	for _, p := range ix.ports {
+		if p.IXPName == name {
+			seen[p.ASN] = true
+		}
+	}
+	out := make([]asrel.ASN, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

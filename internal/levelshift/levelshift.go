@@ -1,0 +1,305 @@
+// Package levelshift turns a TSLP RTT series into congestion-style
+// level-shift events, following §5.2 of the paper: 5-minute latency
+// samples are minimum-filtered, the rank-based CUSUM detector finds
+// level changes, shifts shorter than 30 minutes or smaller than the
+// magnitude threshold (10 ms by default, with 5/15/20 ms used in the
+// sensitivity analysis of Table 1) are discarded, and the surviving
+// upshift/downshift pairs become events whose average magnitude A_w
+// and average duration Δt_UD characterize the congestion waveform.
+package levelshift
+
+import (
+	"time"
+
+	"afrixp/internal/cusum"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// ThresholdMs is the minimum elevation above baseline (in ms) for
+	// a segment to count as shifted. The paper defaults to 10 ms.
+	ThresholdMs float64
+	// MinDuration is the minimum event length; the paper uses 30 min.
+	MinDuration simclock.Duration
+	// AggregateTo pre-aggregates the series with a minimum filter to
+	// this bin width before detection (noise suppression). Zero keeps
+	// the native resolution.
+	AggregateTo simclock.Duration
+	// Cusum configures the underlying change-point detector.
+	Cusum cusum.Config
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		ThresholdMs: 10,
+		MinDuration: 30 * time.Minute,
+		AggregateTo: 30 * time.Minute,
+		Cusum:       cusum.Config{Bootstraps: 60, Confidence: 0.95, MinSegment: 2},
+	}
+}
+
+// Event is one congestion episode: the span between an upshift away
+// from baseline and the downshift back.
+type Event struct {
+	Start, End simclock.Time
+	// Magnitude is the mean elevation above baseline, in the series'
+	// units (ms).
+	Magnitude float64
+	// OpenEnded marks an event still elevated when the series ends
+	// (sustained congestion, like GIXA–KNET through the end of the
+	// campaign).
+	OpenEnded bool
+}
+
+// Duration returns the event length (Δt between upshift and downshift).
+func (e Event) Duration() simclock.Duration { return e.End.Sub(e.Start) }
+
+// Result is the analysis output.
+type Result struct {
+	// Shifts are the raw accepted change points (indices refer to the
+	// analyzed — possibly aggregated — series).
+	Shifts []cusum.ChangePoint
+	// Events are the baseline-exceeding episodes.
+	Events []Event
+	// Baseline is the inferred uncongested level (ms).
+	Baseline float64
+	// Series is the series the detector actually ran on.
+	Series *timeseries.Series
+}
+
+// Flagged reports whether the link would be labeled potentially
+// congested at the configured threshold: at least one event.
+func (r Result) Flagged() bool { return len(r.Events) > 0 }
+
+// AW returns the average event magnitude (mean elevation above
+// baseline per event), or 0 when no events exist.
+func (r Result) AW() float64 {
+	if len(r.Events) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range r.Events {
+		sum += e.Magnitude
+	}
+	return sum / float64(len(r.Events))
+}
+
+// ShiftAW returns the average magnitude of the accepted level shifts
+// themselves — the paper's A_w ("the average magnitude between
+// consecutive upshift and downshift"). For a clean plateau both
+// definitions agree; for ramped waveforms the CUSUM steps climb in
+// stages and ShiftAW sits below the plateau height.
+func (r Result) ShiftAW() float64 {
+	if len(r.Shifts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, cp := range r.Shifts {
+		m := cp.Magnitude()
+		if m < 0 {
+			m = -m
+		}
+		sum += m
+	}
+	return sum / float64(len(r.Shifts))
+}
+
+// MeanDuration returns the average time between consecutive upshift
+// and downshift (the paper's Δt_UD). Open-ended events are excluded.
+func (r Result) MeanDuration() simclock.Duration {
+	var sum simclock.Duration
+	n := 0
+	for _, e := range r.Events {
+		if e.OpenEnded {
+			continue
+		}
+		sum += e.Duration()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / simclock.Duration(n)
+}
+
+// Analyze runs the full §5.2 pipeline on a series.
+//
+// Detection is windowed: the CUSUM chart of a year-long periodic
+// signal is not significant against bootstrap shuffles (the shuffled
+// random walk out-ranges the periodic one), so — as TSLP analyses do
+// in practice — the detector segments one-day windows independently
+// and elevation runs are merged across window boundaries. The
+// baseline is the global 10th percentile of the (min-filtered)
+// series, i.e. the uncongested floor.
+func Analyze(s *timeseries.Series, cfg Config) Result {
+	work := s
+	if cfg.AggregateTo > 0 && cfg.AggregateTo > s.Step {
+		factor := int(cfg.AggregateTo / s.Step)
+		work = s.Aggregate(factor, timeseries.Min)
+	}
+	// The CUSUM detector cannot carry NaNs; compact the present
+	// samples and keep the index mapping back to grid slots.
+	vals := make([]float64, 0, work.Len())
+	slots := make([]int, 0, work.Len())
+	for i, v := range work.Values {
+		if !timeseries.IsMissing(v) {
+			vals = append(vals, v)
+			slots = append(slots, i)
+		}
+	}
+	res := Result{Series: work}
+	if len(vals) < 4 {
+		return res
+	}
+	base := timeseries.Quantile(vals, 0.10)
+	res.Baseline = base
+
+	winSamples := 48
+	if work.Step > 0 {
+		if n := int(24 * time.Hour / work.Step); n >= 8 {
+			winSamples = n
+		}
+	}
+	ccfg := cfg.Cusum
+	ccfg.MinMagnitude = cfg.ThresholdMs / 2 // sub-noise wiggles die here
+
+	// elevation[i] > 0 marks compacted sample i as part of a shifted
+	// segment, carrying the segment's elevation above baseline.
+	elevation := make([]float64, len(vals))
+	for lo := 0; lo < len(vals); lo += winSamples {
+		hi := lo + winSamples
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		win := vals[lo:hi]
+		wcfg := ccfg
+		wcfg.Seed = ccfg.Seed + int64(lo)
+		cps := cusum.Detect(win, wcfg)
+		res.Shifts = append(res.Shifts, offsetShifts(cps, lo)...)
+		bounds := []int{0}
+		for _, cp := range cps {
+			bounds = append(bounds, cp.Index)
+		}
+		bounds = append(bounds, len(win))
+		for k := 0; k+1 < len(bounds); k++ {
+			a, b := bounds[k], bounds[k+1]
+			if b <= a {
+				continue
+			}
+			level := timeseries.Median(win[a:b])
+			if level-base >= cfg.ThresholdMs {
+				for i := lo + a; i < lo+b; i++ {
+					elevation[i] = level - base
+				}
+			}
+		}
+	}
+
+	// Direct run detection complements the windowed CUSUM: a clear,
+	// sustained excursion above the threshold that occupies a small
+	// fraction of its window can fail the bootstrap significance test
+	// even though it is a textbook level shift (GIXA–KNET's ~2-hour
+	// daily events are 4–5 bins of a 48-bin day). Runs of at least two
+	// consecutive samples elevated ≥ threshold are level shifts by
+	// construction — the series is already minimum-filtered, so noise
+	// spikes cannot form such runs.
+	for i := 0; i < len(vals); {
+		if vals[i]-base < cfg.ThresholdMs {
+			i++
+			continue
+		}
+		j := i
+		for j < len(vals) && vals[j]-base >= cfg.ThresholdMs {
+			j++
+		}
+		if j-i >= 2 {
+			for k := i; k < j; k++ {
+				if e := vals[k] - base; e > elevation[k] {
+					elevation[k] = e
+				}
+			}
+		}
+		i = j
+	}
+
+	// Events: maximal elevated runs over the compacted samples.
+	var events []Event
+	i := 0
+	for i < len(elevation) {
+		if elevation[i] <= 0 {
+			i++
+			continue
+		}
+		j := i
+		var sum float64
+		for j < len(elevation) && elevation[j] > 0 {
+			sum += elevation[j]
+			j++
+		}
+		events = append(events, Event{
+			Start:     work.TimeAt(slots[i]),
+			End:       work.TimeAt(slots[j-1] + 1),
+			Magnitude: sum / float64(j-i),
+			OpenEnded: j == len(elevation),
+		})
+		i = j
+	}
+	res.Events = filterShort(events, cfg.MinDuration)
+	return res
+}
+
+// offsetShifts rebases change-point indices from window space into the
+// compacted series.
+func offsetShifts(cps []cusum.ChangePoint, off int) []cusum.ChangePoint {
+	out := make([]cusum.ChangePoint, len(cps))
+	for i, cp := range cps {
+		cp.Index += off
+		out[i] = cp
+	}
+	return out
+}
+
+// filterShort drops events shorter than minDur (open-ended events are
+// kept regardless — their true end is unknown).
+func filterShort(events []Event, minDur simclock.Duration) []Event {
+	if minDur <= 0 {
+		return events
+	}
+	out := events[:0]
+	for _, e := range events {
+		if e.OpenEnded || e.Duration() >= minDur {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Sanitize merges events separated by gaps shorter than maxGap (the
+// detector often splinters one congestion episode when RTTs graze the
+// threshold) and then re-drops events shorter than minDur. The paper
+// sanitizes level shifts before computing Δt_UD for GIXA–KNET.
+func Sanitize(events []Event, maxGap, minDur simclock.Duration) []Event {
+	if len(events) == 0 {
+		return events
+	}
+	merged := []Event{events[0]}
+	for _, e := range events[1:] {
+		last := &merged[len(merged)-1]
+		if e.Start.Sub(last.End) <= maxGap {
+			// Weighted merge of magnitudes by duration.
+			d1 := float64(last.Duration())
+			d2 := float64(e.Duration())
+			if d1+d2 > 0 {
+				last.Magnitude = (last.Magnitude*d1 + e.Magnitude*d2) / (d1 + d2)
+			}
+			last.End = e.End
+			last.OpenEnded = e.OpenEnded
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	return filterShort(merged, minDur)
+}

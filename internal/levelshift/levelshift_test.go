@@ -1,0 +1,209 @@
+package levelshift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// diurnalSeries builds `days` days of 5-minute RTT samples: baseline
+// RTT with a plateau of +magnitude ms between startHour and endHour
+// every day, plus Gaussian noise.
+func diurnalSeries(days int, baseline, magnitude float64, startHour, endHour int, noise float64, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := timeseries.NewRegular(0, 5*time.Minute, days*288)
+	for i := 0; i < s.Len(); i++ {
+		h := s.TimeAt(i).HourOfDay()
+		v := baseline
+		if h >= float64(startHour) && h < float64(endHour) {
+			v += magnitude
+		}
+		s.Set(i, v+math.Abs(noise*rng.NormFloat64()))
+	}
+	return s
+}
+
+func TestFlatSeriesNotFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := timeseries.NewRegular(0, 5*time.Minute, 7*288)
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, 2+math.Abs(0.5*rng.NormFloat64()))
+	}
+	res := Analyze(s, DefaultConfig())
+	if res.Flagged() {
+		t.Fatalf("flat series flagged: %+v", res.Events)
+	}
+}
+
+func TestDiurnalCongestionDetected(t *testing.T) {
+	// 10 days, 28 ms plateau from 09:00 to 17:00 — the GIXA–GHANATEL
+	// shape. Expect ~10 events of ~8h duration and ~28 ms magnitude.
+	s := diurnalSeries(10, 2, 28, 9, 17, 0.5, 2)
+	res := Analyze(s, DefaultConfig())
+	if !res.Flagged() {
+		t.Fatal("congested series not flagged")
+	}
+	if n := len(res.Events); n < 8 || n > 12 {
+		t.Fatalf("events = %d, want ~10", n)
+	}
+	aw := res.AW()
+	if aw < 24 || aw > 32 {
+		t.Fatalf("A_w = %v, want ~28", aw)
+	}
+	d := res.MeanDuration()
+	if d < 6*time.Hour || d > 10*time.Hour {
+		t.Fatalf("Δt_UD = %v, want ~8h", d)
+	}
+	if res.Baseline > 4 {
+		t.Fatalf("baseline = %v, want ~2", res.Baseline)
+	}
+}
+
+func TestThresholdSensitivity(t *testing.T) {
+	// A 12 ms plateau: flagged at 5 and 10 ms, not at 15 or 20 ms —
+	// the Table 1 mechanism.
+	s := diurnalSeries(10, 2, 12, 10, 16, 0.4, 3)
+	for _, tc := range []struct {
+		threshold float64
+		flagged   bool
+	}{{5, true}, {10, true}, {15, false}, {20, false}} {
+		cfg := DefaultConfig()
+		cfg.ThresholdMs = tc.threshold
+		res := Analyze(s, cfg)
+		if res.Flagged() != tc.flagged {
+			t.Errorf("threshold %v ms: flagged=%v, want %v (A_w %v)",
+				tc.threshold, res.Flagged(), tc.flagged, res.AW())
+		}
+	}
+}
+
+func TestShortBlipsFiltered(t *testing.T) {
+	// 15-minute spikes must not be flagged at MinDuration 30 min.
+	rng := rand.New(rand.NewSource(4))
+	s := timeseries.NewRegular(0, 5*time.Minute, 5*288)
+	for i := 0; i < s.Len(); i++ {
+		v := 2 + math.Abs(0.3*rng.NormFloat64())
+		if i%288 < 3 { // 15 minutes once a day
+			v += 40
+		}
+		s.Set(i, v)
+	}
+	cfg := DefaultConfig()
+	res := Analyze(s, cfg)
+	if res.Flagged() {
+		t.Fatalf("15-minute blips flagged as congestion: %+v", res.Events)
+	}
+}
+
+func TestOpenEndedSustainedCongestion(t *testing.T) {
+	// RTT elevates halfway through and never recovers (GHANATEL phase
+	// transition): one open-ended event.
+	rng := rand.New(rand.NewSource(5))
+	s := timeseries.NewRegular(0, 5*time.Minute, 6*288)
+	for i := 0; i < s.Len(); i++ {
+		v := 2.0
+		if i >= s.Len()/2 {
+			v = 30
+		}
+		s.Set(i, v+math.Abs(0.4*rng.NormFloat64()))
+	}
+	res := Analyze(s, DefaultConfig())
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(res.Events))
+	}
+	if !res.Events[0].OpenEnded {
+		t.Fatal("sustained elevation must be open-ended")
+	}
+	if res.MeanDuration() != 0 {
+		t.Fatal("open-ended events are excluded from Δt_UD")
+	}
+}
+
+func TestMissingSamplesTolerated(t *testing.T) {
+	// 20% random loss must not break detection.
+	s := diurnalSeries(10, 2, 25, 9, 17, 0.5, 6)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < s.Len(); i++ {
+		if rng.Float64() < 0.2 {
+			s.Set(i, timeseries.Missing)
+		}
+	}
+	res := Analyze(s, DefaultConfig())
+	if !res.Flagged() {
+		t.Fatal("lossy congested series not flagged")
+	}
+	if aw := res.AW(); aw < 20 || aw > 30 {
+		t.Fatalf("A_w = %v", aw)
+	}
+}
+
+func TestEmptyAndTinySeries(t *testing.T) {
+	if Analyze(timeseries.NewRegular(0, time.Minute, 0), DefaultConfig()).Flagged() {
+		t.Fatal("empty series flagged")
+	}
+	s := timeseries.NewRegular(0, 5*time.Minute, 3)
+	s.Set(0, 1)
+	if Analyze(s, DefaultConfig()).Flagged() {
+		t.Fatal("tiny series flagged")
+	}
+}
+
+func TestSanitizeMergesSplinteredEvents(t *testing.T) {
+	h := func(hrs int) simclock.Time { return simclock.Time(time.Duration(hrs) * time.Hour) }
+	events := []Event{
+		{Start: h(0), End: h(2), Magnitude: 18},
+		{Start: h(2) + simclock.Time(20*time.Minute), End: h(4), Magnitude: 16},
+		{Start: h(10), End: h(12), Magnitude: 20},
+	}
+	out := Sanitize(events, 30*time.Minute, 30*time.Minute)
+	if len(out) != 2 {
+		t.Fatalf("sanitized to %d events, want 2", len(out))
+	}
+	if out[0].End != h(4) {
+		t.Fatalf("merged event end = %v", out[0].End)
+	}
+	if out[0].Magnitude < 16 || out[0].Magnitude > 18 {
+		t.Fatalf("merged magnitude = %v", out[0].Magnitude)
+	}
+	if out[1].Start != h(10) {
+		t.Fatal("distant event must stay separate")
+	}
+}
+
+func TestSanitizeDropsShortAfterMerge(t *testing.T) {
+	h := func(m int) simclock.Time { return simclock.Time(time.Duration(m) * time.Minute) }
+	events := []Event{{Start: h(0), End: h(10), Magnitude: 15}}
+	if got := Sanitize(events, time.Minute, 30*time.Minute); len(got) != 0 {
+		t.Fatalf("short event survived sanitize: %+v", got)
+	}
+	if got := Sanitize(nil, time.Minute, time.Minute); len(got) != 0 {
+		t.Fatal("nil events must stay empty")
+	}
+}
+
+func TestAWAndDurationEmpty(t *testing.T) {
+	var r Result
+	if r.AW() != 0 || r.MeanDuration() != 0 {
+		t.Fatal("empty result metrics must be zero")
+	}
+}
+
+func TestAggregationRespectsStep(t *testing.T) {
+	s := diurnalSeries(5, 2, 25, 9, 17, 0.5, 8)
+	cfg := DefaultConfig()
+	cfg.AggregateTo = 30 * time.Minute
+	res := Analyze(s, cfg)
+	if res.Series.Step != 30*time.Minute {
+		t.Fatalf("analyzed step = %v", res.Series.Step)
+	}
+	// Aggregation to a width below the native step keeps the series.
+	cfg.AggregateTo = time.Minute
+	res = Analyze(s, cfg)
+	if res.Series.Step != 5*time.Minute {
+		t.Fatal("sub-native aggregation must be a no-op")
+	}
+}

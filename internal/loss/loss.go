@@ -1,0 +1,131 @@
+// Package loss aggregates the 1-packet-per-second loss-rate probes the
+// paper ran against repeatedly congested links (§4): the loss rate is
+// computed over every batch of 100 probes, giving one loss percentage
+// per ~100 seconds, which figures 2b and 3b plot over time.
+package loss
+
+import (
+	"fmt"
+	"time"
+
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// BatchSize is the paper's batch: 100 probes.
+const BatchSize = 100
+
+// Batch is one loss-rate measurement.
+type Batch struct {
+	// Start is when the first probe of the batch was sent.
+	Start simclock.Time
+	// Sent and Lost count probes in the batch.
+	Sent, Lost int
+}
+
+// Rate returns the batch loss rate in percent.
+func (b Batch) Rate() float64 {
+	if b.Sent == 0 {
+		return 0
+	}
+	return 100 * float64(b.Lost) / float64(b.Sent)
+}
+
+// Collector accumulates per-probe outcomes into batches.
+type Collector struct {
+	batches []Batch
+	cur     Batch
+	open    bool
+}
+
+// Record adds one probe outcome at time t.
+func (c *Collector) Record(t simclock.Time, lost bool) {
+	if !c.open {
+		c.cur = Batch{Start: t}
+		c.open = true
+	}
+	c.cur.Sent++
+	if lost {
+		c.cur.Lost++
+	}
+	if c.cur.Sent >= BatchSize {
+		c.batches = append(c.batches, c.cur)
+		c.open = false
+	}
+}
+
+// Batches returns all completed batches. A partial trailing batch is
+// included only if it holds at least half a batch of probes.
+func (c *Collector) Batches() []Batch {
+	out := c.batches
+	if c.open && c.cur.Sent >= BatchSize/2 {
+		out = append(append([]Batch(nil), out...), c.cur)
+	}
+	return out
+}
+
+// Summary aggregates a batch sequence.
+type Summary struct {
+	Batches  int
+	MeanRate float64 // percent, probe-weighted
+	MaxRate  float64
+	MinRate  float64
+	// FracLossy is the fraction of batches with any loss.
+	FracLossy float64
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d batches, mean %.2f%%, min %.1f%%, max %.1f%%, %.0f%% lossy",
+		s.Batches, s.MeanRate, s.MinRate, s.MaxRate, 100*s.FracLossy)
+}
+
+// Summarize computes the Summary of a batch sequence.
+func Summarize(batches []Batch) Summary {
+	var s Summary
+	s.Batches = len(batches)
+	if len(batches) == 0 {
+		return s
+	}
+	var sent, lost, lossy int
+	s.MinRate = batches[0].Rate()
+	for _, b := range batches {
+		sent += b.Sent
+		lost += b.Lost
+		if r := b.Rate(); r > s.MaxRate {
+			s.MaxRate = r
+		} else if r < s.MinRate {
+			s.MinRate = r
+		}
+		if b.Lost > 0 {
+			lossy++
+		}
+	}
+	if sent > 0 {
+		s.MeanRate = 100 * float64(lost) / float64(sent)
+	}
+	s.FracLossy = float64(lossy) / float64(len(batches))
+	return s
+}
+
+// ToSeries grids batch rates onto a regular series for plotting and
+// diurnal analysis (figures 2b and 3b). step should be at least the
+// batch duration (~100 s at 1 pps).
+func ToSeries(batches []Batch, start simclock.Time, step simclock.Duration, n int) *timeseries.Series {
+	s := timeseries.NewRegular(start, step, n)
+	for _, b := range batches {
+		if i := s.Index(b.Start); i >= 0 {
+			if timeseries.IsMissing(s.Values[i]) || b.Rate() > s.Values[i] {
+				s.Values[i] = b.Rate()
+			}
+		}
+	}
+	return s
+}
+
+// GridFor returns (start, step, n) covering an interval with ~batch
+// resolution, for use with ToSeries.
+func GridFor(iv simclock.Interval) (simclock.Time, simclock.Duration, int) {
+	step := 10 * time.Minute
+	return iv.Start, step, iv.NumSteps(step)
+}

@@ -1,0 +1,159 @@
+// Package lpm implements a longest-prefix-match binary trie over IPv4
+// prefixes. Every simulated router's FIB is a Table, and the bdrmap
+// pipeline uses one to map addresses to origin ASes; lookups are the
+// single hottest operation in a campaign, so the trie is a flat slice
+// of nodes indexed by int32 rather than pointer-chased heap nodes.
+package lpm
+
+import (
+	"fmt"
+	"sort"
+
+	"afrixp/internal/netaddr"
+)
+
+const nilNode = int32(-1)
+
+type node struct {
+	child [2]int32
+	// value index into Table.values, or -1 when no route terminates here.
+	value int32
+}
+
+// Table is a longest-prefix-match table mapping prefixes to arbitrary
+// values. The zero value is not usable; call New.
+type Table[V any] struct {
+	nodes  []node
+	values []V
+	// prefixes mirrors values for enumeration.
+	prefixes []netaddr.Prefix
+	size     int
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	t := &Table[V]{}
+	t.nodes = append(t.nodes, node{child: [2]int32{nilNode, nilNode}, value: nilNode})
+	return t
+}
+
+// Len returns the number of distinct prefixes in the table.
+func (t *Table[V]) Len() int { return t.size }
+
+// Insert adds or replaces the value for p.
+func (t *Table[V]) Insert(p netaddr.Prefix, v V) {
+	cur := int32(0)
+	for depth := 0; depth < p.Bits; depth++ {
+		bit := (uint32(p.Addr) >> (31 - uint(depth))) & 1
+		next := t.nodes[cur].child[bit]
+		if next == nilNode {
+			t.nodes = append(t.nodes, node{child: [2]int32{nilNode, nilNode}, value: nilNode})
+			next = int32(len(t.nodes) - 1)
+			t.nodes[cur].child[bit] = next
+		}
+		cur = next
+	}
+	if t.nodes[cur].value == nilNode {
+		t.values = append(t.values, v)
+		t.prefixes = append(t.prefixes, p)
+		t.nodes[cur].value = int32(len(t.values) - 1)
+		t.size++
+	} else {
+		t.values[t.nodes[cur].value] = v
+	}
+}
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Table[V]) Lookup(a netaddr.Addr) (V, bool) {
+	best := nilNode
+	cur := int32(0)
+	for depth := 0; ; depth++ {
+		if v := t.nodes[cur].value; v != nilNode {
+			best = v
+		}
+		if depth == 32 {
+			break
+		}
+		bit := (uint32(a) >> (31 - uint(depth))) & 1
+		next := t.nodes[cur].child[bit]
+		if next == nilNode {
+			break
+		}
+		cur = next
+	}
+	if best == nilNode {
+		var zero V
+		return zero, false
+	}
+	return t.values[best], true
+}
+
+// LookupPrefix returns both the matched prefix and its value.
+func (t *Table[V]) LookupPrefix(a netaddr.Addr) (netaddr.Prefix, V, bool) {
+	best := nilNode
+	cur := int32(0)
+	for depth := 0; ; depth++ {
+		if v := t.nodes[cur].value; v != nilNode {
+			best = v
+		}
+		if depth == 32 {
+			break
+		}
+		bit := (uint32(a) >> (31 - uint(depth))) & 1
+		next := t.nodes[cur].child[bit]
+		if next == nilNode {
+			break
+		}
+		cur = next
+	}
+	if best == nilNode {
+		var zero V
+		return netaddr.Prefix{}, zero, false
+	}
+	return t.prefixes[best], t.values[best], true
+}
+
+// Exact returns the value stored for exactly p, ignoring covering
+// routes.
+func (t *Table[V]) Exact(p netaddr.Prefix) (V, bool) {
+	cur := int32(0)
+	for depth := 0; depth < p.Bits; depth++ {
+		bit := (uint32(p.Addr) >> (31 - uint(depth))) & 1
+		next := t.nodes[cur].child[bit]
+		if next == nilNode {
+			var zero V
+			return zero, false
+		}
+		cur = next
+	}
+	if v := t.nodes[cur].value; v != nilNode {
+		return t.values[v], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Walk visits every (prefix, value) pair in ascending prefix order.
+func (t *Table[V]) Walk(fn func(netaddr.Prefix, V) bool) {
+	idx := make([]int, len(t.prefixes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		pi, pj := t.prefixes[idx[i]], t.prefixes[idx[j]]
+		if pi.Addr != pj.Addr {
+			return pi.Addr < pj.Addr
+		}
+		return pi.Bits < pj.Bits
+	})
+	for _, i := range idx {
+		if !fn(t.prefixes[i], t.values[i]) {
+			return
+		}
+	}
+}
+
+// String summarizes the table for debugging.
+func (t *Table[V]) String() string {
+	return fmt.Sprintf("lpm.Table{%d prefixes, %d nodes}", t.size, len(t.nodes))
+}

@@ -1,0 +1,192 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"afrixp/internal/netaddr"
+)
+
+func mp(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+func ma(s string) netaddr.Addr   { return netaddr.MustParseAddr(s) }
+
+func TestEmptyLookup(t *testing.T) {
+	tb := New[int]()
+	if _, ok := tb.Lookup(ma("1.2.3.4")); ok {
+		t.Fatal("empty table must miss")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("empty table Len != 0")
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(mp("0.0.0.0/0"), "default")
+	tb.Insert(mp("10.0.0.0/8"), "eight")
+	tb.Insert(mp("10.1.0.0/16"), "sixteen")
+	tb.Insert(mp("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct{ addr, want string }{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.3.1", "sixteen"},
+		{"10.2.0.1", "eight"},
+		{"11.0.0.1", "default"},
+	}
+	for _, c := range cases {
+		got, ok := tb.Lookup(ma(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v; want %q", c.addr, got, ok, c.want)
+		}
+	}
+}
+
+func TestLookupPrefixReturnsMatchedPrefix(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("196.49.0.0/16"), 1)
+	tb.Insert(mp("196.49.7.0/24"), 2)
+	p, v, ok := tb.LookupPrefix(ma("196.49.7.200"))
+	if !ok || v != 2 || p != mp("196.49.7.0/24") {
+		t.Fatalf("got %v %d %v", p, v, ok)
+	}
+	p, v, ok = tb.LookupPrefix(ma("196.49.8.1"))
+	if !ok || v != 1 || p != mp("196.49.0.0/16") {
+		t.Fatalf("got %v %d %v", p, v, ok)
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("10.0.0.0/8"), 1)
+	tb.Insert(mp("10.0.0.0/8"), 2)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tb.Len())
+	}
+	if v, _ := tb.Lookup(ma("10.0.0.1")); v != 2 {
+		t.Fatalf("replace did not take: %d", v)
+	}
+}
+
+func TestExact(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("10.0.0.0/8"), 8)
+	if _, ok := tb.Exact(mp("10.0.0.0/16")); ok {
+		t.Fatal("Exact must not use covering routes")
+	}
+	if v, ok := tb.Exact(mp("10.0.0.0/8")); !ok || v != 8 {
+		t.Fatal("Exact miss on stored prefix")
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("10.0.0.1/32"), 99)
+	if v, ok := tb.Lookup(ma("10.0.0.1")); !ok || v != 99 {
+		t.Fatal("host route must match its own address")
+	}
+	if _, ok := tb.Lookup(ma("10.0.0.2")); ok {
+		t.Fatal("host route must not match neighbors")
+	}
+}
+
+func TestDefaultRouteOnly(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("0.0.0.0/0"), 7)
+	f := func(v uint32) bool {
+		got, ok := tb.Lookup(netaddr.Addr(v))
+		return ok && got == 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkOrderAndCompleteness(t *testing.T) {
+	tb := New[int]()
+	ins := []string{"10.1.2.0/24", "0.0.0.0/0", "10.0.0.0/8", "192.168.0.0/16"}
+	for i, s := range ins {
+		tb.Insert(mp(s), i)
+	}
+	var seen []string
+	tb.Walk(func(p netaddr.Prefix, _ int) bool {
+		seen = append(seen, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.2.0/24", "192.168.0.0/16"}
+	if len(seen) != len(want) {
+		t.Fatalf("Walk visited %d, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("Walk[%d] = %s, want %s", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mp("10.0.0.0/8"), 0)
+	tb.Insert(mp("11.0.0.0/8"), 1)
+	n := 0
+	tb.Walk(func(netaddr.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Walk did not stop early: %d", n)
+	}
+}
+
+// TestAgainstLinearScan cross-checks the trie against a brute-force
+// longest-match over a random rule set — the core correctness property.
+func TestAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tb := New[int]()
+	type rule struct {
+		p netaddr.Prefix
+		v int
+	}
+	var rules []rule
+	for i := 0; i < 300; i++ {
+		bits := rng.Intn(33)
+		p := netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), bits)
+		// Keep only the first rule per distinct prefix, mirroring
+		// Insert-replace semantics by always overwriting.
+		rules = append(rules, rule{p, i})
+		tb.Insert(p, i)
+	}
+	lookup := func(a netaddr.Addr) (int, bool) {
+		best, bestBits, found := 0, -1, false
+		for _, r := range rules {
+			if r.p.Contains(a) && r.p.Bits >= bestBits {
+				// Later rules replace earlier equal-prefix rules.
+				if r.p.Bits > bestBits || r.v > best || !found {
+					best, bestBits, found = r.v, r.p.Bits, true
+				}
+			}
+		}
+		return best, found
+	}
+	for i := 0; i < 5000; i++ {
+		a := netaddr.Addr(rng.Uint32())
+		wantV, wantOK := lookup(a)
+		gotV, gotOK := tb.Lookup(a)
+		if gotOK != wantOK || (gotOK && gotV != wantV) {
+			t.Fatalf("Lookup(%v) = %d,%v; scan says %d,%v", a, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tb := New[int]()
+	for i := 0; i < 10000; i++ {
+		tb.Insert(netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), 8+rng.Intn(25)), i)
+	}
+	addrs := make([]netaddr.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(addrs[i&1023])
+	}
+}

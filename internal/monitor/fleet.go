@@ -1,0 +1,72 @@
+package monitor
+
+import (
+	"sort"
+
+	"afrixp/internal/prober"
+	"afrixp/internal/simclock"
+)
+
+// Fleet watches every link of one vantage point: the deployment an
+// IXP operator would actually run (§7 — "an IXP only monitors port
+// sizes/traffic or ensures upgrades upon requests from ISPs"; this
+// closes that gap). Links can be added as discovery finds them.
+type Fleet struct {
+	cfg      Config
+	sessions map[prober.LinkTarget]*fleetEntry
+	order    []prober.LinkTarget
+	// History accumulates every alert raised, in order.
+	History []Alert
+}
+
+type fleetEntry struct {
+	tslp *prober.TSLP
+	mon  *Monitor
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet(cfg Config) *Fleet {
+	return &Fleet{cfg: cfg, sessions: make(map[prober.LinkTarget]*fleetEntry)}
+}
+
+// Watch adds a link (idempotent). The TSLP session drives the probes;
+// the fleet owns the per-link monitor.
+func (f *Fleet) Watch(ts *prober.TSLP) {
+	if _, ok := f.sessions[ts.Target]; ok {
+		return
+	}
+	f.sessions[ts.Target] = &fleetEntry{tslp: ts, mon: New(ts.Target, f.cfg)}
+	f.order = append(f.order, ts.Target)
+}
+
+// Size returns the number of watched links.
+func (f *Fleet) Size() int { return len(f.sessions) }
+
+// Round probes every watched link once and returns the alerts this
+// round raised (also appended to History).
+func (f *Fleet) Round(t simclock.Time) []Alert {
+	var alerts []Alert
+	for _, target := range f.order {
+		e := f.sessions[target]
+		alerts = append(alerts, e.mon.Feed(e.tslp.Round(t))...)
+	}
+	f.History = append(f.History, alerts...)
+	return alerts
+}
+
+// Congested returns the targets currently believed congested, sorted.
+func (f *Fleet) Congested() []prober.LinkTarget {
+	var out []prober.LinkTarget
+	for _, target := range f.order {
+		if f.sessions[target].mon.Congested() {
+			out = append(out, target)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Near != out[j].Near {
+			return out[i].Near < out[j].Near
+		}
+		return out[i].Far < out[j].Far
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/bdrmap"
+	"afrixp/internal/ixpdir"
+	"afrixp/internal/prober"
+	"afrixp/internal/registry"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// TestFleetWatchesWholeVP: discover VP4's links, watch all of them,
+// and confirm that exactly the NETPAGE link alerts during phase 1.
+func TestFleetWatchesWholeVP(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 41, Scale: 0.1})
+	vp, _ := w.VPByID("VP4")
+	p := prober.New(w.Net, vp.Node, prober.Config{Name: vp.Monitor})
+	res, err := bdrmap.Run(p, bdrmap.Config{
+		BGP: w.BGP, Rels: w.Graph,
+		RIR: registry.NewIndex(w.RIRFile),
+		IXP: ixpdir.NewIndex(w.Directory),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(Config{})
+	for _, l := range res.Links {
+		ts, err := p.NewTSLP(prober.LinkTarget{Near: l.Near, Far: l.Far})
+		if err != nil {
+			continue
+		}
+		fleet.Watch(ts)
+		fleet.Watch(ts) // idempotent
+	}
+	if fleet.Size() < 4 {
+		t.Fatalf("fleet watches %d links", fleet.Size())
+	}
+
+	iv := simclock.Interval{
+		Start: simclock.Date(2016, time.March, 1),
+		End:   simclock.Date(2016, time.March, 18),
+	}
+	iv.Steps(5*time.Minute, func(tm simclock.Time) {
+		w.AdvanceTo(tm)
+		fleet.Round(tm)
+	})
+
+	congested := fleet.Congested()
+	netpage := vp.CaseLinks["QCELL-NETPAGE"]
+	if len(congested) != 1 || congested[0] != netpage {
+		t.Fatalf("congested = %v, want only %v", congested, netpage)
+	}
+	// The history carries the onset alert for that link.
+	found := false
+	for _, a := range fleet.History {
+		if a.Kind == Onset && a.Target == netpage {
+			found = true
+		}
+		if a.Kind == Onset && a.Target != netpage {
+			t.Fatalf("spurious onset on %v", a.Target)
+		}
+	}
+	if !found {
+		t.Fatal("no onset alert in history")
+	}
+}

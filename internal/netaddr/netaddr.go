@@ -1,0 +1,235 @@
+// Package netaddr provides compact IPv4 address and prefix value types
+// used throughout the simulator. An Addr is a bare uint32, which keeps
+// router FIB lookups and packet forwarding allocation-free on the hot
+// path, unlike net.IP ([]byte) from the standard library.
+package netaddr
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. The zero Addr (0.0.0.0)
+// doubles as the "unset" sentinel throughout the simulator.
+type Addr uint32
+
+// AddrFrom4 assembles an address from its four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d)
+}
+
+// ParseAddr parses dotted-quad notation ("196.49.7.1").
+func ParseAddr(s string) (Addr, error) {
+	var octets [4]uint64
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: %q is not dotted-quad", s)
+	}
+	for i, p := range parts {
+		if p == "" || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: bad octet %q in %q", p, s)
+		}
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("netaddr: bad octet %q in %q", p, s)
+		}
+		octets[i] = v
+	}
+	return AddrFrom4(byte(octets[0]), byte(octets[1]), byte(octets[2]), byte(octets[3])), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for constants in
+// tests and scenario construction.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Octets returns the four dotted-quad components.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(o1), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(o2), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(o3), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(o4), 10)
+	return string(buf)
+}
+
+// IsZero reports whether the address is the unset sentinel 0.0.0.0.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Next returns the numerically following address.
+func (a Addr) Next() Addr { return a + 1 }
+
+// AppendTo appends the wire (big-endian) representation to b.
+func (a Addr) AppendTo(b []byte) []byte {
+	o1, o2, o3, o4 := a.Octets()
+	return append(b, o1, o2, o3, o4)
+}
+
+// AddrFromBytes decodes a big-endian 4-byte slice. It panics if b is
+// shorter than 4 bytes; callers validate packet lengths first.
+func AddrFromBytes(b []byte) Addr {
+	return AddrFrom4(b[0], b[1], b[2], b[3])
+}
+
+// Prefix is an IPv4 CIDR block. Addr is the canonical (masked) network
+// address; Bits is the prefix length in [0, 32].
+type Prefix struct {
+	Addr Addr
+	Bits int
+}
+
+// PrefixFrom builds a canonical prefix, masking stray host bits.
+func PrefixFrom(a Addr, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{Addr: a & maskFor(bits), Bits: bits}
+}
+
+func maskFor(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(bits)))
+}
+
+// ParsePrefix parses CIDR notation ("196.49.7.0/24").
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %q lacks a prefix length", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: bad prefix length in %q", s)
+	}
+	return PrefixFrom(a, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(p.Bits)
+}
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&maskFor(p.Bits) == p.Addr
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits > q.Bits {
+		p, q = q, p
+	}
+	return q.Addr&maskFor(p.Bits) == p.Addr
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - uint(p.Bits)) }
+
+// First returns the lowest address in the prefix (the network address).
+func (p Prefix) First() Addr { return p.Addr }
+
+// Last returns the highest address in the prefix (the broadcast
+// address for subnets shorter than /32).
+func (p Prefix) Last() Addr { return p.Addr | ^maskFor(p.Bits) }
+
+// Nth returns the n'th address within the prefix. It panics if n is
+// out of range, which indicates a scenario-construction bug.
+func (p Prefix) Nth(n uint64) Addr {
+	if n >= p.NumAddrs() {
+		panic(fmt.Sprintf("netaddr: address %d out of range for %v", n, p))
+	}
+	return p.Addr + Addr(n)
+}
+
+// Subnets splits the prefix into subnets of newBits length and returns
+// them in address order. It panics if newBits < p.Bits.
+func (p Prefix) Subnets(newBits int) []Prefix {
+	if newBits < p.Bits || newBits > 32 {
+		panic(fmt.Sprintf("netaddr: cannot split %v into /%d", p, newBits))
+	}
+	n := 1 << uint(newBits-p.Bits)
+	size := Addr(1) << (32 - uint(newBits))
+	out := make([]Prefix, n)
+	for i := range out {
+		out[i] = Prefix{Addr: p.Addr + Addr(i)*size, Bits: newBits}
+	}
+	return out
+}
+
+// CommonPrefixLen returns the number of leading bits a and b share,
+// the key primitive for longest-prefix-match tries.
+func CommonPrefixLen(a, b Addr) int {
+	return bits.LeadingZeros32(uint32(a ^ b))
+}
+
+// Allocator hands out consecutive subnets from a pool prefix. The
+// scenario builder uses one per address family (IXP peering LANs,
+// point-to-point links, customer cones).
+type Allocator struct {
+	pool Prefix
+	next Addr
+}
+
+// NewAllocator returns an allocator over the given pool.
+func NewAllocator(pool Prefix) *Allocator {
+	return &Allocator{pool: pool, next: pool.First()}
+}
+
+// Alloc carves the next /bits subnet out of the pool. It returns an
+// error when the pool is exhausted.
+func (al *Allocator) Alloc(bits int) (Prefix, error) {
+	if bits < al.pool.Bits || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: /%d does not fit pool %v", bits, al.pool)
+	}
+	size := Addr(1) << (32 - uint(bits))
+	// Align the cursor to the subnet size.
+	aligned := (al.next + size - 1) &^ (size - 1)
+	if aligned < al.next || !al.pool.Contains(aligned) || aligned+size-1 > al.pool.Last() {
+		return Prefix{}, fmt.Errorf("netaddr: pool %v exhausted", al.pool)
+	}
+	al.next = aligned + size
+	return Prefix{Addr: aligned, Bits: bits}, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion.
+func (al *Allocator) MustAlloc(bits int) Prefix {
+	p, err := al.Alloc(bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,234 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"196.49.7.1", AddrFrom4(196, 49, 7, 1), true},
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.1.1.1", 0, false},
+		{"1.2.3.04", 0, false}, // leading zero rejected
+		{"1.2.3.", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrAppendToAndFromBytes(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		return AddrFromBytes(a.AppendTo(nil)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBasics(t *testing.T) {
+	a := MustParseAddr("10.0.0.255")
+	if a.Next() != MustParseAddr("10.0.1.0") {
+		t.Error("Next should carry into the third octet")
+	}
+	if !Addr(0).IsZero() || a.IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("196.49.7.0/24")
+	if p.Bits != 24 || p.Addr != MustParseAddr("196.49.7.0") {
+		t.Fatalf("got %v", p)
+	}
+	if _, err := ParsePrefix("196.49.7.0"); err == nil {
+		t.Error("missing length should fail")
+	}
+	if _, err := ParsePrefix("196.49.7.0/33"); err == nil {
+		t.Error("length 33 should fail")
+	}
+	if _, err := ParsePrefix("196.49.7.0/-1"); err == nil {
+		t.Error("negative length should fail")
+	}
+}
+
+func TestPrefixCanonicalization(t *testing.T) {
+	p := PrefixFrom(MustParseAddr("10.1.2.3"), 16)
+	if p.Addr != MustParseAddr("10.1.0.0") {
+		t.Fatalf("host bits not masked: %v", p)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("196.49.0.0/16")
+	if !p.Contains(MustParseAddr("196.49.255.1")) {
+		t.Error("should contain member")
+	}
+	if p.Contains(MustParseAddr("196.50.0.0")) {
+		t.Error("should not contain outsider")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.255.255.255")) {
+		t.Error("default route contains everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.200.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixFirstLastNth(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/30")
+	if p.NumAddrs() != 4 {
+		t.Fatalf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.First() != MustParseAddr("10.0.0.0") || p.Last() != MustParseAddr("10.0.0.3") {
+		t.Fatalf("First/Last wrong: %v %v", p.First(), p.Last())
+	}
+	if p.Nth(2) != MustParseAddr("10.0.0.2") {
+		t.Fatal("Nth wrong")
+	}
+}
+
+func TestPrefixNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParsePrefix("10.0.0.0/30").Nth(4)
+}
+
+func TestSubnets(t *testing.T) {
+	subs := MustParsePrefix("10.0.0.0/22").Subnets(24)
+	if len(subs) != 4 {
+		t.Fatalf("got %d subnets", len(subs))
+	}
+	want := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Errorf("subnet %d = %v, want %v", i, s, want[i])
+		}
+	}
+}
+
+func TestSubnetsPartitionProperty(t *testing.T) {
+	// Every address in the parent belongs to exactly one subnet.
+	parent := MustParsePrefix("192.168.4.0/26")
+	subs := parent.Subnets(28)
+	f := func(off uint8) bool {
+		a := parent.Nth(uint64(off) % parent.NumAddrs())
+		n := 0
+		for _, s := range subs {
+			if s.Contains(a) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := MustParseAddr("10.0.0.0")
+	if got := CommonPrefixLen(a, a); got != 32 {
+		t.Errorf("identical addrs share 32 bits, got %d", got)
+	}
+	if got := CommonPrefixLen(MustParseAddr("128.0.0.0"), MustParseAddr("0.0.0.0")); got != 0 {
+		t.Errorf("top-bit mismatch shares 0 bits, got %d", got)
+	}
+	if got := CommonPrefixLen(MustParseAddr("10.0.0.0"), MustParseAddr("10.0.0.128")); got != 24 {
+		t.Errorf("got %d, want 24", got)
+	}
+}
+
+func TestAllocatorSequential(t *testing.T) {
+	al := NewAllocator(MustParsePrefix("10.0.0.0/24"))
+	a := al.MustAlloc(26)
+	b := al.MustAlloc(26)
+	if a.String() != "10.0.0.0/26" || b.String() != "10.0.0.64/26" {
+		t.Fatalf("allocs: %v %v", a, b)
+	}
+	if a.Overlaps(b) {
+		t.Fatal("allocations must not overlap")
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	al := NewAllocator(MustParsePrefix("10.0.0.0/24"))
+	al.MustAlloc(30) // cursor at .4
+	p := al.MustAlloc(26)
+	if p.String() != "10.0.0.64/26" {
+		t.Fatalf("misaligned alloc: %v", p)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	al := NewAllocator(MustParsePrefix("10.0.0.0/30"))
+	al.MustAlloc(31)
+	al.MustAlloc(31)
+	if _, err := al.Alloc(31); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if _, err := al.Alloc(8); err == nil {
+		t.Fatal("oversized request must fail")
+	}
+}
+
+func TestAllocatorNonOverlapProperty(t *testing.T) {
+	al := NewAllocator(MustParsePrefix("172.16.0.0/16"))
+	var got []Prefix
+	for i := 0; i < 50; i++ {
+		bits := 24 + i%7
+		got = append(got, al.MustAlloc(bits))
+	}
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if got[i].Overlaps(got[j]) {
+				t.Fatalf("allocations %v and %v overlap", got[i], got[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/bgpsim"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/packet"
+	"afrixp/internal/rrcheck"
+)
+
+// buildTwoBorders creates AS20 with two border routers toward AS10:
+//
+//	vp — r1(AS10) ══╦══ linkA ══ r2a(AS20) ── internal ── r2b(AS20) ── host(lo)
+//	                ╚══ linkB ═════════════════════════════╝   (asymmetric only)
+//
+// Forward traffic to the host enters via r2a (r1's first adjacency).
+// With linkB present, r2b returns replies directly to r1 — a genuinely
+// asymmetric route crossing different routers in each direction, which
+// the record-route check must catch (§5.2). Without linkB the reply
+// retraces the forward path.
+func buildTwoBorders(t *testing.T, asymmetric bool) (*Network, *Node) {
+	t.Helper()
+	g := asrel.NewGraph()
+	g.SetPeer(10, 20)
+	bgp := bgpsim.New(g)
+	bgp.Announce(10, mp("10.10.0.0/16"))
+	bgp.Announce(20, mp("10.20.0.0/16"))
+	nw := New(bgp, 77)
+	vp := nw.AddNode("vp", 10)
+	r1 := nw.AddNode("r1", 10)
+	r2a := nw.AddNode("r2a", 20)
+	r2b := nw.AddNode("r2b", 20)
+	host := nw.AddNode("h20", 20)
+	nw.ConnectLink(vp, r1, LinkSpec{Subnet: mp("10.10.0.0/30")})
+	nw.SetGateway(vp, nw.Iface(vp.Ifaces[0]))
+	nw.ConnectLink(r1, r2a, LinkSpec{Subnet: mp("10.20.0.0/30")}) // link A
+	nw.ConnectLink(r2a, r2b, LinkSpec{Subnet: mp("10.20.0.8/30")})
+	nw.ConnectLink(r2b, host, LinkSpec{Subnet: mp("10.20.0.12/30")})
+	nw.AddLoopback(host, ma("10.20.1.1"), "lo.h20")
+	if asymmetric {
+		nw.ConnectLink(r2b, r1, LinkSpec{Subnet: mp("10.20.0.4/30")}) // link B
+	}
+	return nw, vp
+}
+
+// truthOracle answers same-router questions from simulator ground
+// truth — the role alias resolution plays in a real deployment.
+func truthOracle(nw *Network) rrcheck.SameRouter {
+	return func(a, b netaddr.Addr) bool {
+		na, _, okA := nw.OwnerOfAddr(a)
+		nb, _, okB := nw.OwnerOfAddr(b)
+		return okA && okB && na == nb
+	}
+}
+
+func TestReturnPathDivertsThroughSecondBorder(t *testing.T) {
+	nw, vp := buildTwoBorders(t, true)
+	pp, err := nw.TracePath(vp, ma("10.20.1.1"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward: vp→r1→r2a→r2b→host = 4 pipes. Reverse: host→r2b→r1→vp
+	// = 3 pipes.
+	if len(pp.FwdPipes) != 4 || len(pp.RevPipes) != 3 {
+		t.Fatalf("pipes fwd=%d rev=%d, want 4/3", len(pp.FwdPipes), len(pp.RevPipes))
+	}
+	// Symmetric control.
+	nwS, vpS := buildTwoBorders(t, false)
+	ppS, err := nwS.TracePath(vpS, ma("10.20.1.1"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ppS.FwdPipes) != len(ppS.RevPipes) {
+		t.Fatalf("symmetric control: fwd=%d rev=%d", len(ppS.FwdPipes), len(ppS.RevPipes))
+	}
+}
+
+func TestRecordRouteDetectsAsymmetry(t *testing.T) {
+	for _, asym := range []bool{false, true} {
+		nw, vp := buildTwoBorders(t, asym)
+		ip := packet.IPv4{TTL: 64, Src: nw.SrcAddr(vp), Dst: ma("10.20.1.1"),
+			RecordRoute: &packet.RecordRoute{Slots: packet.MaxRecordRouteSlots}}
+		icmp := packet.ICMP{Type: packet.ICMPEcho, ID: 4, Seq: 4}
+		wire, err := ip.SerializeTo(nil, icmp.SerializeTo(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, out, err := nw.Inject(vp, wire, 0)
+		if err != nil || out != Delivered {
+			t.Fatalf("asym=%v: %v %v", asym, out, err)
+		}
+		rip, _, err := packet.DecodeIPv4(resp.Wire)
+		if err != nil || rip.RecordRoute == nil {
+			t.Fatalf("asym=%v: reply lost RR (%v)", asym, err)
+		}
+		v := rrcheck.Analyze(rip.RecordRoute.Recorded, ma("10.20.1.1"),
+			rip.RecordRoute.Full(), truthOracle(nw))
+		if asym && v.Symmetric {
+			t.Fatalf("asymmetric route judged symmetric: stamps %v",
+				rip.RecordRoute.Recorded)
+		}
+		if !asym && !v.Symmetric {
+			t.Fatalf("symmetric route judged asymmetric: stamps %v",
+				rip.RecordRoute.Recorded)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpTopology writes a human-readable inventory of the internetwork:
+// nodes grouped by AS, point-to-point links, and LAN attachments —
+// the quickest way to see what a scenario actually built.
+func (nw *Network) DumpTopology(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "topology: %d nodes, %d interfaces, %d links, %d LANs\n",
+		len(nw.nodes), len(nw.ifaces), len(nw.links), len(nw.lans)); err != nil {
+		return err
+	}
+	for _, n := range nw.nodes {
+		kind := "router"
+		if n.Gateway != noIface {
+			kind = "host"
+		}
+		fmt.Fprintf(w, "  %s %s (%v)", kind, n.Name, n.ASN)
+		if n.ICMPDelay != nil {
+			fmt.Fprint(w, " [slow-icmp]")
+		}
+		if n.ICMPRateLimit != nil {
+			fmt.Fprint(w, " [icmp-policed]")
+		}
+		fmt.Fprintln(w)
+		for _, id := range n.Ifaces {
+			ifc := nw.ifaces[id]
+			switch {
+			case ifc.link != nil:
+				other := nw.ifaces[ifc.link.other(ifc.ID)]
+				fmt.Fprintf(w, "    %v  p2p → %s (%v)\n",
+					ifc.Addr, nw.nodes[other.Node].Name, other.Addr)
+			case ifc.lan != nil:
+				fmt.Fprintf(w, "    %v  port on LAN %v\n", ifc.Addr, ifc.lan.Prefix)
+			default:
+				fmt.Fprintf(w, "    %v  loopback\n", ifc.Addr)
+			}
+		}
+	}
+	for _, lan := range nw.lans {
+		fmt.Fprintf(w, "  LAN %v: %d attachments\n", lan.Prefix, len(lan.Attachments))
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"fmt"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/packet"
+	"afrixp/internal/simclock"
+)
+
+// Outcome classifies what happened to an injected packet.
+type Outcome int8
+
+// Injection outcomes.
+const (
+	// Delivered: a response packet reached the injecting node.
+	Delivered Outcome = iota
+	// Lost: the packet (or its response) was dropped by a queue, a
+	// faulty pipe, or a downed link.
+	Lost
+	// Unreachable: some node had no route; the packet vanished.
+	Unreachable
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Lost:
+		return "lost"
+	default:
+		return "unreachable"
+	}
+}
+
+// Response is the packet that came back to the injecting node.
+type Response struct {
+	// Wire is the raw response datagram.
+	Wire []byte
+	// At is the virtual arrival time; RTT = At - send time.
+	At simclock.Time
+	// From is the source address of the response.
+	From netaddr.Addr
+}
+
+// maxWalkHops bounds a single injection walk (request + response).
+const maxWalkHops = 128
+
+// Inject sends the wire-format datagram from node src at virtual time
+// t and walks it (and any ICMP response it elicits) through the
+// network. It returns the response when one arrives back at src.
+//
+// The walk is synchronous: background traffic is fluid (inside the
+// pipes' queues), so only the probe itself moves hop by hop.
+func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, Outcome, error) {
+	cur := src
+	var arrival *Iface
+	originated := true // the current node created the current wire
+
+	for hops := 0; hops < maxWalkHops; hops++ {
+		ip, payload, err := packet.DecodeIPv4(wire)
+		if err != nil {
+			return nil, Unreachable, fmt.Errorf("netsim: hop %d at %s: %w", hops, cur.Name, err)
+		}
+
+		if nw.ownsAddr(cur, ip.Dst) {
+			icmp, err := packet.DecodeICMP(payload)
+			if err != nil {
+				return nil, Unreachable, fmt.Errorf("netsim: non-ICMP payload at %s: %w", cur.Name, err)
+			}
+			if icmp.Type == packet.ICMPEcho {
+				// Control-plane policing: a router out of ICMP budget
+				// silently drops the request.
+				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
+					return nil, Lost, nil
+				}
+				// Generate an echo reply (control-plane delay applies).
+				if cur.ICMPDelay != nil {
+					t = t.Add(cur.ICMPDelay(t))
+				}
+				// Host stacks record their own address when answering
+				// a record-route probe (visible in ping -R output).
+				if ip.RecordRoute != nil {
+					ip.RecordRoute.Stamp(ip.Dst)
+				}
+				reply, err := packet.BuildEchoReply(ip, icmp, 64, cur.nextIPID())
+				if err != nil {
+					return nil, Unreachable, err
+				}
+				wire = reply
+				originated = true
+				continue
+			}
+			// Echo reply or ICMP error arriving at its destination.
+			if cur == src {
+				return &Response{Wire: wire, At: t, From: ip.Src}, Delivered, nil
+			}
+			// A response addressed to somebody else's address that we
+			// own: swallow it (should not happen in practice).
+			return nil, Unreachable, nil
+		}
+
+		// TTL check applies when forwarding somebody else's packet.
+		if !originated {
+			if ip.TTL <= 1 {
+				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
+					return nil, Lost, nil
+				}
+				respAddr := ip.Dst // fallback; normally the arrival iface
+				if arrival != nil {
+					respAddr = arrival.Addr
+				}
+				if cur.ICMPDelay != nil {
+					t = t.Add(cur.ICMPDelay(t))
+				}
+				te, err := packet.BuildTimeExceeded(
+					packet.IPv4{TTL: 64, ID: cur.nextIPID(), Src: respAddr, Dst: ip.Src}, wire)
+				if err != nil {
+					return nil, Unreachable, err
+				}
+				wire = te
+				originated = true
+				continue
+			}
+			ip.TTL--
+		}
+
+		h, ok := nw.resolveStep(cur, ip.Dst)
+		if !ok {
+			return nil, Unreachable, nil
+		}
+		// Routers forwarding a packet stamp the Record Route option
+		// with their egress address.
+		if !originated && ip.RecordRoute != nil && cur.Gateway == noIface {
+			ip.RecordRoute.Stamp(h.egress.Addr)
+		}
+		wire, err = ip.SerializeTo(nil, payload)
+		if err != nil {
+			return nil, Unreachable, err
+		}
+
+		for _, p := range h.pipes {
+			nw.pktCounter++
+			exit, alive := p.Traverse(t, nw.pktCounter)
+			if !alive {
+				return nil, Lost, nil
+			}
+			t = exit
+		}
+		cur = nw.nodes[h.arrival.Node]
+		arrival = h.arrival
+		originated = false
+	}
+	return nil, Unreachable, fmt.Errorf("netsim: walk exceeded %d hops (loop?)", maxWalkHops)
+}
+
+// ownsAddr reports whether any of n's interfaces carries addr.
+func (nw *Network) ownsAddr(n *Node, addr netaddr.Addr) bool {
+	id, ok := nw.byAddr[addr]
+	return ok && nw.ifaces[id].Node == n.ID
+}
+
+// SrcAddr returns the address probes from this node should use: the
+// node's first interface.
+func (nw *Network) SrcAddr(n *Node) netaddr.Addr {
+	if len(n.Ifaces) == 0 {
+		panic(fmt.Sprintf("netsim: node %s has no interfaces", n.Name))
+	}
+	return nw.ifaces[n.Ifaces[0]].Addr
+}

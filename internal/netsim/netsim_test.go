@@ -1,0 +1,514 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/bgpsim"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/packet"
+	"afrixp/internal/queue"
+	"afrixp/internal/simclock"
+	"afrixp/internal/trafficmodel"
+)
+
+func ma(s string) netaddr.Addr   { return netaddr.MustParseAddr(s) }
+func mp(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+// world builds a small IXP-shaped internetwork:
+//
+//	VP(host) --/30-- R100(AS100) ==LAN 196.49.7.0/24== R200(AS200), R300(AS300)
+//	                                                    R200 --/30-- R400(AS400)
+//
+// AS100 peers with AS200 and AS300 at the IXP; AS400 buys transit from
+// AS200.
+type world struct {
+	nw             *Network
+	vp, r100, r200 *Node
+	r300, r400     *Node
+	lan            *LAN
+	vpLink         *Link
+	r200FromFabric *Pipe
+	nearAddr       netaddr.Addr // R100's VP-facing address
+	farAddr        netaddr.Addr // R200's LAN address
+}
+
+func buildWorld(t testing.TB) *world {
+	g := asrel.NewGraph()
+	g.AddAS(100, "CONTENT", "IXP-Org")
+	g.AddAS(200, "MEMBER-A", "OrgA")
+	g.AddAS(300, "MEMBER-B", "OrgB")
+	g.AddAS(400, "STUB", "OrgC")
+	g.SetPeer(100, 200)
+	g.SetPeer(100, 300)
+	g.SetProvider(400, 200)
+
+	bgp := bgpsim.New(g)
+	bgp.Announce(100, mp("10.100.0.0/16"))
+	bgp.Announce(200, mp("10.200.0.0/16"))
+	bgp.Announce(300, mp("10.201.0.0/16"))
+	bgp.Announce(400, mp("10.202.0.0/16"))
+
+	nw := New(bgp, 42)
+	w := &world{nw: nw}
+	w.vp = nw.AddNode("vp", 100)
+	w.r100 = nw.AddNode("r100", 100)
+	w.r200 = nw.AddNode("r200", 200)
+	w.r300 = nw.AddNode("r300", 300)
+	w.r400 = nw.AddNode("r400", 400)
+
+	w.vpLink = nw.ConnectLink(w.vp, w.r100, LinkSpec{Subnet: mp("10.100.0.0/30")})
+	nw.SetGateway(w.vp, nw.Iface(w.vp.Ifaces[0]))
+	w.nearAddr = ma("10.100.0.2") // r100's side of the /30
+
+	w.lan = nw.AddLAN(mp("196.49.7.0/24"))
+	nw.AttachToLAN(w.r100, w.lan, AttachSpec{Addr: ma("196.49.7.1")})
+	w.r200FromFabric = &Pipe{Prop: 100 * time.Microsecond}
+	nw.AttachToLAN(w.r200, w.lan, AttachSpec{Addr: ma("196.49.7.10"),
+		FromFabric: w.r200FromFabric})
+	nw.AttachToLAN(w.r300, w.lan, AttachSpec{Addr: ma("196.49.7.11")})
+	w.farAddr = ma("196.49.7.10")
+
+	nw.ConnectLink(w.r200, w.r400, LinkSpec{Subnet: mp("10.200.255.0/30")})
+	// Loopback-ish host addresses inside each member AS.
+	nw.ConnectLink(w.r300, nw.AddNode("h300", 300), LinkSpec{Subnet: mp("10.201.0.0/30")})
+	return w
+}
+
+func echoTo(t testing.TB, w *world, dst netaddr.Addr, ttl uint8) []byte {
+	wire, err := packet.BuildEcho(packet.IPv4{TTL: ttl, Src: w.nw.SrcAddr(w.vp), Dst: dst},
+		7, 1, []byte("timestamp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestEchoReplyFromFarEnd(t *testing.T) {
+	w := buildWorld(t)
+	resp, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	if resp.From != w.farAddr {
+		t.Fatalf("reply from %v, want %v", resp.From, w.farAddr)
+	}
+	ip, pl, err := packet.DecodeIPv4(resp.Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := packet.DecodeICMP(pl)
+	if err != nil || m.Type != packet.ICMPEchoReply || m.ID != 7 {
+		t.Fatalf("reply: %+v %v", m, err)
+	}
+	if ip.Dst != w.nw.SrcAddr(w.vp) {
+		t.Fatal("reply must target the prober")
+	}
+	if time.Duration(resp.At) <= 0 {
+		t.Fatal("RTT must be positive")
+	}
+}
+
+func TestTTLExpiryAtNearRouter(t *testing.T) {
+	w := buildWorld(t)
+	resp, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 1), 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	if resp.From != w.nearAddr {
+		t.Fatalf("TE from %v, want near router %v", resp.From, w.nearAddr)
+	}
+	_, pl, _ := packet.DecodeIPv4(resp.Wire)
+	m, err := packet.DecodeICMP(pl)
+	if err != nil || m.Type != packet.ICMPTimeExceeded {
+		t.Fatalf("want time-exceeded, got %+v err %v", m, err)
+	}
+	// The quote must identify the original probe.
+	qip, qicmp, err := packet.ParseQuote(m.Quote)
+	if err != nil || qip.Dst != w.farAddr || qicmp.ID != 7 {
+		t.Fatalf("quote: %+v %+v err %v", qip, qicmp, err)
+	}
+}
+
+func TestTTLExpiryBeyondIXP(t *testing.T) {
+	// Probing the stub AS400 with TTL=2 must expire at R200's LAN port
+	// — exactly how TSLP measures the far end of the interdomain link.
+	w := buildWorld(t)
+	resp, out, err := w.nw.Inject(w.vp, echoTo(t, w, ma("10.202.0.1"), 2), 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	if resp.From != w.farAddr {
+		t.Fatalf("TE from %v, want %v", resp.From, w.farAddr)
+	}
+}
+
+func TestUnreachableUnannounced(t *testing.T) {
+	w := buildWorld(t)
+	_, out, err := w.nw.Inject(w.vp, echoTo(t, w, ma("99.9.9.9"), 64), 0)
+	if err != nil || out != Unreachable {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+}
+
+func TestCongestedPortRaisesFarRTTOnly(t *testing.T) {
+	w := buildWorld(t)
+	// Congest R200's fabric→member port: 100 Mbps, 28 ms buffer, 150%
+	// offered load (the GIXA–GHANATEL shape).
+	w.r200FromFabric.Queue = queue.NewFluid(queue.Config{
+		CapacityBps: 100e6, BufferDrain: 28 * time.Millisecond,
+		Load: trafficmodel.Constant(150e6),
+	})
+	at := simclock.Time(10 * time.Minute)
+
+	respNear, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 1), at)
+	if err != nil || out != Delivered {
+		t.Fatalf("near: %v %v", out, err)
+	}
+	respFar, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 2), at)
+	if err != nil || out != Delivered {
+		t.Fatalf("far: %v %v", out, err)
+	}
+	nearRTT := respNear.At.Sub(at)
+	farRTT := respFar.At.Sub(at)
+	if nearRTT > 5*time.Millisecond {
+		t.Fatalf("near RTT inflated: %v", nearRTT)
+	}
+	if farRTT < 28*time.Millisecond {
+		t.Fatalf("far RTT %v does not carry the 28 ms standing queue", farRTT)
+	}
+}
+
+func TestLossOnFaultyPipe(t *testing.T) {
+	w := buildWorld(t)
+	w.r200FromFabric.BaseLoss = 1.0
+	_, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), 0)
+	if err != nil || out != Lost {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	// Near-end probes do not cross the faulty pipe.
+	_, out, _ = w.nw.Inject(w.vp, echoTo(t, w, w.nearAddr, 64), 0)
+	if out != Delivered {
+		t.Fatalf("near probe should survive, got %v", out)
+	}
+}
+
+func TestDownedLinkDropsProbes(t *testing.T) {
+	w := buildWorld(t)
+	cutoff := simclock.Date(2016, time.August, 6)
+	w.r200FromFabric.Up = DownAfter(cutoff)
+	_, out, _ := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), cutoff.Add(-time.Hour))
+	if out != Delivered {
+		t.Fatalf("pre-cutoff probe should pass, got %v", out)
+	}
+	_, out, _ = w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), cutoff.Add(time.Hour))
+	if out != Lost {
+		t.Fatalf("post-cutoff probe should be lost, got %v", out)
+	}
+}
+
+func TestRecordRouteStamping(t *testing.T) {
+	w := buildWorld(t)
+	ip := packet.IPv4{TTL: 64, Src: w.nw.SrcAddr(w.vp), Dst: w.farAddr,
+		RecordRoute: &packet.RecordRoute{Slots: 9}}
+	icmp := packet.ICMP{Type: packet.ICMPEcho, ID: 9, Seq: 9}
+	wire, err := ip.SerializeTo(nil, icmp.SerializeTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out, err := w.nw.Inject(w.vp, wire, 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	rip, _, err := packet.DecodeIPv4(resp.Wire)
+	if err != nil || rip.RecordRoute == nil {
+		t.Fatalf("reply lost RR: %v", err)
+	}
+	rec := rip.RecordRoute.Recorded
+	// Forward: R100 stamps its LAN egress. Reverse: R200 stamps its
+	// LAN egress, R100 stamps its /30 egress toward the VP.
+	if len(rec) != 3 {
+		t.Fatalf("recorded %d addrs: %v", len(rec), rec)
+	}
+	if rec[0] != ma("196.49.7.1") || rec[1] != w.farAddr || rec[2] != w.nearAddr {
+		t.Fatalf("recorded %v", rec)
+	}
+}
+
+func TestICMPDelayInflatesRTT(t *testing.T) {
+	w := buildWorld(t)
+	base, _, _ := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), 0)
+	w.r200.ICMPDelay = func(simclock.Time) simclock.Duration { return 40 * time.Millisecond }
+	slow, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("%v %v", out, err)
+	}
+	if d := time.Duration(slow.At-base.At) - 40*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("ICMP delay not applied: base %v slow %v", base.At, slow.At)
+	}
+}
+
+func TestICMPRateLimitPolicesProbes(t *testing.T) {
+	w := buildWorld(t)
+	// r200 polices ICMP at 10 responses/second with a burst of 5.
+	w.r200.ICMPRateLimit = queue.NewTokenBucket(10, 5, 0)
+	delivered := 0
+	// A 100-probe burst inside one second — twenty times the budget.
+	for i := 0; i < 100; i++ {
+		at := simclock.Time(time.Duration(i) * 10 * time.Millisecond)
+		_, out, err := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == Delivered {
+			delivered++
+		}
+	}
+	// Budget over 1s: 5 burst + ~10 refill.
+	if delivered < 10 || delivered > 20 {
+		t.Fatalf("delivered %d of 100, want ≈15 (policed)", delivered)
+	}
+	// Low-rate probing (the paper's regime) is unaffected: one probe
+	// per 5 minutes never exhausts the bucket.
+	ok := 0
+	for i := 0; i < 20; i++ {
+		at := simclock.Time(time.Hour) + simclock.Time(time.Duration(i)*5*time.Minute)
+		_, out, _ := w.nw.Inject(w.vp, echoTo(t, w, w.farAddr, 64), at)
+		if out == Delivered {
+			ok++
+		}
+	}
+	if ok != 20 {
+		t.Fatalf("low-rate probes delivered %d of 20", ok)
+	}
+}
+
+func TestIntraASMultiRouterForwarding(t *testing.T) {
+	// AS 500 has two routers chained; its border is r502. A VP behind
+	// r501 must reach the IXP members through the chain.
+	g := asrel.NewGraph()
+	g.SetPeer(500, 600)
+	bgp := bgpsim.New(g)
+	bgp.Announce(500, mp("10.50.0.0/16"))
+	bgp.Announce(600, mp("10.60.0.0/16"))
+	nw := New(bgp, 1)
+	vp := nw.AddNode("vp", 500)
+	r501 := nw.AddNode("r501", 500)
+	r502 := nw.AddNode("r502", 500)
+	r600 := nw.AddNode("r600", 600)
+	nw.ConnectLink(vp, r501, LinkSpec{Subnet: mp("10.50.0.0/30")})
+	nw.SetGateway(vp, nw.Iface(vp.Ifaces[0]))
+	nw.ConnectLink(r501, r502, LinkSpec{Subnet: mp("10.50.0.4/30")})
+	// Interdomain link addressed from AS600's space, as providers
+	// commonly address customer links.
+	nw.ConnectLink(r502, r600, LinkSpec{Subnet: mp("10.60.255.0/30")})
+
+	wire, _ := packet.BuildEcho(packet.IPv4{TTL: 64, Src: nw.SrcAddr(vp), Dst: ma("10.60.255.2")}, 1, 1, nil)
+	resp, out, err := nw.Inject(vp, wire, 0)
+	if err != nil || out != Delivered {
+		t.Fatalf("outcome %v err %v", out, err)
+	}
+	if resp.From != ma("10.60.255.2") {
+		t.Fatalf("reply from %v", resp.From)
+	}
+	// TTL accounting: r501 decrements once, r502 sees TTL 1 and
+	// answers time-exceeded from its arrival interface.
+	wire, _ = packet.BuildEcho(packet.IPv4{TTL: 2, Src: nw.SrcAddr(vp), Dst: ma("10.60.255.2")}, 1, 2, nil)
+	resp, out, _ = nw.Inject(vp, wire, 0)
+	if out != Delivered || resp.From != ma("10.50.0.6") {
+		t.Fatalf("TTL=2 should expire at r502's arrival iface: %v %v", resp.From, out)
+	}
+}
+
+func TestProbePathMatchesInject(t *testing.T) {
+	// The fast-path sampler must agree with the packet walk on RTT,
+	// responder, and loss-free behavior across TTLs and times.
+	for _, ttl := range []int{1, 2, 64} {
+		// Fresh worlds per TTL: queue state advances monotonically,
+		// so each comparison run needs its own day of integration.
+		w := buildWorld(t)
+		w.r200FromFabric.Queue = queue.NewFluid(queue.Config{
+			CapacityBps: 100e6, BufferDrain: 25 * time.Millisecond,
+			Load: trafficmodel.Diurnal{BaseBps: 20e6, PeakBps: 160e6, PeakHour: 14, Width: 3}.Load(),
+		})
+		pp, err := w.nw.TracePath(w.vp, w.farAddr, ttl)
+		if err != nil {
+			t.Fatalf("ttl %d: %v", ttl, err)
+		}
+		// Walk a day of 5-minute samples; the queues advance jointly,
+		// so use a fresh world per comparison run instead of sampling
+		// both from one — here we compare against a twin world.
+		w2 := buildWorld(t)
+		w2.r200FromFabric.Queue = queue.NewFluid(queue.Config{
+			CapacityBps: 100e6, BufferDrain: 25 * time.Millisecond,
+			Load: trafficmodel.Diurnal{BaseBps: 20e6, PeakBps: 160e6, PeakHour: 14, Width: 3}.Load(),
+		})
+		compared := 0
+		for min := 0; min < 24*60; min += 5 {
+			at := simclock.Time(time.Duration(min) * time.Minute)
+			// Loss draws consume independent nonce streams in the two
+			// worlds, so pointwise loss may differ; delays, however,
+			// are pure functions of time and must agree whenever both
+			// probes survive.
+			rtt, ok := pp.Sample(at)
+			resp, out, err := w2.nw.Inject(w2.vp, echoTo(t, w2, w2.farAddr, uint8(ttl)), at)
+			if err != nil {
+				t.Fatalf("ttl %d at %v: %v", ttl, at, err)
+			}
+			if !ok || out != Delivered {
+				continue
+			}
+			compared++
+			injectRTT := resp.At.Sub(at)
+			if diff := rtt - injectRTT; diff < -10*time.Microsecond || diff > 10*time.Microsecond {
+				t.Fatalf("ttl %d at %v: Sample %v vs Inject %v", ttl, at, rtt, injectRTT)
+			}
+			if ttl == 1 && pp.RespAddr != w.nearAddr {
+				t.Fatalf("ttl 1 responder %v", pp.RespAddr)
+			}
+			if ttl == 2 && pp.RespAddr != w.farAddr {
+				t.Fatalf("ttl 2 responder %v", pp.RespAddr)
+			}
+		}
+		if compared < 150 {
+			t.Fatalf("ttl %d: only %d/288 samples compared", ttl, compared)
+		}
+	}
+}
+
+func TestProbePathValidity(t *testing.T) {
+	w := buildWorld(t)
+	pp, err := w.nw.TracePath(w.vp, w.farAddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Valid() {
+		t.Fatal("fresh path must be valid")
+	}
+	w.nw.AddNode("new", 700)
+	if pp.Valid() {
+		t.Fatal("topology change must invalidate cached paths")
+	}
+}
+
+func TestProbePathHopAddrs(t *testing.T) {
+	w := buildWorld(t)
+	pp, err := w.nw.TracePath(w.vp, w.farAddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.HopAddrs) != 2 || pp.HopAddrs[0] != w.nearAddr || pp.HopAddrs[1] != w.farAddr {
+		t.Fatalf("HopAddrs = %v", pp.HopAddrs)
+	}
+	if pp.Expired {
+		t.Fatal("full-TTL probe should be answered, not expired")
+	}
+	pp1, _ := w.nw.TracePath(w.vp, w.farAddr, 1)
+	if !pp1.Expired || pp1.RespAddr != w.nearAddr {
+		t.Fatalf("TTL-1 path: expired=%v resp=%v", pp1.Expired, pp1.RespAddr)
+	}
+}
+
+func TestProbePathUpTracksLinkState(t *testing.T) {
+	w := buildWorld(t)
+	cutoff := simclock.Date(2016, time.August, 6)
+	w.r200FromFabric.Up = DownAfter(cutoff)
+	pp, err := w.nw.TracePath(w.vp, w.farAddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Up(cutoff.Add(-time.Hour)) || pp.Up(cutoff.Add(time.Hour)) {
+		t.Fatal("Up must follow the pipe schedule")
+	}
+	if _, ok := pp.Sample(cutoff.Add(2 * time.Hour)); ok {
+		t.Fatal("sampling a downed path must report loss")
+	}
+}
+
+func TestInterdomainLinksGroundTruth(t *testing.T) {
+	w := buildWorld(t)
+	links := w.nw.InterdomainLinks()
+	// Expected: r200–r400 p2p (both directions appear once each as
+	// near/far orderings? p2p appears once), LAN pairs 100-200, 100-300,
+	// 200-300 in both directions, VP link is intra-AS (excluded),
+	// r300-h300 intra-AS (excluded).
+	var p2p, lanPairs int
+	for _, l := range links {
+		if l.NearAS == l.FarAS {
+			t.Fatalf("intra-AS link leaked: %+v", l)
+		}
+		ifc := w.nw.Iface(l.NearIface)
+		if ifc.link != nil {
+			p2p++
+		} else {
+			lanPairs++
+		}
+	}
+	if p2p != 1 {
+		t.Fatalf("p2p interdomain links = %d, want 1", p2p)
+	}
+	if lanPairs != 6 {
+		t.Fatalf("LAN interdomain pairs = %d, want 6", lanPairs)
+	}
+}
+
+func TestDuplicateAddressPanics(t *testing.T) {
+	w := buildWorld(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate address")
+		}
+	}()
+	n := w.nw.AddNode("dup", 999)
+	w.nw.ConnectLink(n, w.r100, LinkSpec{AddrA: w.farAddr, AddrB: ma("1.1.1.1")})
+}
+
+func TestOwnerOfAddr(t *testing.T) {
+	w := buildWorld(t)
+	n, ifc, ok := w.nw.OwnerOfAddr(w.farAddr)
+	if !ok || n != w.r200 || ifc.Addr != w.farAddr {
+		t.Fatal("OwnerOfAddr wrong")
+	}
+	if _, _, ok := w.nw.OwnerOfAddr(ma("9.9.9.9")); ok {
+		t.Fatal("unknown address must miss")
+	}
+}
+
+func BenchmarkInjectFarProbe(b *testing.B) {
+	w := buildWorld(b)
+	wire := echoTo(b, w, w.farAddr, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.nw.Inject(w.vp, wire, simclock.Time(i)*simclock.Time(time.Millisecond))
+	}
+}
+
+func BenchmarkProbePathSample(b *testing.B) {
+	w := buildWorld(b)
+	pp, err := w.nw.TracePath(w.vp, w.farAddr, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.Sample(simclock.Time(i) * simclock.Time(time.Millisecond))
+	}
+}
+
+func TestDumpTopology(t *testing.T) {
+	w := buildWorld(t)
+	var buf bytes.Buffer
+	if err := w.nw.DumpTopology(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"router r100", "host vp", "LAN 196.49.7.0/24",
+		"p2p", "port on LAN"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"fmt"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/simclock"
+)
+
+// ProbePath is a cached probe trajectory: the exact pipe sequence a
+// TTL-limited echo probe traverses from a vantage point to its
+// responder and back. Bulk TSLP campaigns sample RTTs through it
+// without re-encoding packets at every hop; equivalence with the
+// packet-level walk is property-tested (TestProbePathMatchesInject).
+type ProbePath struct {
+	nw      *Network
+	version int64
+
+	// FwdPipes carries the probe to the responder; RevPipes carries
+	// the response back.
+	FwdPipes []*Pipe
+	RevPipes []*Pipe
+	// Responder answers the probe (echo reply if it owns Dst, time
+	// exceeded if the TTL ran out there).
+	Responder *Node
+	// RespAddr is the source address of the response — the near- or
+	// far-end identifier TSLP records.
+	RespAddr netaddr.Addr
+	// HopAddrs are the arrival interface addresses along the forward
+	// path, hop by hop (what traceroute would reveal).
+	HopAddrs []netaddr.Addr
+	// Expired reports whether the responder answered with a
+	// time-exceeded (TTL ran out) rather than an echo reply.
+	Expired bool
+}
+
+// TracePath resolves the trajectory of an echo probe with the given
+// TTL from src toward dst. Routing is time-invariant in the simulator
+// (only pipe conditions vary), so the path can be cached until the
+// topology version changes.
+func (nw *Network) TracePath(src *Node, dst netaddr.Addr, ttl int) (*ProbePath, error) {
+	pp := &ProbePath{nw: nw, version: nw.version}
+	cur := src
+	var arrival *Iface
+	remaining := ttl
+
+	for hops := 0; hops < maxWalkHops; hops++ {
+		if cur != src && nw.ownsAddr(cur, dst) {
+			pp.Responder = cur
+			pp.RespAddr = dst
+			break
+		}
+		if cur != src {
+			if remaining <= 1 {
+				pp.Responder = cur
+				pp.RespAddr = arrival.Addr
+				pp.Expired = true
+				break
+			}
+			remaining--
+		}
+		h, ok := nw.resolveStep(cur, dst)
+		if !ok {
+			return nil, fmt.Errorf("netsim: no route from %s toward %v", cur.Name, dst)
+		}
+		pp.FwdPipes = append(pp.FwdPipes, h.pipes...)
+		pp.HopAddrs = append(pp.HopAddrs, h.arrival.Addr)
+		cur = nw.nodes[h.arrival.Node]
+		arrival = h.arrival
+	}
+	if pp.Responder == nil {
+		return nil, fmt.Errorf("netsim: probe toward %v never terminated", dst)
+	}
+
+	// Reverse path: route the response from the responder back to the
+	// prober's source address.
+	back := nw.SrcAddr(src)
+	cur = pp.Responder
+	for hops := 0; hops < maxWalkHops; hops++ {
+		if nw.ownsAddr(cur, back) {
+			return pp, nil
+		}
+		h, ok := nw.resolveStep(cur, back)
+		if !ok {
+			return nil, fmt.Errorf("netsim: no return route from %s toward %v", cur.Name, back)
+		}
+		pp.RevPipes = append(pp.RevPipes, h.pipes...)
+		cur = nw.nodes[h.arrival.Node]
+	}
+	return nil, fmt.Errorf("netsim: return path toward %v never terminated", back)
+}
+
+// Valid reports whether the cached path still reflects the topology.
+func (pp *ProbePath) Valid() bool { return pp.version == pp.nw.version }
+
+// Sample sends one virtual probe along the cached path at time t,
+// returning the RTT and whether a response arrived (false = loss).
+func (pp *ProbePath) Sample(t simclock.Time) (simclock.Duration, bool) {
+	start := t
+	for _, p := range pp.FwdPipes {
+		pp.nw.pktCounter++
+		exit, ok := p.Traverse(t, pp.nw.pktCounter)
+		if !ok {
+			return 0, false
+		}
+		t = exit
+	}
+	if pp.Responder.ICMPRateLimit != nil && !pp.Responder.ICMPRateLimit.Allow(t) {
+		return 0, false
+	}
+	if pp.Responder.ICMPDelay != nil {
+		t = t.Add(pp.Responder.ICMPDelay(t))
+	}
+	for _, p := range pp.RevPipes {
+		pp.nw.pktCounter++
+		exit, ok := p.Traverse(t, pp.nw.pktCounter)
+		if !ok {
+			return 0, false
+		}
+		t = exit
+	}
+	return t.Sub(start), true
+}
+
+// SampleDelayOnly returns the RTT at t ignoring loss — used by
+// analyses that need the latency surface itself.
+func (pp *ProbePath) SampleDelayOnly(t simclock.Time) simclock.Duration {
+	start := t
+	for _, p := range pp.FwdPipes {
+		t = t.Add(p.DelayAt(t))
+	}
+	if pp.Responder.ICMPDelay != nil {
+		t = t.Add(pp.Responder.ICMPDelay(t))
+	}
+	for _, p := range pp.RevPipes {
+		t = t.Add(p.DelayAt(t))
+	}
+	return t.Sub(start)
+}
+
+// Up reports whether every pipe on the path passes traffic at t.
+func (pp *ProbePath) Up(t simclock.Time) bool {
+	for _, p := range pp.FwdPipes {
+		if !p.IsUp(t) {
+			return false
+		}
+	}
+	for _, p := range pp.RevPipes {
+		if !p.IsUp(t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"afrixp/internal/netaddr"
+)
+
+// ICMP message types used by the prober (a scamper-equivalent needs
+// exactly these four).
+const (
+	ICMPEchoReply        = 0
+	ICMPDestUnreachable  = 3
+	ICMPTimeExceeded     = 11
+	ICMPEcho             = 8
+	ICMPCodeTTLExceeded  = 0 // code for TimeExceeded: TTL exceeded in transit
+	ICMPCodePortUnreach  = 3
+	ICMPCodeHostUnreach  = 1
+	icmpHeaderLen        = 8
+	icmpErrorQuoteLimit  = 28 // orig IPv4 header (20) + 8 bytes, no options
+	icmpErrorQuoteOptMax = 68 // with maximal options
+)
+
+// ICMP is a decoded ICMP message. Echo messages carry ID/Seq and an
+// opaque payload (the prober stores its transmit timestamp there, as
+// scamper does). Error messages (time exceeded, unreachable) quote the
+// offending datagram in Quote.
+type ICMP struct {
+	Type, Code uint8
+	ID, Seq    uint16 // echo/echo-reply only
+	Payload    []byte // echo/echo-reply only
+	Quote      []byte // error messages: quoted original datagram
+}
+
+// IsEcho reports whether the message is an echo request or reply.
+func (m *ICMP) IsEcho() bool {
+	return m.Type == ICMPEcho || m.Type == ICMPEchoReply
+}
+
+// IsError reports whether the message quotes an offending datagram.
+func (m *ICMP) IsError() bool {
+	return m.Type == ICMPTimeExceeded || m.Type == ICMPDestUnreachable
+}
+
+// SerializeTo appends the ICMP wire form to b, computing the checksum.
+func (m *ICMP) SerializeTo(b []byte) []byte {
+	start := len(b)
+	b = append(b, m.Type, m.Code, 0, 0)
+	if m.IsEcho() {
+		b = binary.BigEndian.AppendUint16(b, m.ID)
+		b = binary.BigEndian.AppendUint16(b, m.Seq)
+		b = append(b, m.Payload...)
+	} else {
+		b = append(b, 0, 0, 0, 0) // unused field
+		b = append(b, m.Quote...)
+	}
+	cs := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+2:], cs)
+	return b
+}
+
+// DecodeICMP parses an ICMP message, verifying its checksum.
+func DecodeICMP(b []byte) (ICMP, error) {
+	if len(b) < icmpHeaderLen {
+		return ICMP{}, fmt.Errorf("%w: %d bytes for ICMP", ErrTruncated, len(b))
+	}
+	if Checksum(b) != 0 {
+		return ICMP{}, fmt.Errorf("%w: ICMP", ErrBadChecksum)
+	}
+	m := ICMP{Type: b[0], Code: b[1]}
+	switch {
+	case m.IsEcho():
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+		m.Payload = b[8:]
+	case m.IsError():
+		m.Quote = b[8:]
+	default:
+		return ICMP{}, fmt.Errorf("packet: unsupported ICMP type %d", m.Type)
+	}
+	return m, nil
+}
+
+// BuildEcho assembles a complete IPv4+ICMP echo request datagram.
+func BuildEcho(ip IPv4, id, seq uint16, payload []byte) ([]byte, error) {
+	ip.Protocol = ProtoICMP
+	icmp := ICMP{Type: ICMPEcho, ID: id, Seq: seq, Payload: payload}
+	return ip.SerializeTo(nil, icmp.SerializeTo(nil))
+}
+
+// BuildEchoReply assembles the reply a destination host generates for
+// an echo request: source/destination swapped, ID/Seq/payload echoed.
+// ipID is the responder's IP identification value (routers use a
+// shared per-box counter, which alias resolution exploits).
+func BuildEchoReply(req IPv4, echo ICMP, ttl uint8, ipID uint16) ([]byte, error) {
+	reply := IPv4{TTL: ttl, ID: ipID, Protocol: ProtoICMP, Src: req.Dst, Dst: req.Src,
+		RecordRoute: req.RecordRoute.clone()}
+	// Per RFC 791 the RR option is copied into the reply and continues
+	// recording on the return path.
+	m := ICMP{Type: ICMPEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
+	return reply.SerializeTo(nil, m.SerializeTo(nil))
+}
+
+// BuildTimeExceeded assembles the ICMP time-exceeded error a router
+// generates when a packet's TTL expires: the quote carries the original
+// IPv4 header plus the first 8 payload bytes (RFC 792).
+func BuildTimeExceeded(routerAddr IPv4, orig []byte) ([]byte, error) {
+	quote := orig
+	if len(quote) > icmpErrorQuoteOptMax {
+		quote = quote[:icmpErrorQuoteOptMax]
+	}
+	routerAddr.Protocol = ProtoICMP
+	m := ICMP{Type: ICMPTimeExceeded, Code: ICMPCodeTTLExceeded, Quote: quote}
+	return routerAddr.SerializeTo(nil, m.SerializeTo(nil))
+}
+
+// ParseQuote decodes the datagram quoted inside an ICMP error so the
+// prober can match the error to the probe that triggered it. The quoted
+// ICMP header's checksum is not reverified because errors may quote
+// only the first 8 transport bytes.
+func ParseQuote(quote []byte) (IPv4, ICMP, error) {
+	if len(quote) < ipv4MinHeaderLen {
+		return IPv4{}, ICMP{}, fmt.Errorf("%w: quote", ErrTruncated)
+	}
+	hl := int(quote[0]&0x0F) * 4
+	if quote[0]>>4 != 4 || hl < ipv4MinHeaderLen || len(quote) < hl {
+		return IPv4{}, ICMP{}, fmt.Errorf("%w: quote header", ErrTruncated)
+	}
+	h := IPv4{
+		TOS:      quote[1],
+		ID:       binary.BigEndian.Uint16(quote[4:]),
+		TTL:      quote[8],
+		Protocol: quote[9],
+		Src:      netaddr.AddrFromBytes(quote[12:16]),
+		Dst:      netaddr.AddrFromBytes(quote[16:20]),
+	}
+	rest := quote[hl:]
+	if len(rest) < 8 {
+		return h, ICMP{}, fmt.Errorf("%w: quoted transport", ErrTruncated)
+	}
+	m := ICMP{Type: rest[0], Code: rest[1]}
+	if m.IsEcho() {
+		m.ID = binary.BigEndian.Uint16(rest[4:])
+		m.Seq = binary.BigEndian.Uint16(rest[6:])
+	}
+	return h, m, nil
+}

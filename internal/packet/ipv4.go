@@ -1,0 +1,251 @@
+// Package packet implements wire-format encoding and decoding of the
+// IPv4 and ICMP layers the measurement plane uses: TTL-limited echo
+// probes, echo replies, time-exceeded errors, and the IPv4 Record Route
+// option used for the paper's path-symmetry checks (§5.2).
+//
+// The design follows the gopacket layer model: each layer has a typed
+// struct, a SerializeTo that appends its wire form, and a DecodeX that
+// validates strictly (lengths, checksums, version) and returns typed
+// errors. Packets inside the simulator are real byte slices, so the
+// measurement code exercises exactly the parsing paths a raw-socket
+// scamper deployment would.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"afrixp/internal/netaddr"
+)
+
+// Errors returned by the decoders. Callers match with errors.Is.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadOption   = errors.New("packet: malformed IPv4 option")
+)
+
+// Protocol numbers carried in the IPv4 header.
+const (
+	ProtoICMP = 1
+)
+
+const (
+	ipv4MinHeaderLen = 20
+	ipv4MaxHeaderLen = 60
+	optEOL           = 0 // end of option list
+	optNOP           = 1 // no-operation padding
+	optRR            = 7 // record route
+)
+
+// MaxRecordRouteSlots is the number of address slots that fit in the
+// 40-byte IPv4 options area alongside the RR option header.
+const MaxRecordRouteSlots = 9
+
+// IPv4 is a decoded IPv4 header. Only the fields the measurement plane
+// needs are modeled; the rest serialize as zeros.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netaddr.Addr
+
+	// RecordRoute, when non-nil, carries the RR option state: Recorded
+	// holds the stamped addresses and Slots the total capacity. A
+	// router forwarding the packet stamps its outgoing address while
+	// len(Recorded) < Slots.
+	RecordRoute *RecordRoute
+
+	// TotalLength is populated on decode with the length from the wire.
+	TotalLength uint16
+}
+
+// RecordRoute models IPv4 option 7.
+type RecordRoute struct {
+	Slots    int
+	Recorded []netaddr.Addr
+}
+
+// Full reports whether every slot has been stamped.
+func (rr *RecordRoute) Full() bool { return len(rr.Recorded) >= rr.Slots }
+
+// Stamp records addr in the next free slot; it is a no-op when full.
+func (rr *RecordRoute) Stamp(addr netaddr.Addr) {
+	if !rr.Full() {
+		rr.Recorded = append(rr.Recorded, addr)
+	}
+}
+
+// clone deep-copies the option so forwarded packets do not alias.
+func (rr *RecordRoute) clone() *RecordRoute {
+	if rr == nil {
+		return nil
+	}
+	c := &RecordRoute{Slots: rr.Slots}
+	c.Recorded = append(c.Recorded, rr.Recorded...)
+	return c
+}
+
+// Clone returns a deep copy of the header (including options), used by
+// routers when generating ICMP errors that quote the offending packet.
+func (h *IPv4) Clone() IPv4 {
+	c := *h
+	c.RecordRoute = h.RecordRoute.clone()
+	return c
+}
+
+// headerLen returns the header length in bytes including options.
+func (h *IPv4) headerLen() int {
+	n := ipv4MinHeaderLen
+	if h.RecordRoute != nil {
+		optLen := 3 + 4*h.RecordRoute.Slots
+		// Options area is padded to a 4-byte boundary.
+		n += (optLen + 3) &^ 3
+	}
+	return n
+}
+
+// SerializeTo appends the header followed by payload to b and returns
+// the extended slice. The checksum and length fields are computed.
+func (h *IPv4) SerializeTo(b []byte, payload []byte) ([]byte, error) {
+	hl := h.headerLen()
+	if hl > ipv4MaxHeaderLen {
+		return nil, fmt.Errorf("%w: options exceed 40 bytes", ErrBadOption)
+	}
+	total := hl + len(payload)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("packet: total length %d overflows", total)
+	}
+	start := len(b)
+	b = append(b, make([]byte, hl)...)
+	hdr := b[start : start+hl]
+
+	hdr[0] = 0x40 | uint8(hl/4) // version 4, IHL
+	hdr[1] = h.TOS
+	binary.BigEndian.PutUint16(hdr[2:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[4:], h.ID)
+	// flags+fragment offset zero (we never fragment probe packets)
+	hdr[8] = h.TTL
+	hdr[9] = h.Protocol
+	// checksum at hdr[10:12] filled below
+	copy(hdr[12:16], h.Src.AppendTo(nil))
+	copy(hdr[16:20], h.Dst.AppendTo(nil))
+
+	if rr := h.RecordRoute; rr != nil {
+		opt := hdr[20:]
+		opt[0] = optRR
+		optLen := 3 + 4*rr.Slots
+		opt[1] = uint8(optLen)
+		opt[2] = uint8(4 + 4*len(rr.Recorded)) // pointer: 1-based offset of next slot
+		for i, a := range rr.Recorded {
+			copy(opt[3+4*i:], a.AppendTo(nil))
+		}
+		for i := optLen; i < len(opt); i++ {
+			opt[i] = optEOL
+		}
+	}
+
+	binary.BigEndian.PutUint16(hdr[10:], Checksum(hdr))
+	return append(b, payload...), nil
+}
+
+// DecodeIPv4 parses an IPv4 header from b, returning the header and the
+// payload bytes (aliasing b). The header checksum is verified.
+func DecodeIPv4(b []byte) (IPv4, []byte, error) {
+	if len(b) < ipv4MinHeaderLen {
+		return IPv4{}, nil, fmt.Errorf("%w: %d bytes for IPv4 header", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4{}, nil, fmt.Errorf("%w: version %d", ErrBadVersion, b[0]>>4)
+	}
+	hl := int(b[0]&0x0F) * 4
+	if hl < ipv4MinHeaderLen || hl > ipv4MaxHeaderLen || len(b) < hl {
+		return IPv4{}, nil, fmt.Errorf("%w: IHL %d with %d bytes", ErrTruncated, hl, len(b))
+	}
+	if Checksum(b[:hl]) != 0 {
+		return IPv4{}, nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+	total := binary.BigEndian.Uint16(b[2:])
+	if int(total) < hl || int(total) > len(b) {
+		return IPv4{}, nil, fmt.Errorf("%w: total length %d of %d bytes", ErrTruncated, total, len(b))
+	}
+	h := IPv4{
+		TOS:         b[1],
+		ID:          binary.BigEndian.Uint16(b[4:]),
+		TTL:         b[8],
+		Protocol:    b[9],
+		Src:         netaddr.AddrFromBytes(b[12:16]),
+		Dst:         netaddr.AddrFromBytes(b[16:20]),
+		TotalLength: total,
+	}
+	if hl > ipv4MinHeaderLen {
+		rr, err := decodeOptions(b[ipv4MinHeaderLen:hl])
+		if err != nil {
+			return IPv4{}, nil, err
+		}
+		h.RecordRoute = rr
+	}
+	return h, b[hl:total], nil
+}
+
+func decodeOptions(opts []byte) (*RecordRoute, error) {
+	var rr *RecordRoute
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case optEOL:
+			return rr, nil
+		case optNOP:
+			i++
+		case optRR:
+			if i+3 > len(opts) {
+				return nil, fmt.Errorf("%w: RR header truncated", ErrBadOption)
+			}
+			optLen := int(opts[i+1])
+			if optLen < 3 || i+optLen > len(opts) || (optLen-3)%4 != 0 {
+				return nil, fmt.Errorf("%w: RR length %d", ErrBadOption, optLen)
+			}
+			ptr := int(opts[i+2])
+			if ptr < 4 || (ptr-4)%4 != 0 || ptr > optLen+1 {
+				return nil, fmt.Errorf("%w: RR pointer %d", ErrBadOption, ptr)
+			}
+			slots := (optLen - 3) / 4
+			used := (ptr - 4) / 4
+			got := &RecordRoute{Slots: slots}
+			for j := 0; j < used; j++ {
+				got.Recorded = append(got.Recorded, netaddr.AddrFromBytes(opts[i+3+4*j:]))
+			}
+			rr = got
+			i += optLen
+		default:
+			if i+1 >= len(opts) {
+				return nil, fmt.Errorf("%w: option %d truncated", ErrBadOption, opts[i])
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return nil, fmt.Errorf("%w: option %d length %d", ErrBadOption, opts[i], l)
+			}
+			i += l
+		}
+	}
+	return rr, nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b. Verifying a
+// buffer that embeds a correct checksum yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,356 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"afrixp/internal/netaddr"
+)
+
+func ma(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{TOS: 0xC0, ID: 0xBEEF, TTL: 12, Protocol: ProtoICMP,
+		Src: ma("196.49.7.1"), Dst: ma("41.242.0.9")}
+	payload := []byte("hello probes")
+	wire, err := h.SerializeTo(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pl, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TOS != h.TOS || got.ID != h.ID || got.TTL != h.TTL ||
+		got.Protocol != h.Protocol || got.Src != h.Src || got.Dst != h.Dst {
+		t.Fatalf("header mismatch: %+v vs %+v", got, h)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatalf("payload mismatch: %q", pl)
+	}
+	if int(got.TotalLength) != len(wire) {
+		t.Fatalf("TotalLength = %d, wire = %d", got.TotalLength, len(wire))
+	}
+}
+
+func TestIPv4ChecksumDetection(t *testing.T) {
+	h := IPv4{TTL: 64, Protocol: ProtoICMP, Src: ma("10.0.0.1"), Dst: ma("10.0.0.2")}
+	wire, _ := h.SerializeTo(nil, nil)
+	wire[8] ^= 0xFF // corrupt TTL
+	if _, _, err := DecodeIPv4(wire); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corruption not caught: %v", err)
+	}
+}
+
+func TestIPv4Truncation(t *testing.T) {
+	h := IPv4{TTL: 64, Src: ma("10.0.0.1"), Dst: ma("10.0.0.2")}
+	wire, _ := h.SerializeTo(nil, []byte{1, 2, 3})
+	for cut := 0; cut < 20; cut++ {
+		if _, _, err := DecodeIPv4(wire[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestIPv4VersionCheck(t *testing.T) {
+	h := IPv4{TTL: 64, Src: ma("10.0.0.1"), Dst: ma("10.0.0.2")}
+	wire, _ := h.SerializeTo(nil, nil)
+	wire[0] = 0x65 // version 6
+	if _, _, err := DecodeIPv4(wire); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestRecordRouteRoundTrip(t *testing.T) {
+	h := IPv4{TTL: 32, Protocol: ProtoICMP, Src: ma("10.0.0.1"), Dst: ma("10.9.9.9"),
+		RecordRoute: &RecordRoute{Slots: 9,
+			Recorded: []netaddr.Addr{ma("10.0.0.2"), ma("10.0.1.2")}}}
+	wire, err := h.SerializeTo(nil, []byte{0xAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pl, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordRoute == nil {
+		t.Fatal("RR option lost")
+	}
+	if got.RecordRoute.Slots != 9 || len(got.RecordRoute.Recorded) != 2 {
+		t.Fatalf("RR state: %+v", got.RecordRoute)
+	}
+	if got.RecordRoute.Recorded[1] != ma("10.0.1.2") {
+		t.Fatal("recorded addr mismatch")
+	}
+	if !bytes.Equal(pl, []byte{0xAA}) {
+		t.Fatal("payload after options mismatch")
+	}
+}
+
+func TestRecordRouteStamping(t *testing.T) {
+	rr := &RecordRoute{Slots: 2}
+	rr.Stamp(ma("1.1.1.1"))
+	rr.Stamp(ma("2.2.2.2"))
+	if !rr.Full() {
+		t.Fatal("should be full")
+	}
+	rr.Stamp(ma("3.3.3.3")) // ignored
+	if len(rr.Recorded) != 2 {
+		t.Fatal("stamp past capacity must be a no-op")
+	}
+}
+
+func TestRecordRouteMaxSlots(t *testing.T) {
+	rr := &RecordRoute{Slots: MaxRecordRouteSlots}
+	for i := 0; i < MaxRecordRouteSlots; i++ {
+		rr.Stamp(netaddr.AddrFrom4(10, 0, 0, byte(i)))
+	}
+	h := IPv4{TTL: 1, Src: ma("10.0.0.1"), Dst: ma("10.0.0.2"), RecordRoute: rr}
+	wire, err := h.SerializeTo(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.RecordRoute.Recorded) != MaxRecordRouteSlots {
+		t.Fatalf("got %d recorded", len(got.RecordRoute.Recorded))
+	}
+}
+
+func TestIPv4CloneIndependence(t *testing.T) {
+	h := IPv4{RecordRoute: &RecordRoute{Slots: 9, Recorded: []netaddr.Addr{ma("1.1.1.1")}}}
+	c := h.Clone()
+	c.RecordRoute.Stamp(ma("2.2.2.2"))
+	if len(h.RecordRoute.Recorded) != 1 {
+		t.Fatal("clone aliases original RR state")
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	m := ICMP{Type: ICMPEcho, ID: 0x1234, Seq: 77, Payload: []byte{9, 8, 7, 6, 5, 4, 3, 2}}
+	wire := m.SerializeTo(nil)
+	got, err := DecodeICMP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || got.Seq != m.Seq || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("echo mismatch: %+v", got)
+	}
+}
+
+func TestICMPChecksumDetection(t *testing.T) {
+	m := ICMP{Type: ICMPEcho, ID: 1, Seq: 2}
+	wire := m.SerializeTo(nil)
+	wire[6] ^= 0x01
+	if _, err := DecodeICMP(wire); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestICMPUnsupportedType(t *testing.T) {
+	m := ICMP{Type: ICMPEcho}
+	wire := m.SerializeTo(nil)
+	wire[0] = 13 // timestamp request: unsupported
+	// repair checksum manually
+	wire[2], wire[3] = 0, 0
+	cs := Checksum(wire)
+	wire[2], wire[3] = byte(cs>>8), byte(cs)
+	if _, err := DecodeICMP(wire); err == nil {
+		t.Fatal("unsupported type must fail")
+	}
+}
+
+func TestBuildEchoAndParse(t *testing.T) {
+	wire, err := BuildEcho(IPv4{TTL: 3, Src: ma("10.0.0.1"), Dst: ma("10.0.9.9"), ID: 42},
+		0xABCD, 17, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, pl, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Protocol != ProtoICMP || ip.TTL != 3 {
+		t.Fatalf("ip: %+v", ip)
+	}
+	m, err := DecodeICMP(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != ICMPEcho || m.ID != 0xABCD || m.Seq != 17 {
+		t.Fatalf("icmp: %+v", m)
+	}
+}
+
+func TestEchoReplySwapsAddresses(t *testing.T) {
+	req := IPv4{TTL: 9, Src: ma("10.0.0.1"), Dst: ma("10.0.9.9")}
+	wire, err := BuildEchoReply(req, ICMP{Type: ICMPEcho, ID: 5, Seq: 6}, 64, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, pl, err := DecodeIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != req.Dst || ip.Dst != req.Src {
+		t.Fatal("reply must swap src/dst")
+	}
+	if ip.ID != 777 {
+		t.Fatal("reply must carry the responder IP-ID")
+	}
+	m, err := DecodeICMP(pl)
+	if err != nil || m.Type != ICMPEchoReply || m.ID != 5 || m.Seq != 6 {
+		t.Fatalf("reply: %+v err %v", m, err)
+	}
+}
+
+func TestTimeExceededQuote(t *testing.T) {
+	orig, err := BuildEcho(IPv4{TTL: 1, Src: ma("10.0.0.1"), Dst: ma("10.0.9.9")},
+		0x5151, 300, make([]byte, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := BuildTimeExceeded(IPv4{TTL: 255, Src: ma("10.0.5.1"), Dst: ma("10.0.0.1")}, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, pl, err := DecodeIPv4(te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != ma("10.0.5.1") {
+		t.Fatal("error source must be the router")
+	}
+	m, err := DecodeICMP(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != ICMPTimeExceeded || m.Code != ICMPCodeTTLExceeded {
+		t.Fatalf("icmp: %+v", m)
+	}
+	qip, qicmp, err := ParseQuote(m.Quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qip.Src != ma("10.0.0.1") || qip.Dst != ma("10.0.9.9") {
+		t.Fatalf("quoted header: %+v", qip)
+	}
+	if qicmp.ID != 0x5151 || qicmp.Seq != 300 {
+		t.Fatalf("quoted probe ids: %+v", qicmp)
+	}
+}
+
+func TestParseQuoteTruncated(t *testing.T) {
+	if _, _, err := ParseQuote(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short quote must fail")
+	}
+	// Valid IPv4 header but fewer than 8 transport bytes.
+	h := IPv4{TTL: 1, Src: ma("10.0.0.1"), Dst: ma("10.0.0.2")}
+	wire, _ := h.SerializeTo(nil, []byte{1, 2, 3})
+	if _, _, err := ParseQuote(wire); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short transport quote must fail")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %#04x", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length buffers are padded with a zero byte.
+	if Checksum([]byte{0xAB}) != ^uint16(0xAB00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+// Property: any serialized packet decodes back to itself.
+func TestSerializeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(tos uint8, id uint16, ttl uint8, src, dst uint32, plen uint8) bool {
+		h := IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: ProtoICMP,
+			Src: netaddr.Addr(src), Dst: netaddr.Addr(dst)}
+		if rng.Intn(2) == 0 {
+			n := 1 + rng.Intn(MaxRecordRouteSlots)
+			rr := &RecordRoute{Slots: n}
+			for i := 0; i < rng.Intn(n+1); i++ {
+				rr.Stamp(netaddr.Addr(rng.Uint32()))
+			}
+			h.RecordRoute = rr
+		}
+		payload := make([]byte, plen)
+		rng.Read(payload)
+		wire, err := h.SerializeTo(nil, payload)
+		if err != nil {
+			return false
+		}
+		got, pl, err := DecodeIPv4(wire)
+		if err != nil || !bytes.Equal(pl, payload) {
+			return false
+		}
+		if got.Src != h.Src || got.Dst != h.Dst || got.TTL != h.TTL || got.ID != h.ID {
+			return false
+		}
+		if (got.RecordRoute == nil) != (h.RecordRoute == nil) {
+			return false
+		}
+		if h.RecordRoute != nil {
+			if got.RecordRoute.Slots != h.RecordRoute.Slots ||
+				len(got.RecordRoute.Recorded) != len(h.RecordRoute.Recorded) {
+				return false
+			}
+			for i := range h.RecordRoute.Recorded {
+				if got.RecordRoute.Recorded[i] != h.RecordRoute.Recorded[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoder never panics on arbitrary bytes.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(120))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on %x: %v", b, r)
+				}
+			}()
+			if ip, pl, err := DecodeIPv4(b); err == nil {
+				_, _ = DecodeICMP(pl)
+				_ = ip
+			}
+			_, _ = DecodeICMP(b)
+			_, _, _ = ParseQuote(b)
+		}()
+	}
+}
+
+func BenchmarkEchoRoundTrip(b *testing.B) {
+	h := IPv4{TTL: 64, Src: ma("10.0.0.1"), Dst: ma("10.0.9.9")}
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		icmp := ICMP{Type: ICMPEcho, ID: 1, Seq: uint16(i)}
+		wire, _ := h.SerializeTo(buf, icmp.SerializeTo(nil))
+		if _, _, err := DecodeIPv4(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

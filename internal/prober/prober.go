@@ -1,0 +1,257 @@
+// Package prober is the measurement agent — the role scamper plays on
+// an Ark monitor. A Prober is bound to one vantage-point host inside
+// the simulated internetwork and offers the operations the paper's
+// campaign used: ICMP ping, TTL-limited traceroute, Record-Route
+// probes, the TSLP near/far link sampler, and 1 pps loss probing.
+// Probing is paced by a token bucket (the paper kept to 100 packets
+// per second out of care for the host networks), and every result can
+// be streamed to a warts writer.
+package prober
+
+import (
+	"fmt"
+	"time"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
+	"afrixp/internal/packet"
+	"afrixp/internal/queue"
+	"afrixp/internal/simclock"
+	"afrixp/internal/warts"
+)
+
+// Config tunes a Prober.
+type Config struct {
+	// Name identifies the monitor in warts records ("gixa-gh").
+	Name string
+	// RatePPS is the probing budget. Default 100, the paper's rate.
+	RatePPS float64
+	// Warts, when non-nil, receives every probe result.
+	Warts *warts.Writer
+	// Timeout is how long the prober waits before declaring a probe
+	// lost. It only affects the virtual time consumed. Default 2 s.
+	Timeout simclock.Duration
+}
+
+// Prober is a scamper-like measurement process on one VP.
+type Prober struct {
+	nw     *netsim.Network
+	vp     *netsim.Node
+	cfg    Config
+	bucket *queue.TokenBucket
+	icmpID uint16
+	seq    uint16
+}
+
+// New binds a prober to a vantage-point node.
+func New(nw *netsim.Network, vp *netsim.Node, cfg Config) *Prober {
+	if cfg.RatePPS <= 0 {
+		cfg.RatePPS = 100
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Name == "" {
+		cfg.Name = vp.Name
+	}
+	return &Prober{
+		nw:     nw,
+		vp:     vp,
+		cfg:    cfg,
+		bucket: queue.NewTokenBucket(cfg.RatePPS, cfg.RatePPS, 0),
+		icmpID: uint16(vp.ID)*257 + 11,
+	}
+}
+
+// VP returns the prober's vantage-point node.
+func (p *Prober) VP() *netsim.Node { return p.vp }
+
+// Name returns the monitor name.
+func (p *Prober) Name() string { return p.cfg.Name }
+
+// PingResult is the outcome of one echo probe.
+type PingResult struct {
+	// SentAt is the (paced) transmission time.
+	SentAt simclock.Time
+	// Responder is the address that answered (zero when lost).
+	Responder netaddr.Addr
+	// RespType is the ICMP type of the response.
+	RespType uint8
+	// RespIPID is the IP identification field of the response —
+	// routers draw it from a shared per-box counter, the signal
+	// Ally-style alias resolution uses.
+	RespIPID uint16
+	RTT      simclock.Duration
+	Lost     bool
+}
+
+// Ping sends one echo probe with the given TTL at (no earlier than) t.
+func (p *Prober) Ping(dst netaddr.Addr, ttl uint8, t simclock.Time) (PingResult, error) {
+	sendAt := p.bucket.NextAllowed(t)
+	p.bucket.Allow(sendAt)
+	p.seq++
+	wire, err := packet.BuildEcho(packet.IPv4{
+		TTL: ttl, Src: p.nw.SrcAddr(p.vp), Dst: dst, ID: p.seq,
+	}, p.icmpID, p.seq, tsPayload(sendAt))
+	if err != nil {
+		return PingResult{}, fmt.Errorf("prober: building echo: %w", err)
+	}
+	resp, outcome, err := p.nw.Inject(p.vp, wire, sendAt)
+	if err != nil {
+		return PingResult{}, fmt.Errorf("prober: inject: %w", err)
+	}
+	res := PingResult{SentAt: sendAt}
+	if outcome != netsim.Delivered {
+		res.Lost = true
+	} else {
+		rip, pl, derr := packet.DecodeIPv4(resp.Wire)
+		if derr != nil {
+			return PingResult{}, derr
+		}
+		icmp, derr := packet.DecodeICMP(pl)
+		if derr != nil {
+			return PingResult{}, derr
+		}
+		res.Responder = resp.From
+		res.RespType = icmp.Type
+		res.RespIPID = rip.ID
+		res.RTT = resp.At.Sub(sendAt)
+		if res.RTT > p.cfg.Timeout {
+			// Response slower than the timeout counts as loss, as it
+			// would for scamper.
+			res = PingResult{SentAt: sendAt, Lost: true}
+		}
+	}
+	p.log(&warts.Record{
+		Type: warts.TypePing, VP: p.cfg.Name, At: sendAt, Target: dst,
+		Responder: res.Responder, TTL: ttl, RespType: res.RespType,
+		RTT: res.RTT, Lost: res.Lost,
+	})
+	return res, nil
+}
+
+// Hop is one traceroute step.
+type Hop struct {
+	TTL       uint8
+	Responder netaddr.Addr
+	RTT       simclock.Duration
+	Lost      bool
+	// Reached marks the hop that answered with an echo reply.
+	Reached bool
+}
+
+// tracerouteGapLimit stops a trace after this many consecutive
+// unresponsive hops, matching scamper's gap-limit behavior — probing
+// on into a black hole wastes the rate budget.
+const tracerouteGapLimit = 4
+
+// Traceroute walks TTLs toward dst until the destination answers,
+// maxTTL is exhausted, or the gap limit of consecutive silent hops is
+// reached. Each hop consumes pacing budget; lost hops are retried
+// once, as scamper does by default.
+func (p *Prober) Traceroute(dst netaddr.Addr, maxTTL uint8, t simclock.Time) ([]Hop, error) {
+	var hops []Hop
+	gap := 0
+	at := t
+	for ttl := uint8(1); ttl <= maxTTL; ttl++ {
+		res, err := p.Ping(dst, ttl, at)
+		if err != nil {
+			return hops, err
+		}
+		if res.Lost {
+			// One retry.
+			res, err = p.Ping(dst, ttl, res.SentAt.Add(50*time.Millisecond))
+			if err != nil {
+				return hops, err
+			}
+		}
+		at = res.SentAt.Add(10 * time.Millisecond)
+		hop := Hop{TTL: ttl, Responder: res.Responder, RTT: res.RTT, Lost: res.Lost,
+			Reached: !res.Lost && res.RespType == packet.ICMPEchoReply}
+		hops = append(hops, hop)
+		p.log(&warts.Record{
+			Type: warts.TypeTraceHop, VP: p.cfg.Name, At: res.SentAt, Target: dst,
+			Responder: res.Responder, TTL: ttl, RespType: res.RespType,
+			RTT: res.RTT, Lost: res.Lost,
+		})
+		if hop.Reached {
+			break
+		}
+		if hop.Lost {
+			gap++
+			if gap >= tracerouteGapLimit {
+				break
+			}
+		} else {
+			gap = 0
+		}
+	}
+	return hops, nil
+}
+
+// RRResult is the outcome of a Record-Route probe.
+type RRResult struct {
+	Recorded []netaddr.Addr
+	Full     bool
+	RTT      simclock.Duration
+	Lost     bool
+}
+
+// RRPing sends an echo probe carrying the Record Route option.
+func (p *Prober) RRPing(dst netaddr.Addr, t simclock.Time) (RRResult, error) {
+	sendAt := p.bucket.NextAllowed(t)
+	p.bucket.Allow(sendAt)
+	p.seq++
+	ip := packet.IPv4{TTL: 64, Src: p.nw.SrcAddr(p.vp), Dst: dst, ID: p.seq,
+		RecordRoute: &packet.RecordRoute{Slots: packet.MaxRecordRouteSlots}}
+	icmp := packet.ICMP{Type: packet.ICMPEcho, ID: p.icmpID, Seq: p.seq, Payload: tsPayload(sendAt)}
+	wire, err := ip.SerializeTo(nil, icmp.SerializeTo(nil))
+	if err != nil {
+		return RRResult{}, err
+	}
+	resp, outcome, err := p.nw.Inject(p.vp, wire, sendAt)
+	if err != nil {
+		return RRResult{}, err
+	}
+	var res RRResult
+	if outcome != netsim.Delivered {
+		res.Lost = true
+	} else {
+		rip, _, derr := packet.DecodeIPv4(resp.Wire)
+		if derr != nil {
+			return RRResult{}, derr
+		}
+		if rip.RecordRoute != nil {
+			res.Recorded = rip.RecordRoute.Recorded
+			res.Full = rip.RecordRoute.Full()
+		}
+		res.RTT = resp.At.Sub(sendAt)
+	}
+	p.log(&warts.Record{
+		Type: warts.TypeRRPing, VP: p.cfg.Name, At: sendAt, Target: dst,
+		TTL: 64, RTT: res.RTT, Lost: res.Lost, RR: res.Recorded, RRFull: res.Full,
+	})
+	return res, nil
+}
+
+// log writes a record when a warts writer is configured. Write errors
+// panic: losing campaign data silently would invalidate the study.
+func (p *Prober) log(rec *warts.Record) {
+	if p.cfg.Warts == nil {
+		return
+	}
+	if err := p.cfg.Warts.Write(rec); err != nil {
+		panic(fmt.Sprintf("prober: warts write failed: %v", err))
+	}
+}
+
+// tsPayload encodes the transmit timestamp into the echo payload, as
+// scamper does to match replies without keeping state.
+func tsPayload(t simclock.Time) []byte {
+	b := make([]byte, 8)
+	v := uint64(t)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+	return b
+}

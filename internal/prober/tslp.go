@@ -1,0 +1,159 @@
+package prober
+
+import (
+	"fmt"
+	"time"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
+	"afrixp/internal/packet"
+	"afrixp/internal/simclock"
+	"afrixp/internal/warts"
+)
+
+// LinkTarget identifies a discovered interdomain IP link by its two
+// ends as seen from the VP (the bdrmap output the campaign probes).
+type LinkTarget struct {
+	Near, Far netaddr.Addr
+}
+
+// String renders "near→far".
+func (lt LinkTarget) String() string {
+	return fmt.Sprintf("%v→%v", lt.Near, lt.Far)
+}
+
+// TSLP is a time-sequence latency probe session for one link: paired
+// TTL-limited probes expiring at the near and far ends, sent every
+// round (the paper probed every 5 minutes for 13 months).
+//
+// Probe trajectories are resolved once and sampled through the
+// simulator's fast path; they re-resolve automatically if the
+// topology changes underneath.
+type TSLP struct {
+	p      *Prober
+	Target LinkTarget
+
+	nearTTL  int
+	nearPath *netsim.ProbePath
+	farPath  *netsim.ProbePath
+}
+
+// NewTSLP resolves probe trajectories toward both ends of the link.
+func (p *Prober) NewTSLP(target LinkTarget) (*TSLP, error) {
+	ts := &TSLP{p: p, Target: target}
+	if err := ts.resolve(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// resolve recomputes the cached trajectories.
+func (ts *TSLP) resolve() error {
+	full, err := ts.p.nw.TracePath(ts.p.vp, ts.Target.Far, 64)
+	if err != nil {
+		return fmt.Errorf("prober: tracing %v: %w", ts.Target, err)
+	}
+	nearTTL := -1
+	for i, a := range full.HopAddrs {
+		if a == ts.Target.Near {
+			nearTTL = i + 1
+			break
+		}
+	}
+	if nearTTL < 0 {
+		return fmt.Errorf("prober: near end %v not on path to %v (route changed?)",
+			ts.Target.Near, ts.Target.Far)
+	}
+	nearPath, err := ts.p.nw.TracePath(ts.p.vp, ts.Target.Far, nearTTL)
+	if err != nil {
+		return err
+	}
+	if nearPath.RespAddr != ts.Target.Near {
+		return fmt.Errorf("prober: TTL %d expires at %v, want near end %v",
+			nearTTL, nearPath.RespAddr, ts.Target.Near)
+	}
+	ts.nearTTL = nearTTL
+	ts.nearPath = nearPath
+	ts.farPath = full
+	return nil
+}
+
+// Sample is one TSLP round result.
+type Sample struct {
+	At                simclock.Time
+	NearRTT, FarRTT   simclock.Duration
+	NearLost, FarLost bool
+}
+
+// Round probes both ends of the link at time t. Stale trajectories
+// (after topology churn) are re-resolved; if the link has left the
+// routed path entirely, both probes report loss — exactly what the
+// paper observed when GIXA–GHANATEL disappeared.
+func (ts *TSLP) Round(t simclock.Time) Sample {
+	if !ts.nearPath.Valid() || !ts.farPath.Valid() {
+		if err := ts.resolve(); err != nil {
+			ts.logRound(t, Sample{At: t, NearLost: true, FarLost: true})
+			return Sample{At: t, NearLost: true, FarLost: true}
+		}
+	}
+	s := Sample{At: t}
+	nearAt := ts.p.bucket.NextAllowed(t)
+	ts.p.bucket.Allow(nearAt)
+	if rtt, ok := ts.nearPath.Sample(nearAt); ok && rtt <= ts.p.cfg.Timeout {
+		s.NearRTT = rtt
+	} else {
+		s.NearLost = true
+	}
+	farAt := ts.p.bucket.NextAllowed(nearAt.Add(10 * time.Millisecond))
+	ts.p.bucket.Allow(farAt)
+	if rtt, ok := ts.farPath.Sample(farAt); ok && rtt <= ts.p.cfg.Timeout {
+		s.FarRTT = rtt
+	} else {
+		s.FarLost = true
+	}
+	ts.logRound(t, s)
+	return s
+}
+
+func (ts *TSLP) logRound(t simclock.Time, s Sample) {
+	if ts.p.cfg.Warts == nil {
+		return
+	}
+	// Both TSLP probes are addressed to the far end (the near probe
+	// is simply TTL-limited to expire one hop earlier), so Target
+	// doubles as the link identifier in the archive; Responder tells
+	// the two ends apart.
+	ts.p.log(&warts.Record{
+		Type: warts.TypeTSLP, VP: ts.p.cfg.Name, At: t, Target: ts.Target.Far,
+		Responder: ts.Target.Near, TTL: uint8(ts.nearTTL),
+		RespType: packet.ICMPTimeExceeded, RTT: s.NearRTT, Lost: s.NearLost,
+	})
+	ts.p.log(&warts.Record{
+		Type: warts.TypeTSLP, VP: ts.p.cfg.Name, At: t, Target: ts.Target.Far,
+		Responder: ts.Target.Far, TTL: 64,
+		RespType: packet.ICMPEchoReply, RTT: s.FarRTT, Lost: s.FarLost,
+	})
+}
+
+// LossRound sends one 1 pps loss probe to each end at time t,
+// reporting only survival — the §4 loss-rate campaign.
+func (ts *TSLP) LossRound(t simclock.Time) (nearLost, farLost bool) {
+	if !ts.nearPath.Valid() || !ts.farPath.Valid() {
+		if err := ts.resolve(); err != nil {
+			return true, true
+		}
+	}
+	_, nearOK := ts.nearPath.Sample(t)
+	_, farOK := ts.farPath.Sample(t.Add(500 * time.Millisecond))
+	if ts.p.cfg.Warts != nil {
+		ts.p.log(&warts.Record{Type: warts.TypeLossProbe, VP: ts.p.cfg.Name, At: t,
+			Target: ts.Target.Near, Lost: !nearOK})
+		ts.p.log(&warts.Record{Type: warts.TypeLossProbe, VP: ts.p.cfg.Name, At: t,
+			Target: ts.Target.Far, Lost: !farOK})
+	}
+	return !nearOK, !farOK
+}
+
+// FarHopCount returns the forward hop count to the far end, useful for
+// diagnostics.
+func (ts *TSLP) FarHopCount() int { return len(ts.farPath.HopAddrs) }

@@ -1,0 +1,281 @@
+// Package queue models router output queues as fluid FIFO buffers.
+//
+// TSLP infers congestion from the standing queue that builds at a
+// link's output buffer when offered load approaches or exceeds link
+// capacity: RTTs across the link rise by up to the buffer's drain time,
+// and packets are dropped at the rate of the overload. A fluid model —
+// integrating (load − capacity) into an occupancy clamped to the buffer
+// size — reproduces exactly those observables without simulating every
+// background packet, which is what makes year-long campaigns feasible.
+//
+// The paper interprets the magnitude of a level shift as "the size of
+// the router buffer"; in this model, a link saturated for longer than
+// its drain time exhibits a queueing delay plateau equal to
+// BufferDrain, so scenario authors set BufferDrain to place A_w.
+package queue
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"afrixp/internal/simclock"
+)
+
+// Fluid is a fluid-approximation FIFO queue attached to a link of a
+// given capacity. Occupancy is tracked in bits; delay is occupancy
+// divided by capacity. The model is advanced lazily: each observation
+// at time t integrates the load function from the last observation
+// forward, so observations must be made in non-decreasing time order.
+type Fluid struct {
+	// CapacityBps is the link capacity in bits per second. It may be
+	// changed between observations via SetCapacity (capacity upgrades
+	// are a first-class event in the paper's case studies).
+	capacityBps float64
+	// bufferBits is the maximum occupancy (tail-drop beyond it).
+	bufferBits float64
+	// load returns the offered background load in bits per second at
+	// virtual time t.
+	load func(simclock.Time) float64
+
+	// integration state
+	lastTime  simclock.Time
+	occupancy float64 // bits
+	// lossAccum tracks, over the most recent integration step, the
+	// fraction of offered traffic dropped.
+	lossFrac float64
+
+	// step is the integration granularity.
+	step simclock.Duration
+	// pktBits enables the near-saturation stochastic delay term.
+	pktBits float64
+}
+
+// Config describes a fluid queue.
+type Config struct {
+	// CapacityBps is the link capacity in bits/s (e.g. 100e6 for the
+	// GIXA–GHANATEL transit link of §6.2.1).
+	CapacityBps float64
+	// BufferDrain is the time the full buffer takes to drain at
+	// capacity — the standing-queue delay plateau and therefore the
+	// level-shift magnitude TSLP observes.
+	BufferDrain simclock.Duration
+	// Load is the offered background load (bits/s) as a function of
+	// virtual time. nil means an always-idle link.
+	Load func(simclock.Time) float64
+	// Step is the integration granularity; defaults to 30 s, fine
+	// enough for 5-minute TSLP sampling.
+	Step simclock.Duration
+	// Start positions the queue's internal clock.
+	Start simclock.Time
+	// PacketBits, when positive, adds an M/M/1-style mean queueing
+	// delay ρ/(1−ρ)·PacketBits/Capacity below saturation (capped so
+	// total delay never exceeds BufferDrain). The pure fluid model
+	// shows zero delay until overload; real links build stochastic
+	// queues as utilization approaches 1 — the paper's
+	// QCELL–NETPAGE weekend spikes (15 ms vs the 35 ms weekday
+	// plateau) are that regime. 12000 (a 1500-byte packet) is a
+	// typical value; zero disables the term.
+	PacketBits float64
+}
+
+// NewFluid constructs the queue. It panics on non-positive capacity,
+// which is always a scenario bug.
+func NewFluid(cfg Config) *Fluid {
+	if cfg.CapacityBps <= 0 {
+		panic(fmt.Sprintf("queue: capacity %v must be positive", cfg.CapacityBps))
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 30 * time.Second
+	}
+	load := cfg.Load
+	if load == nil {
+		load = func(simclock.Time) float64 { return 0 }
+	}
+	return &Fluid{
+		capacityBps: cfg.CapacityBps,
+		bufferBits:  cfg.BufferDrain.Seconds() * cfg.CapacityBps,
+		load:        load,
+		lastTime:    cfg.Start,
+		step:        cfg.Step,
+		pktBits:     cfg.PacketBits,
+	}
+}
+
+// SetCapacity changes the link capacity at time t (advancing the model
+// to t first). The buffer's drain time is preserved, so the buffer
+// size in bits is rescaled — upgrading a 10 Mbps link to 1 Gbps keeps
+// the same worst-case queueing delay but makes it far harder to fill.
+func (q *Fluid) SetCapacity(t simclock.Time, bps float64) {
+	if bps <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	q.advance(t)
+	drain := q.bufferBits / q.capacityBps
+	q.capacityBps = bps
+	q.bufferBits = drain * bps
+	if q.occupancy > q.bufferBits {
+		q.occupancy = q.bufferBits
+	}
+}
+
+// Capacity returns the current capacity in bits/s.
+func (q *Fluid) Capacity() float64 { return q.capacityBps }
+
+// SetBufferDrain changes the buffer depth at time t (advancing the
+// model to t first) — operators repurposing a link for a different
+// service class effectively change its queue budget, as GHANATEL did
+// when converting its transit link to peering.
+func (q *Fluid) SetBufferDrain(t simclock.Time, drain simclock.Duration) {
+	if drain <= 0 {
+		panic("queue: buffer drain must be positive")
+	}
+	q.advance(t)
+	q.bufferBits = drain.Seconds() * q.capacityBps
+	if q.occupancy > q.bufferBits {
+		q.occupancy = q.bufferBits
+	}
+}
+
+// advance integrates the fluid model up to t. Observations at or
+// before the current integration frontier return the frontier state
+// unchanged: probes traversing different paths can observe a shared
+// queue slightly out of order (a probe that crossed a congested queue
+// arrives "later" than one sent just after it), and within one
+// integration step the occupancy difference is below model resolution.
+func (q *Fluid) advance(t simclock.Time) {
+	if t <= q.lastTime {
+		return
+	}
+	var offered, dropped float64
+	for q.lastTime < t {
+		dt := q.step
+		if rem := t.Sub(q.lastTime); rem < dt {
+			dt = rem
+		}
+		sec := dt.Seconds()
+		in := q.load(q.lastTime) * sec
+		out := q.capacityBps * sec
+		offered += in
+		next := q.occupancy + in - out
+		if next > q.bufferBits {
+			dropped += next - q.bufferBits
+			next = q.bufferBits
+		}
+		if next < 0 {
+			next = 0
+		}
+		q.occupancy = next
+		q.lastTime = q.lastTime.Add(dt)
+	}
+	if offered > 0 {
+		q.lossFrac = math.Min(1, dropped/offered)
+	} else {
+		q.lossFrac = 0
+	}
+}
+
+// DelayAt returns the queueing delay a packet arriving at time t
+// experiences: the fluid standing-queue drain time, plus (when
+// PacketBits is set) the stochastic near-saturation term, capped at
+// the buffer drain time.
+func (q *Fluid) DelayAt(t simclock.Time) simclock.Duration {
+	q.advance(t)
+	d := q.occupancy / q.capacityBps
+	if q.pktBits > 0 {
+		rho := q.load(t) / q.capacityBps
+		if rho >= 1 {
+			d = q.bufferBits / q.capacityBps
+		} else if rho > 0 {
+			d += rho / (1 - rho) * q.pktBits / q.capacityBps
+		}
+		if max := q.bufferBits / q.capacityBps; d > max {
+			d = max
+		}
+	}
+	return time.Duration(d * float64(time.Second))
+}
+
+// LossAt returns the probability that a packet arriving at time t is
+// dropped, computed from the drop fraction over the integration window
+// ending at t.
+func (q *Fluid) LossAt(t simclock.Time) float64 {
+	q.advance(t)
+	return q.lossFrac
+}
+
+// Occupancy returns the buffer occupancy in bits at time t.
+func (q *Fluid) Occupancy(t simclock.Time) float64 {
+	q.advance(t)
+	return q.occupancy
+}
+
+// Utilization returns offered load over capacity at time t (can
+// exceed 1 during overload).
+func (q *Fluid) Utilization(t simclock.Time) float64 {
+	return q.load(t) / q.capacityBps
+}
+
+// TokenBucket enforces the prober's packets-per-second budget (the
+// paper probed at 100 pps to avoid harming the host network). It is a
+// standard token bucket over virtual time.
+type TokenBucket struct {
+	ratePerSec float64
+	burst      float64
+	tokens     float64
+	last       simclock.Time
+}
+
+// NewTokenBucket returns a bucket producing rate tokens per second
+// with the given burst capacity, initially full.
+func NewTokenBucket(rate, burst float64, start simclock.Time) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic("queue: token bucket rate and burst must be positive")
+	}
+	return &TokenBucket{ratePerSec: rate, burst: burst, tokens: burst, last: start}
+}
+
+// tokenEps absorbs float accumulation error so that a bucket polled in
+// many small refill increments still admits exactly its nominal rate.
+const tokenEps = 1e-9
+
+// Allow consumes a token at time t if available, reporting success.
+// Requests dated before the bucket's frontier are treated as arriving
+// at the frontier (a caller asking to send "now" after pacing pushed
+// it into the future).
+func (tb *TokenBucket) Allow(t simclock.Time) bool {
+	tb.refill(t)
+	if tb.tokens >= 1-tokenEps {
+		tb.tokens--
+		if tb.tokens < 0 {
+			tb.tokens = 0
+		}
+		return true
+	}
+	return false
+}
+
+// NextAllowed returns the earliest time at or after max(t, frontier)
+// at which a token will be available.
+func (tb *TokenBucket) NextAllowed(t simclock.Time) simclock.Time {
+	t = tb.refill(t)
+	if tb.tokens >= 1-tokenEps {
+		return t
+	}
+	need := 1 - tb.tokens
+	wait := time.Duration(need / tb.ratePerSec * float64(time.Second))
+	return t.Add(wait)
+}
+
+// refill advances the bucket to max(t, frontier) and returns that time.
+func (tb *TokenBucket) refill(t simclock.Time) simclock.Time {
+	if t < tb.last {
+		t = tb.last
+	}
+	tb.tokens += t.Sub(tb.last).Seconds() * tb.ratePerSec
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = t
+	return t
+}

@@ -1,0 +1,177 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/netaddr"
+)
+
+func sample() *File {
+	d := time.Date(2005, 1, 10, 0, 0, 0, 0, time.UTC)
+	return &File{
+		Registry: "afrinic",
+		Serial:   "20170306",
+		Delegations: []Delegation{
+			{Registry: "afrinic", CC: "GH", Type: "ipv4",
+				Prefix: netaddr.MustParsePrefix("196.49.0.0/16"), Date: d,
+				Status: "allocated", Opaque: "ORG-GIXA"},
+			{Registry: "afrinic", CC: "KE", Type: "ipv4",
+				Prefix: netaddr.MustParsePrefix("41.242.0.0/20"), Date: d,
+				Status: "assigned", Opaque: "ORG-LIQUID"},
+			{Registry: "afrinic", CC: "GH", Type: "asn", ASN: 30997, Date: d,
+				Status: "allocated", Opaque: "ORG-GIXA"},
+			{Registry: "afrinic", CC: "KE", Type: "asn", ASN: 30844, Date: d,
+				Status: "allocated", Opaque: "ORG-LIQUID"},
+			{Registry: "afrinic", CC: "KE", Type: "asn", ASN: 4558, Date: d,
+				Status: "allocated", Opaque: "ORG-LIQUID"},
+		},
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Registry != "afrinic" || got.Serial != "20170306" {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Delegations) != len(want.Delegations) {
+		t.Fatalf("got %d delegations", len(got.Delegations))
+	}
+	for i, d := range got.Delegations {
+		w := want.Delegations[i]
+		if d.CC != w.CC || d.Type != w.Type || d.Prefix != w.Prefix ||
+			d.ASN != w.ASN || d.Status != w.Status || d.Opaque != w.Opaque ||
+			!d.Date.Equal(w.Date) {
+			t.Errorf("delegation %d: %+v != %+v", i, d, w)
+		}
+	}
+}
+
+func TestWriteFormatShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "2|afrinic|20170306|5|") {
+		t.Fatalf("version line: %q", lines[0])
+	}
+	if lines[1] != "afrinic|*|ipv4|*|2|summary" {
+		t.Fatalf("ipv4 summary: %q", lines[1])
+	}
+	if lines[2] != "afrinic|*|asn|*|3|summary" {
+		t.Fatalf("asn summary: %q", lines[2])
+	}
+	if lines[3] != "afrinic|GH|ipv4|196.49.0.0|65536|20050110|allocated|ORG-GIXA" {
+		t.Fatalf("ipv4 record: %q", lines[3])
+	}
+	if lines[5] != "afrinic|GH|asn|30997|1|20050110|allocated|ORG-GIXA" {
+		t.Fatalf("asn record: %q", lines[5])
+	}
+}
+
+func TestParseRejectsBadRecords(t *testing.T) {
+	cases := map[string]string{
+		"non-power-of-two": "afrinic|GH|ipv4|196.49.0.0|100|20050110|allocated",
+		"unaligned":        "afrinic|GH|ipv4|196.49.0.1|256|20050110|allocated",
+		"bad addr":         "afrinic|GH|ipv4|999.49.0.0|256|20050110|allocated",
+		"bad asn":          "afrinic|GH|asn|notanasn|1|20050110|allocated",
+		"bad type":         "afrinic|GH|ipv6|::1|1|20050110|allocated",
+		"bad date":         "afrinic|GH|asn|1|1|2005|allocated",
+		"short line":       "afrinic|GH|ipv4",
+	}
+	for name, line := range cases {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, line)
+		}
+	}
+}
+
+func TestParseSummaryMismatch(t *testing.T) {
+	in := "2|afrinic|20170306|1|19850701|20170306|+00:00\n" +
+		"afrinic|*|ipv4|*|2|summary\n" +
+		"afrinic|GH|ipv4|196.49.0.0|256|20050110|allocated\n"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("summary mismatch must be rejected")
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nafrinic|GH|asn|30997|1|20050110|allocated\n"
+	f, err := Parse(strings.NewReader(in))
+	if err != nil || len(f.Delegations) != 1 {
+		t.Fatalf("got %v, err %v", f, err)
+	}
+}
+
+func TestParseEmptyDate(t *testing.T) {
+	in := "afrinic|ZZ|asn|100|1||reserved\n"
+	f, err := Parse(strings.NewReader(in))
+	if err != nil || !f.Delegations[0].Date.IsZero() {
+		t.Fatalf("empty date should parse as zero time: %v err %v", f, err)
+	}
+}
+
+func TestIndexLookupAddr(t *testing.T) {
+	ix := NewIndex(sample())
+	d, ok := ix.LookupAddr(netaddr.MustParseAddr("196.49.200.7"))
+	if !ok || d.CC != "GH" {
+		t.Fatalf("LookupAddr: %+v %v", d, ok)
+	}
+	if _, ok := ix.LookupAddr(netaddr.MustParseAddr("8.8.8.8")); ok {
+		t.Fatal("undelegated space must miss")
+	}
+}
+
+func TestIndexMostSpecificWins(t *testing.T) {
+	f := sample()
+	f.Delegations = append(f.Delegations, Delegation{
+		Registry: "afrinic", CC: "NG", Type: "ipv4",
+		Prefix: netaddr.MustParsePrefix("196.49.128.0/17"),
+		Status: "assigned", Opaque: "ORG-SUB"})
+	ix := NewIndex(f)
+	d, ok := ix.LookupAddr(netaddr.MustParseAddr("196.49.200.1"))
+	if !ok || d.CC != "NG" {
+		t.Fatalf("most specific should win: %+v", d)
+	}
+	d, ok = ix.LookupAddr(netaddr.MustParseAddr("196.49.1.1"))
+	if !ok || d.CC != "GH" {
+		t.Fatalf("outside the /17 the /16 applies: %+v", d)
+	}
+}
+
+func TestIndexLookupASNAndSiblings(t *testing.T) {
+	ix := NewIndex(sample())
+	d, ok := ix.LookupASN(30844)
+	if !ok || d.Opaque != "ORG-LIQUID" {
+		t.Fatalf("LookupASN: %+v", d)
+	}
+	sibs := ix.SiblingASNs(30844)
+	if len(sibs) != 1 || sibs[0] != asrel.ASN(4558) {
+		t.Fatalf("SiblingASNs = %v", sibs)
+	}
+	if got := ix.SiblingASNs(30997); len(got) != 0 {
+		t.Fatalf("lone org should have no siblings, got %v", got)
+	}
+	if _, ok := ix.LookupASN(99999); ok {
+		t.Fatal("unknown ASN must miss")
+	}
+}
+
+func TestWriteRejectsUnknownType(t *testing.T) {
+	f := &File{Registry: "afrinic", Delegations: []Delegation{{Type: "ipv6"}}}
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("unknown type must be rejected")
+	}
+}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"afrixp/internal/timeseries"
+)
+
+// SVGSeries is one plotted series.
+type SVGSeries struct {
+	Name   string
+	Color  string // CSS color; defaults applied when empty
+	Series *timeseries.Series
+	// Scatter plots points instead of a connected line (loss batches).
+	Scatter bool
+}
+
+var defaultColors = []string{"#c0392b", "#2471a3", "#1e8449", "#9a7d0a", "#6c3483"}
+
+// WriteSVG renders series as a standalone SVG line/scatter chart with
+// axes, ticks, and a legend — the publication-shaped counterpart of
+// the terminal ASCII plots. Series must share a time grid origin but
+// may differ in length.
+func WriteSVG(w io.Writer, title, yLabel string, width, height int, series ...SVGSeries) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	if width < 200 || height < 120 {
+		return fmt.Errorf("report: SVG geometry %dx%d too small", width, height)
+	}
+	const (
+		marginL = 62
+		marginR = 16
+		marginT = 34
+		marginB = 46
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	// Global scale.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var tMin, tMax int64 = math.MaxInt64, math.MinInt64
+	for _, s := range series {
+		for i, v := range s.Series.Values {
+			if timeseries.IsMissing(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			at := int64(s.Series.TimeAt(i))
+			if at < tMin {
+				tMin = at
+			}
+			if at > tMax {
+				tMax = at
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	// A little headroom on top.
+	hi += (hi - lo) * 0.05
+
+	x := func(at int64) float64 {
+		return float64(marginL) + (float64(at-tMin)/float64(tMax-tMin))*plotW
+	}
+	y := func(v float64) float64 {
+		return float64(marginT) + (1-(v-lo)/(hi-lo))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#bbb" stroke-dasharray="3,3"/>`+"\n",
+			marginL, yy, width-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.1f</text>`+"\n", marginL-6, yy+4, v)
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), xmlEscape(yLabel))
+	// X ticks: start / middle / end timestamps.
+	for i := 0; i <= 2; i++ {
+		at := tMin + (tMax-tMin)*int64(i)/2
+		xx := x(at)
+		label := seriesTimeLabel(series[0].Series, at)
+		anchor := "middle"
+		if i == 0 {
+			anchor = "start"
+		} else if i == 2 {
+			anchor = "end"
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="%s">%s</text>`+"\n",
+			xx, height-marginB+16, anchor, label)
+	}
+
+	// Series.
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		if s.Scatter {
+			for i, v := range s.Series.Values {
+				if timeseries.IsMissing(v) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`+"\n",
+					x(int64(s.Series.TimeAt(i))), y(v), color)
+			}
+		} else {
+			var pts []string
+			flush := func() {
+				if len(pts) > 1 {
+					fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.1"/>`+"\n",
+						strings.Join(pts, " "), color)
+				} else if len(pts) == 1 {
+					fmt.Fprintf(&b, `<circle cx="%s" r="1.2" fill="%s"/>`+"\n", strings.Replace(pts[0], ",", `" cy="`, 1), color)
+				}
+				pts = pts[:0]
+			}
+			for i, v := range s.Series.Values {
+				if timeseries.IsMissing(v) {
+					flush() // gaps break the line, as they should
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(int64(s.Series.TimeAt(i))), y(v)))
+			}
+			flush()
+		}
+		// Legend.
+		lx := marginL + 10 + 130*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, marginT-12, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, marginT-3, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func seriesTimeLabel(s *timeseries.Series, at int64) string {
+	// Reconstruct a wall-clock label through the series' epoch base.
+	idx := 0
+	if s.Step > 0 {
+		idx = int((at - int64(s.Start)) / int64(s.Step))
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return s.TimeAt(idx).Wall().Format("2006-01-02")
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

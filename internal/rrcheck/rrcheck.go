@@ -1,0 +1,84 @@
+// Package rrcheck analyzes Record-Route probe results for path
+// symmetry. TSLP's congestion localization assumes the reverse path
+// crosses the same interdomain link as the forward path; the paper
+// uses "the Record-routes method to check path symmetry, thereby
+// ensuring that an increase in RTTs from a near to a far router was
+// solely due to traffic on that link" (§5.2).
+//
+// A record-route echo returns the forward routers' egress addresses,
+// the destination's address, and the reverse routers' egress
+// addresses, in stamping order. Forward and reverse hops use different
+// interfaces of the same routers, so raw address equality is useless;
+// the checker takes a SameRouter oracle (alias resolution, or ground
+// truth in validation runs) and tests the mirror property.
+package rrcheck
+
+import (
+	"afrixp/internal/netaddr"
+)
+
+// SameRouter reports whether two interface addresses belong to the
+// same router. Implementations come from alias resolution (inference
+// path) or netsim ground truth (validation path).
+type SameRouter func(a, b netaddr.Addr) bool
+
+// Verdict is the outcome of a symmetry check.
+type Verdict struct {
+	// Symmetric is true when the reverse hop sequence mirrors the
+	// forward one router-for-router.
+	Symmetric bool
+	// FwdHops and RevHops are the router counts on each direction.
+	FwdHops, RevHops int
+	// Complete is false when the RR option filled up before the
+	// response returned (9 slots limit paths to ~4 hops each way);
+	// symmetry is then judged on the recorded prefix only.
+	Complete bool
+}
+
+// Analyze splits a recorded address list around the destination
+// address and tests the mirror property. recorded is the RR list from
+// the response; dst is the probed address; full reports whether the
+// option had filled (no free slots left).
+func Analyze(recorded []netaddr.Addr, dst netaddr.Addr, full bool, same SameRouter) Verdict {
+	v := Verdict{Complete: !full}
+	// Locate the destination's stamp.
+	split := -1
+	for i, a := range recorded {
+		if a == dst || same(a, dst) {
+			split = i
+			break
+		}
+	}
+	if split < 0 {
+		// Destination never stamped: either the path out exceeded the
+		// slots (incomplete) or the responder did not support RR.
+		v.FwdHops = len(recorded)
+		v.Complete = false
+		return v
+	}
+	fwd := recorded[:split]
+	rev := recorded[split+1:]
+	v.FwdHops, v.RevHops = len(fwd), len(rev)
+
+	n := len(fwd)
+	if len(rev) < n {
+		n = len(rev)
+	}
+	// Mirror test over the hops we can see. rev[j] should be the same
+	// router as fwd[len(fwd)-1-j].
+	mirrored := true
+	for j := 0; j < n; j++ {
+		f := fwd[len(fwd)-1-j]
+		r := rev[j]
+		if f != r && !same(f, r) {
+			mirrored = false
+			break
+		}
+	}
+	if v.Complete {
+		v.Symmetric = mirrored && len(fwd) == len(rev)
+	} else {
+		v.Symmetric = mirrored
+	}
+	return v
+}

@@ -1,0 +1,139 @@
+package rrcheck
+
+import (
+	"testing"
+
+	"afrixp/internal/netaddr"
+)
+
+func ma(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// routerOracle groups addresses by router for the tests.
+func routerOracle(groups ...[]string) SameRouter {
+	owner := make(map[netaddr.Addr]int)
+	for id, g := range groups {
+		for _, s := range g {
+			owner[ma(s)] = id + 1
+		}
+	}
+	return func(a, b netaddr.Addr) bool {
+		oa, ob := owner[a], owner[b]
+		return oa != 0 && oa == ob
+	}
+}
+
+func TestSymmetricPath(t *testing.T) {
+	// Router1 has .1 (fwd egress) and .9 (rev egress); Router2 the
+	// destination. Recorded: fwd R1, dst, rev R1.
+	same := routerOracle([]string{"10.0.0.1", "10.0.0.9"}, []string{"10.0.1.2"})
+	rec := []netaddr.Addr{ma("10.0.0.1"), ma("10.0.1.2"), ma("10.0.0.9")}
+	v := Analyze(rec, ma("10.0.1.2"), false, same)
+	if !v.Symmetric {
+		t.Fatalf("symmetric path rejected: %+v", v)
+	}
+	if v.FwdHops != 1 || v.RevHops != 1 || !v.Complete {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestAsymmetricPath(t *testing.T) {
+	// Reverse path goes through a different router (R3).
+	same := routerOracle(
+		[]string{"10.0.0.1", "10.0.0.9"},
+		[]string{"10.0.1.2"},
+		[]string{"10.0.3.1"})
+	rec := []netaddr.Addr{ma("10.0.0.1"), ma("10.0.1.2"), ma("10.0.3.1")}
+	v := Analyze(rec, ma("10.0.1.2"), false, same)
+	if v.Symmetric {
+		t.Fatalf("asymmetric path accepted: %+v", v)
+	}
+}
+
+func TestMultiHopMirror(t *testing.T) {
+	same := routerOracle(
+		[]string{"1.1.1.1", "1.1.1.9"}, // R1
+		[]string{"2.2.2.2", "2.2.2.9"}, // R2
+		[]string{"9.9.9.9"})            // dst
+	rec := []netaddr.Addr{
+		ma("1.1.1.1"), ma("2.2.2.2"), // forward: R1, R2
+		ma("9.9.9.9"),                // destination
+		ma("2.2.2.9"), ma("1.1.1.9"), // reverse: R2, R1 — mirrored
+	}
+	v := Analyze(rec, ma("9.9.9.9"), false, same)
+	if !v.Symmetric || v.FwdHops != 2 || v.RevHops != 2 {
+		t.Fatalf("verdict: %+v", v)
+	}
+
+	// Swap the reverse order: no longer a mirror.
+	rec[3], rec[4] = rec[4], rec[3]
+	if v := Analyze(rec, ma("9.9.9.9"), false, same); v.Symmetric {
+		t.Fatalf("non-mirrored order accepted: %+v", v)
+	}
+}
+
+func TestHopCountMismatch(t *testing.T) {
+	same := routerOracle(
+		[]string{"1.1.1.1", "1.1.1.9"},
+		[]string{"2.2.2.2"},
+		[]string{"9.9.9.9"})
+	// Forward 2 hops, reverse 1 hop (mirror holds on the shared
+	// prefix but lengths differ → asymmetric when complete).
+	rec := []netaddr.Addr{
+		ma("1.1.1.1"), ma("2.2.2.2"),
+		ma("9.9.9.9"),
+		ma("2.2.2.2"),
+	}
+	v := Analyze(rec, ma("9.9.9.9"), false, same)
+	if v.Symmetric {
+		t.Fatalf("length mismatch accepted: %+v", v)
+	}
+}
+
+func TestIncompleteRecordingJudgedOnPrefix(t *testing.T) {
+	same := routerOracle(
+		[]string{"1.1.1.1", "1.1.1.9"},
+		[]string{"2.2.2.2", "2.2.2.9"},
+		[]string{"9.9.9.9"})
+	// Option filled before the reverse path finished: only R2's
+	// reverse stamp fits. Mirror holds on what we can see.
+	rec := []netaddr.Addr{
+		ma("1.1.1.1"), ma("2.2.2.2"),
+		ma("9.9.9.9"),
+		ma("2.2.2.9"),
+	}
+	v := Analyze(rec, ma("9.9.9.9"), true, same)
+	if v.Complete {
+		t.Fatal("full option must mark incomplete")
+	}
+	if !v.Symmetric {
+		t.Fatalf("prefix-mirrored incomplete path rejected: %+v", v)
+	}
+}
+
+func TestDestinationNeverStamped(t *testing.T) {
+	same := routerOracle([]string{"1.1.1.1"})
+	rec := []netaddr.Addr{ma("1.1.1.1")}
+	v := Analyze(rec, ma("9.9.9.9"), false, same)
+	if v.Symmetric || v.Complete {
+		t.Fatalf("unstamped destination should be inconclusive: %+v", v)
+	}
+	if v.FwdHops != 1 {
+		t.Fatalf("fwd hops = %d", v.FwdHops)
+	}
+}
+
+func TestEmptyRecording(t *testing.T) {
+	v := Analyze(nil, ma("9.9.9.9"), false, func(a, b netaddr.Addr) bool { return false })
+	if v.Symmetric {
+		t.Fatal("empty recording cannot be symmetric")
+	}
+}
+
+func TestZeroHopPath(t *testing.T) {
+	// Directly connected destination: only the destination stamps.
+	same := routerOracle([]string{"9.9.9.9"})
+	v := Analyze([]netaddr.Addr{ma("9.9.9.9")}, ma("9.9.9.9"), false, same)
+	if !v.Symmetric || v.FwdHops != 0 || v.RevHops != 0 {
+		t.Fatalf("zero-hop verdict: %+v", v)
+	}
+}

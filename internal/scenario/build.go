@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"afrixp/internal/asrel"
+	"afrixp/internal/bgpsim"
+	"afrixp/internal/geo"
+	"afrixp/internal/interview"
+	"afrixp/internal/ixpdir"
+	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
+	"afrixp/internal/prober"
+	"afrixp/internal/queue"
+	"afrixp/internal/registry"
+	"afrixp/internal/simclock"
+	"afrixp/internal/trafficmodel"
+)
+
+// builder accumulates the world during construction.
+type builder struct {
+	w *World
+
+	// Address pools: /16 per AS from the African pool, /24 per IXP
+	// LAN/management network, /30 interconnects carved from the
+	// owning AS's block.
+	asPool  *netaddr.Allocator
+	ixpPool *netaddr.Allocator
+
+	nextASN asrel.ASN
+	// icRef is an intercontinental carrier used when events add
+	// late-joining transit providers.
+	icRef *asInfo
+}
+
+// asInfo is the built form of one autonomous system.
+type asInfo struct {
+	ASN     asrel.ASN
+	Name    string
+	Prefix  netaddr.Prefix
+	Border  *netsim.Node
+	Host    *netsim.Node // internal host carrying the service address
+	Service netaddr.Addr
+	CC      string
+	City    string
+	// p2pPool carves /30s for this AS's interconnects.
+	p2pPool *netaddr.Allocator
+}
+
+func newBuilder(seed uint64) *builder {
+	g := asrel.NewGraph()
+	bgp := bgpsim.New(g)
+	w := &World{
+		Seed:       seed,
+		Graph:      g,
+		BGP:        bgp,
+		Net:        netsim.New(bgp, seed),
+		IXPs:       make(map[string]*IXPInfo),
+		RIRFile:    &registry.File{Registry: "afrinic", Serial: "20170306"},
+		Directory:  &ixpdir.Directory{},
+		GeoDB:      geo.NewDB(),
+		RDNS:       geo.NewRDNS(),
+		Interviews: interview.NewRegistry(),
+	}
+	return &builder{
+		w:       w,
+		asPool:  netaddr.NewAllocator(netaddr.MustParsePrefix("40.0.0.0/6")),
+		ixpPool: netaddr.NewAllocator(netaddr.MustParsePrefix("196.60.0.0/14")),
+		nextASN: 328000,
+	}
+}
+
+// allocASN hands out synthetic member ASNs.
+func (b *builder) allocASN() asrel.ASN {
+	b.nextASN++
+	return b.nextASN
+}
+
+// addAS creates an AS: graph registration, /16 announcement, border
+// router, internal host with service address one hop behind it (so
+// traces into the AS reveal the border's ingress interface), RIR
+// delegation, geolocation, and reverse DNS.
+func (b *builder) addAS(asn asrel.ASN, name, org, cc, city string) *asInfo {
+	prefix := b.asPool.MustAlloc(16)
+	b.w.Graph.AddAS(asn, name, asrel.Org(org))
+	b.w.BGP.Announce(asn, prefix)
+
+	border := b.w.Net.AddNode("br1."+name, asn)
+	host := b.w.Net.AddNode("srv1."+name, asn)
+	// The first /20 of the block is infrastructure: /30 interconnects
+	// (up to 1024, enough for Liquid-scale customer counts). The very
+	// first /30 is reserved so that x.x.0.1 — the address trace
+	// campaigns aim at — is the service loopback behind the border,
+	// not the border's own internal interface.
+	p2p := netaddr.NewAllocator(netaddr.PrefixFrom(prefix.Addr, 20))
+	p2p.MustAlloc(30) // reserve x.x.0.0/30
+	link := p2p.MustAlloc(30)
+	b.w.Net.ConnectLink(border, host, netsim.LinkSpec{Subnet: link,
+		NameA: geo.InterfaceName("ge0-0", "br1", city, cc, domainOf(name)),
+		NameB: geo.InterfaceName("eth0", "srv1", city, cc, domainOf(name)),
+	})
+	service := prefix.Nth(1) // x.x.0.1: one hop behind the border
+	b.w.Net.AddLoopback(host, service, geo.InterfaceName("lo0", "srv1", city, cc, domainOf(name)))
+
+	info := &asInfo{ASN: asn, Name: name, Prefix: prefix, Border: border,
+		Host: host, Service: service, CC: cc, City: city,
+		p2pPool: p2p}
+	b.w.RIRFile.Delegations = append(b.w.RIRFile.Delegations,
+		registry.Delegation{Registry: "afrinic", CC: cc, Type: "ipv4",
+			Prefix: prefix, Date: simclock.Epoch, Status: "allocated", Opaque: "ORG-" + org},
+		registry.Delegation{Registry: "afrinic", CC: cc, Type: "asn",
+			ASN: asn, Date: simclock.Epoch, Status: "allocated", Opaque: "ORG-" + org})
+	b.w.GeoDB.Add(geo.Entry{Prefix: prefix, Country: cc, City: city})
+	b.w.RDNS.Register(service, geo.InterfaceName("lo0", "srv1", city, cc, domainOf(name)))
+	return info
+}
+
+func domainOf(name string) string { return name + ".net" }
+
+// addIXP creates an exchange: peering LAN (and optional management
+// prefix), directory entry, geolocation of the fabric.
+func (b *builder) addIXP(name, cc, region, city string, launched int, ixpAS asrel.ASN, withMgmt bool) *IXPInfo {
+	lanPrefix := b.ixpPool.MustAlloc(24)
+	info := &IXPInfo{Name: name, Country: cc, Region: region, Launched: launched,
+		ASN: ixpAS, Peering: lanPrefix, Members: make(map[asrel.ASN]netaddr.Addr)}
+	info.PeeringLAN = b.w.Net.AddLAN(lanPrefix)
+	if withMgmt {
+		info.Management = b.ixpPool.MustAlloc(24)
+	}
+	b.w.Directory.IXPs = append(b.w.Directory.IXPs, ixpdir.IXP{
+		Name: name, Country: cc, Region: region, Launched: launched,
+		PeeringLAN: lanPrefix, Management: info.Management,
+	})
+	b.w.GeoDB.Add(geo.Entry{Prefix: lanPrefix, Country: cc, City: city})
+	if withMgmt {
+		b.w.GeoDB.Add(geo.Entry{Prefix: info.Management, Country: cc, City: city})
+	}
+	b.w.IXPs[name] = info
+	return info
+}
+
+// portSpec customizes one member's IXP port.
+type portSpec struct {
+	// FromFabric/ToFabric pipes override the default clean port
+	// (congestion authoring).
+	FromFabric, ToFabric *netsim.Pipe
+	// SlowICMPLevel > 0 gives the member's border router a regime
+	// slow-ICMP profile with roughly this added latency (ms).
+	SlowICMPLevel float64
+	// SkipPCH leaves the port out of the published directory.
+	SkipPCH bool
+}
+
+// joinIXP attaches an AS's border router to an exchange fabric and
+// records peerings with the existing members, the directory port
+// assignment, and rDNS for the port.
+func (b *builder) joinIXP(a *asInfo, x *IXPInfo, spec portSpec) netaddr.Addr {
+	slot := len(x.PeeringLAN.Attachments)
+	addr := x.Peering.Nth(uint64(10 + slot))
+	name := geo.InterfaceName(fmt.Sprintf("xe0-%d", slot), "br1",
+		cityOfIXP(x), x.Country, domainOf(a.Name))
+	b.w.Net.AttachToLAN(a.Border, x.PeeringLAN, netsim.AttachSpec{
+		Addr: addr, Name: name,
+		FromFabric: spec.FromFabric, ToFabric: spec.ToFabric,
+	})
+	b.w.RDNS.Register(addr, name)
+	// Bilateral peering with every current member.
+	for m := range x.Members {
+		b.w.Graph.SetPeer(a.ASN, m)
+	}
+	x.Members[a.ASN] = addr
+	if !spec.SkipPCH {
+		b.w.Directory.PortAssignments = append(b.w.Directory.PortAssignments,
+			ixpdir.PortAssignment{IXPName: x.Name, Addr: addr, ASN: a.ASN})
+	}
+	if spec.SlowICMPLevel > 0 {
+		a.Border.ICMPDelay = slowICMP(b.w.Seed^uint64(a.ASN), spec.SlowICMPLevel)
+	}
+	return addr
+}
+
+// leaveIXP disconnects a member: both port pipes go down and the
+// bilateral peerings disappear from the control plane.
+func (b *builder) leaveEvent(a *asInfo, x *IXPInfo, at simclock.Time, why string) {
+	b.w.AddEvent(Event{At: at, Name: fmt.Sprintf("%s leaves %s (%s)", a.Name, x.Name, why),
+		Apply: func(w *World) {
+			addr := x.Members[a.ASN]
+			for i := range x.PeeringLAN.Attachments {
+				att := &x.PeeringLAN.Attachments[i]
+				if w.Net.Iface(att.Iface).Addr == addr {
+					att.ToFabric.Up = netsim.DownAfter(at)
+					att.FromFabric.Up = netsim.DownAfter(at)
+				}
+			}
+			for m := range x.Members {
+				if m != a.ASN {
+					w.Graph.RemoveLink(a.ASN, m)
+				}
+			}
+			delete(x.Members, a.ASN)
+			w.Net.InvalidateRoutes()
+		}})
+}
+
+// joinEvent attaches a member at a future date.
+func (b *builder) joinEvent(a *asInfo, x *IXPInfo, at simclock.Time, spec portSpec, onJoin func(addr netaddr.Addr)) {
+	b.w.AddEvent(Event{At: at, Name: fmt.Sprintf("%s joins %s", a.Name, x.Name),
+		Apply: func(w *World) {
+			addr := b.joinIXP(a, x, spec)
+			w.Net.InvalidateRoutes()
+			if onJoin != nil {
+				onJoin(addr)
+			}
+		}})
+}
+
+// transit wires a provider→customer relationship with a /30 carved
+// from the provider's block (providers commonly address customer
+// links), and a data-plane link between border routers.
+func (b *builder) transit(customer, provider *asInfo, pipeDown, pipeUp *netsim.Pipe) (custAddr, provAddr netaddr.Addr) {
+	b.w.Graph.SetProvider(customer.ASN, provider.ASN)
+	sub := provider.p2pPool.MustAlloc(30)
+	l := b.w.Net.ConnectLink(provider.Border, customer.Border, netsim.LinkSpec{
+		Subnet: sub,
+		NameA:  geo.InterfaceName("ge1-0", "br1", provider.City, provider.CC, domainOf(provider.Name)),
+		NameB:  geo.InterfaceName("ge1-0", "br1", customer.City, customer.CC, domainOf(customer.Name)),
+		// provider side gets .1 (A), customer .2 (B)
+		PipeAtoB: pipeDown, // provider→customer (download direction)
+		PipeBtoA: pipeUp,
+	})
+	provAddr = b.w.Net.Iface(l.A).Addr
+	custAddr = b.w.Net.Iface(l.B).Addr
+	b.w.RDNS.Register(provAddr, geo.InterfaceName("ge1-0", "br1", provider.City, provider.CC, domainOf(provider.Name)))
+	b.w.RDNS.Register(custAddr, geo.InterfaceName("ge1-0", "br1", customer.City, customer.CC, domainOf(customer.Name)))
+	return custAddr, provAddr
+}
+
+// queueWithPackets builds the standard congested-link queue: fluid
+// buffer plus the near-saturation stochastic term for a 1500-byte
+// packet mix.
+func queueWithPackets(capBps float64, drain simclock.Duration, load trafficmodel.Load) *queue.Fluid {
+	return queue.NewFluid(queue.Config{
+		CapacityBps: capBps, BufferDrain: drain, Load: load, PacketBits: 12000,
+	})
+}
+
+// congestedPort builds a FromFabric pipe (switch→member) with a fluid
+// queue — the under-provisioned member port of the QCELL–NETPAGE
+// case.
+func congestedPort(capBps float64, drain simclock.Duration, load trafficmodel.Load) *netsim.Pipe {
+	return &netsim.Pipe{
+		Prop:  150 * time.Microsecond,
+		Queue: queueWithPackets(capBps, drain, load),
+	}
+}
+
+// addVP attaches a probe host to an AS's border router and returns
+// the vantage-point descriptor.
+func (b *builder) addVP(id, monitor string, a *asInfo, ixp string) *VP {
+	sub := a.p2pPool.MustAlloc(30)
+	node := b.w.Net.AddNode("vp."+monitor, a.ASN)
+	l := b.w.Net.ConnectLink(node, a.Border, netsim.LinkSpec{Subnet: sub,
+		NameA: geo.InterfaceName("eth0", "ark-"+monitor, a.City, a.CC, domainOf(a.Name)),
+		NameB: geo.InterfaceName("ge0-9", "br1", a.City, a.CC, domainOf(a.Name)),
+	})
+	b.w.Net.SetGateway(node, b.w.Net.Iface(node.Ifaces[0]))
+	vp := &VP{ID: id, Monitor: monitor, IXP: ixp, HostAS: a.ASN, Node: node,
+		NearAddr:  b.w.Net.Iface(l.B).Addr,
+		CaseLinks: make(map[string]prober.LinkTarget)}
+	return vp
+}
+
+// transitFromCustomerSpace is transit() with the /30 carved from the
+// customer's block — common on large providers' customer links, and
+// the addressing that makes bdrmap's border placement interesting.
+func (b *builder) transitFromCustomerSpace(customer, provider *asInfo) (custAddr, provAddr netaddr.Addr) {
+	b.w.Graph.SetProvider(customer.ASN, provider.ASN)
+	sub := customer.p2pPool.MustAlloc(30)
+	l := b.w.Net.ConnectLink(provider.Border, customer.Border, netsim.LinkSpec{
+		Subnet: sub,
+		NameA:  geo.InterfaceName("ge2-0", "br1", provider.City, provider.CC, domainOf(provider.Name)),
+		NameB:  geo.InterfaceName("ge0-0", "br1", customer.City, customer.CC, domainOf(customer.Name)),
+	})
+	return b.w.Net.Iface(l.B).Addr, b.w.Net.Iface(l.A).Addr
+}
+
+// slowICMP builds a regime-switching control-plane delay: in roughly
+// 30 % of 5-hour blocks the router answers ICMP ~level ms slower —
+// level shifts without any diurnal structure, the cause behind the
+// paper's flagged-but-not-diurnal links (VP5/VP6 rows of Table 1).
+func slowICMP(seed uint64, levelMs float64) func(simclock.Time) simclock.Duration {
+	const block = 5 * time.Hour
+	return func(t simclock.Time) simclock.Duration {
+		idx := uint64(time.Duration(t) / block)
+		u := hashUnit(seed, idx)
+		base := 150 * time.Microsecond
+		if u < 0.3 {
+			// Elevated regime: level ± 10 %, plus per-probe jitter.
+			j := hashUnit(seed^0xABCD, uint64(time.Duration(t)/time.Minute))
+			d := levelMs * (0.9 + 0.2*u/0.3)
+			return base + time.Duration(d*float64(time.Millisecond)) +
+				time.Duration(j*float64(500*time.Microsecond))
+		}
+		j := hashUnit(seed^0x1234, uint64(time.Duration(t)/time.Minute))
+		return base + time.Duration(j*float64(300*time.Microsecond))
+	}
+}
+
+func cityOfIXP(x *IXPInfo) string {
+	switch x.Name {
+	case "GIXA":
+		return "accra"
+	case "TIX":
+		return "daressalaam"
+	case "JINX":
+		return "johannesburg"
+	case "SIXP":
+		return "serekunda"
+	case "KIXP":
+		return "nairobi"
+	case "RINEX":
+		return "kigali"
+	}
+	return "unknown"
+}
+
+// hashUnit is the SplitMix64 unit hash shared by the deterministic
+// noise processes.
+func hashUnit(seed, n uint64) float64 {
+	z := seed + n*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

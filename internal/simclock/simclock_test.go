@@ -1,0 +1,167 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	if got := Time(0).Wall(); !got.Equal(Epoch) {
+		t.Fatalf("Time(0).Wall() = %v, want %v", got, Epoch)
+	}
+	wall := time.Date(2016, time.August, 6, 13, 30, 0, 0, time.UTC)
+	if got := At(wall).Wall(); !got.Equal(wall) {
+		t.Fatalf("round trip = %v, want %v", got, wall)
+	}
+}
+
+func TestDateHelper(t *testing.T) {
+	d := Date(2016, time.April, 28)
+	want := time.Date(2016, time.April, 28, 0, 0, 0, 0, time.UTC)
+	if !d.Wall().Equal(want) {
+		t.Fatalf("Date = %v, want %v", d.Wall(), want)
+	}
+}
+
+func TestCampaignBoundariesOrdering(t *testing.T) {
+	if !(Time(0) < LossStart && LossStart < LatencyEnd && LatencyEnd < LossEnd) {
+		t.Fatalf("campaign boundaries out of order: 0, %d, %d, %d",
+			LossStart, LatencyEnd, LossEnd)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Date(2016, time.March, 1)
+	b := a.Add(36 * time.Hour)
+	if got := b.Sub(a); got != 36*time.Hour {
+		t.Fatalf("Sub = %v, want 36h", got)
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tm := At(time.Date(2016, time.March, 1, 10, 7, 42, 0, time.UTC))
+	got := tm.Truncate(5 * time.Minute)
+	want := At(time.Date(2016, time.March, 1, 10, 5, 0, 0, time.UTC))
+	if got != want {
+		t.Fatalf("Truncate = %v, want %v", got, want)
+	}
+	if tm.Truncate(0) != tm {
+		t.Fatal("Truncate(0) should be identity")
+	}
+}
+
+func TestWeekendDetection(t *testing.T) {
+	sat := Date(2016, time.March, 5) // Saturday
+	mon := Date(2016, time.March, 7) // Monday
+	if !sat.IsWeekend() {
+		t.Errorf("%v should be a weekend", sat)
+	}
+	if mon.IsWeekend() {
+		t.Errorf("%v should be a weekday", mon)
+	}
+	if got := sat.DayOfWeek(); got != time.Saturday {
+		t.Errorf("DayOfWeek = %v, want Saturday", got)
+	}
+}
+
+func TestSecondOfDayAndHour(t *testing.T) {
+	tm := At(time.Date(2016, time.June, 15, 13, 30, 15, 0, time.UTC))
+	if got := tm.SecondOfDay(); got != 13*3600+30*60+15 {
+		t.Fatalf("SecondOfDay = %d", got)
+	}
+	if got := tm.HourOfDay(); got < 13.5 || got > 13.51 {
+		t.Fatalf("HourOfDay = %v", got)
+	}
+}
+
+func TestDayCounter(t *testing.T) {
+	if got := Date(2016, time.February, 23).Day(); got != 1 {
+		t.Fatalf("Day = %d, want 1", got)
+	}
+	if got := Time(0).Add(23 * time.Hour).Day(); got != 0 {
+		t.Fatalf("Day = %d, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(Date(2016, time.March, 1))
+	c.Advance(time.Hour)
+	if got := c.Now().Sub(Date(2016, time.March, 1)); got != time.Hour {
+		t.Fatalf("advance = %v", got)
+	}
+	c.AdvanceTo(Date(2016, time.March, 2))
+	if c.Now() != Date(2016, time.March, 2) {
+		t.Fatal("AdvanceTo failed")
+	}
+}
+
+func TestClockPanicsOnBackwards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewClock(0).Advance(-time.Second)
+}
+
+func TestClockPanicsOnAdvanceToPast(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on AdvanceTo into past")
+		}
+	}()
+	c := NewClock(Date(2016, time.March, 2))
+	c.AdvanceTo(Date(2016, time.March, 1))
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: Date(2016, time.March, 1), End: Date(2016, time.March, 2)}
+	if !iv.Contains(iv.Start) {
+		t.Error("interval should contain its start")
+	}
+	if iv.Contains(iv.End) {
+		t.Error("interval is half-open; must not contain End")
+	}
+	if got := iv.Duration(); got != 24*time.Hour {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestIntervalDegenerate(t *testing.T) {
+	iv := Interval{Start: 100, End: 50}
+	if iv.Duration() != 0 {
+		t.Error("degenerate interval should have zero duration")
+	}
+	if iv.NumSteps(time.Minute) != 0 {
+		t.Error("degenerate interval should have zero steps")
+	}
+}
+
+func TestIntervalSteps(t *testing.T) {
+	iv := Interval{Start: 0, End: Time(25 * time.Minute)}
+	var seen []Time
+	iv.Steps(10*time.Minute, func(tm Time) { seen = append(seen, tm) })
+	if len(seen) != 3 {
+		t.Fatalf("Steps visited %d boundaries, want 3", len(seen))
+	}
+	if got := iv.NumSteps(10 * time.Minute); got != 3 {
+		t.Fatalf("NumSteps = %d, want 3", got)
+	}
+	for i, tm := range seen {
+		if want := Time(i) * Time(10*time.Minute); tm != want {
+			t.Errorf("step %d at %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestIntervalStepsPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero step")
+		}
+	}()
+	Interval{Start: 0, End: 10}.Steps(0, func(Time) {})
+}

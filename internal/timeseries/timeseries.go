@@ -1,0 +1,296 @@
+// Package timeseries stores and summarizes the regular-grid RTT series
+// TSLP produces: one sample per 5-minute round per probed target, with
+// explicit missing values for lost probes. All statistics skip missing
+// samples.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"afrixp/internal/simclock"
+)
+
+// Missing marks a lost or never-taken sample.
+var Missing = math.NaN()
+
+// IsMissing reports whether v is the missing marker.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Series is a regular-grid time series: sample i was taken at
+// Start + i*Step. Values are RTT milliseconds (or loss percentages in
+// the loss pipeline); NaN marks missing samples.
+type Series struct {
+	Start  simclock.Time
+	Step   simclock.Duration
+	Values []float64
+}
+
+// NewRegular allocates an all-missing series of n samples.
+func NewRegular(start simclock.Time, step simclock.Duration, n int) *Series {
+	if step <= 0 {
+		panic("timeseries: non-positive step")
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = Missing
+	}
+	return &Series{Start: start, Step: step, Values: v}
+}
+
+// Len returns the number of grid slots.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of slot i.
+func (s *Series) TimeAt(i int) simclock.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// Index returns the slot for time t, or -1 when t is off the grid.
+func (s *Series) Index(t simclock.Time) int {
+	if t < s.Start {
+		return -1
+	}
+	i := int(t.Sub(s.Start) / s.Step)
+	if i >= len(s.Values) {
+		return -1
+	}
+	return i
+}
+
+// Set records a sample at slot i.
+func (s *Series) Set(i int, v float64) { s.Values[i] = v }
+
+// SetAt records a sample at the slot covering t; out-of-grid times are
+// ignored (campaign edges).
+func (s *Series) SetAt(t simclock.Time, v float64) {
+	if i := s.Index(t); i >= 0 {
+		s.Values[i] = v
+	}
+}
+
+// At returns the sample at the slot covering t.
+func (s *Series) At(t simclock.Time) float64 {
+	if i := s.Index(t); i >= 0 {
+		return s.Values[i]
+	}
+	return Missing
+}
+
+// Slice returns the sub-series covering [from, to).
+func (s *Series) Slice(from, to simclock.Time) *Series {
+	lo := 0
+	if from.After(s.Start) {
+		lo = int(from.Sub(s.Start) / s.Step)
+	}
+	hi := len(s.Values)
+	if idx := s.Index(to); idx >= 0 {
+		hi = idx
+	}
+	if lo > len(s.Values) {
+		lo = len(s.Values)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &Series{Start: s.TimeAt(lo), Step: s.Step, Values: s.Values[lo:hi]}
+}
+
+// Present returns the non-missing values in order.
+func (s *Series) Present() []float64 {
+	out := make([]float64, 0, len(s.Values))
+	for _, v := range s.Values {
+		if !IsMissing(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PresentCount returns the number of non-missing samples.
+func (s *Series) PresentCount() int {
+	n := 0
+	for _, v := range s.Values {
+		if !IsMissing(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// LossFraction returns the fraction of grid slots that are missing.
+func (s *Series) LossFraction() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return 1 - float64(s.PresentCount())/float64(len(s.Values))
+}
+
+// Aggregate returns a coarser series whose slot j summarizes `factor`
+// input slots with fn (e.g. Min over 6 five-minute samples → 30-minute
+// minimum filtering, the standard TSLP noise reduction). Slots with no
+// present inputs stay missing.
+func (s *Series) Aggregate(factor int, fn func([]float64) float64) *Series {
+	if factor <= 0 {
+		panic("timeseries: non-positive aggregation factor")
+	}
+	n := (len(s.Values) + factor - 1) / factor
+	out := NewRegular(s.Start, s.Step*time.Duration(factor), n)
+	buf := make([]float64, 0, factor)
+	for j := 0; j < n; j++ {
+		buf = buf[:0]
+		for k := j * factor; k < (j+1)*factor && k < len(s.Values); k++ {
+			if !IsMissing(s.Values[k]) {
+				buf = append(buf, s.Values[k])
+			}
+		}
+		if len(buf) > 0 {
+			out.Values[j] = fn(buf)
+		}
+	}
+	return out
+}
+
+// Min returns the smallest of vs. It is the canonical Aggregate fn.
+func Min(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of vs.
+func Mean(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Median returns the median of vs (vs is not modified).
+func Median(vs []float64) float64 {
+	return Quantile(vs, 0.5)
+}
+
+// Quantile returns the q-quantile of vs using linear interpolation.
+func Quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return Missing
+	}
+	c := append([]float64(nil), vs...)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// Stats summarizes the present samples of a series.
+type Stats struct {
+	N            int
+	Min, Max     float64
+	Mean, Median float64
+	P5, P95      float64
+	Stddev       float64
+}
+
+// Summarize computes Stats over the present samples.
+func (s *Series) Summarize() Stats {
+	vs := s.Present()
+	st := Stats{N: len(vs)}
+	if len(vs) == 0 {
+		st.Min, st.Max, st.Mean, st.Median, st.P5, st.P95, st.Stddev =
+			Missing, Missing, Missing, Missing, Missing, Missing, Missing
+		return st
+	}
+	st.Min, st.Max = vs[0], vs[0]
+	var sum float64
+	for _, v := range vs {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+	}
+	st.Mean = sum / float64(len(vs))
+	var ss float64
+	for _, v := range vs {
+		d := v - st.Mean
+		ss += d * d
+	}
+	st.Stddev = math.Sqrt(ss / float64(len(vs)))
+	st.Median = Median(vs)
+	st.P5 = Quantile(vs, 0.05)
+	st.P95 = Quantile(vs, 0.95)
+	return st
+}
+
+// FoldDaily folds the series by time of day into bins of the given
+// width, returning per-bin aggregates (fn over all samples falling in
+// that time-of-day bin across all days). The result has 24h/binWidth
+// entries; empty bins are missing.
+func (s *Series) FoldDaily(binWidth simclock.Duration, fn func([]float64) float64) []float64 {
+	if binWidth <= 0 || 24*time.Hour%binWidth != 0 {
+		panic(fmt.Sprintf("timeseries: bin width %v must divide 24h", binWidth))
+	}
+	nBins := int(24 * time.Hour / binWidth)
+	buckets := make([][]float64, nBins)
+	for i, v := range s.Values {
+		if IsMissing(v) {
+			continue
+		}
+		sec := s.TimeAt(i).SecondOfDay()
+		b := sec / int(binWidth/time.Second)
+		buckets[b] = append(buckets[b], v)
+	}
+	out := make([]float64, nBins)
+	for b := range out {
+		if len(buckets[b]) == 0 {
+			out[b] = Missing
+		} else {
+			out[b] = fn(buckets[b])
+		}
+	}
+	return out
+}
+
+// SplitDays returns one sub-series per UTC day, keyed by day index
+// since the simclock epoch. Days with no present samples are omitted.
+func (s *Series) SplitDays() map[int]*Series {
+	out := make(map[int]*Series)
+	perDay := int(24 * time.Hour / s.Step)
+	if perDay == 0 {
+		return out
+	}
+	for i := 0; i < len(s.Values); {
+		day := s.TimeAt(i).Day()
+		// Collect slots in this day.
+		j := i
+		for j < len(s.Values) && s.TimeAt(j).Day() == day {
+			j++
+		}
+		sub := &Series{Start: s.TimeAt(i), Step: s.Step, Values: s.Values[i:j]}
+		if sub.PresentCount() > 0 {
+			out[day] = sub
+		}
+		i = j
+	}
+	return out
+}

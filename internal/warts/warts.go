@@ -1,0 +1,216 @@
+// Package warts implements a compact binary on-disk format for probe
+// records, modeled on scamper's warts output that Ark monitors upload.
+// A campaign writes millions of records (the paper's six VPs produced
+// 2.1 billion traceroutes); the format is therefore length-prefixed,
+// append-only, and streamable: a Reader never loads more than one
+// record.
+//
+// Layout: the file starts with the 4-byte magic "AWT1"; each record is
+//
+//	u16 length (of the body that follows)
+//	u8  type
+//	u8  flags
+//	i64 timestamp (virtual ns)
+//	u32 target, u32 responder (IPv4, big endian)
+//	u8  ttl, u8 respType
+//	u32 rtt (microseconds; meaningless when the Lost flag is set)
+//	u8  vpLen, vp bytes
+//	u8  rrCount, rrCount × u32 recorded addresses
+package warts
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"afrixp/internal/netaddr"
+	"afrixp/internal/simclock"
+)
+
+// Record types.
+const (
+	TypePing uint8 = iota + 1
+	TypeTraceHop
+	TypeTSLP
+	TypeLossProbe
+	TypeRRPing
+)
+
+// Flags.
+const (
+	FlagLost uint8 = 1 << iota
+	FlagRRFull
+)
+
+// Record is one measurement result.
+type Record struct {
+	Type      uint8
+	VP        string
+	At        simclock.Time
+	Target    netaddr.Addr
+	Responder netaddr.Addr
+	TTL       uint8
+	RespType  uint8 // ICMP type of the response
+	RTT       simclock.Duration
+	Lost      bool
+	RRFull    bool
+	RR        []netaddr.Addr
+}
+
+var magic = [4]byte{'A', 'W', 'T', '1'}
+
+// ErrBadMagic reports a stream that is not a warts file.
+var ErrBadMagic = errors.New("warts: bad magic")
+
+// Writer streams records to w.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewWriter writes the file header and returns a Writer. Call Flush
+// when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	if len(r.VP) > 255 {
+		return fmt.Errorf("warts: VP name %q too long", r.VP)
+	}
+	if len(r.RR) > 255 {
+		return fmt.Errorf("warts: %d RR entries", len(r.RR))
+	}
+	b := w.buf[:0]
+	var flags uint8
+	if r.Lost {
+		flags |= FlagLost
+	}
+	if r.RRFull {
+		flags |= FlagRRFull
+	}
+	b = append(b, r.Type, flags)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.At))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Target))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Responder))
+	b = append(b, r.TTL, r.RespType)
+	us := r.RTT.Microseconds()
+	if us < 0 || us > int64(^uint32(0)) {
+		us = int64(^uint32(0))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(us))
+	b = append(b, uint8(len(r.VP)))
+	b = append(b, r.VP...)
+	b = append(b, uint8(len(r.RR)))
+	for _, a := range r.RR {
+		b = binary.BigEndian.AppendUint32(b, uint32(a))
+	}
+	w.buf = b
+	if len(b) > 0xFFFF {
+		return fmt.Errorf("warts: record body %d bytes", len(b))
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(b)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(b)
+	return err
+}
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams records from r.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("warts: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (r *Reader) Next() (*Record, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("warts: record header: %w", err)
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	b := r.buf[:n]
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return nil, fmt.Errorf("warts: record body: %w", err)
+	}
+	return decode(b)
+}
+
+func decode(b []byte) (*Record, error) {
+	const fixed = 2 + 8 + 4 + 4 + 2 + 4 + 1
+	if len(b) < fixed {
+		return nil, fmt.Errorf("warts: record body %d bytes", len(b))
+	}
+	rec := &Record{Type: b[0]}
+	flags := b[1]
+	rec.Lost = flags&FlagLost != 0
+	rec.RRFull = flags&FlagRRFull != 0
+	rec.At = simclock.Time(binary.BigEndian.Uint64(b[2:]))
+	rec.Target = netaddr.Addr(binary.BigEndian.Uint32(b[10:]))
+	rec.Responder = netaddr.Addr(binary.BigEndian.Uint32(b[14:]))
+	rec.TTL = b[18]
+	rec.RespType = b[19]
+	rec.RTT = time.Duration(binary.BigEndian.Uint32(b[20:])) * time.Microsecond
+	vpLen := int(b[24])
+	p := 25 + vpLen
+	if len(b) < p+1 {
+		return nil, errors.New("warts: truncated VP name")
+	}
+	rec.VP = string(b[25:p])
+	rrCount := int(b[p])
+	p++
+	if len(b) < p+4*rrCount {
+		return nil, errors.New("warts: truncated RR list")
+	}
+	for i := 0; i < rrCount; i++ {
+		rec.RR = append(rec.RR, netaddr.Addr(binary.BigEndian.Uint32(b[p+4*i:])))
+	}
+	return rec, nil
+}
+
+// Count drains the reader and returns the number of records.
+func Count(r *Reader) (int, error) {
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,189 @@
+package afrixp
+
+import (
+	"io"
+	"time"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/bdrmap"
+	"afrixp/internal/experiments"
+	"afrixp/internal/ixpdir"
+	"afrixp/internal/levelshift"
+	"afrixp/internal/monitor"
+	"afrixp/internal/registry"
+	"afrixp/internal/report"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// CampaignConfig configures a full measurement campaign: bdrmap
+// discovery snapshots, TSLP probing of every discovered link, loss
+// batches on the case-study links, and the threshold-sweep analysis.
+type CampaignConfig struct {
+	// Seed drives every deterministic process (default: fixed).
+	Seed uint64
+	// Scale shrinks the synthetic populations (default 1.0).
+	Scale float64
+	// Days bounds the campaign from the paper's start date; zero runs
+	// the paper's full period (2016-02-22 … 2017-03-27).
+	Days int
+	// StartOffsetDays delays the campaign start from the epoch (used
+	// to center short campaigns on specific case-study phases).
+	StartOffsetDays int
+	// Thresholds for the Table 1 sweep (default 5/10/15/20 ms).
+	Thresholds []float64
+	// DisableLoss skips the 1 pps loss campaigns.
+	DisableLoss bool
+	// Progress, when non-nil, receives campaign progress lines.
+	Progress io.Writer
+}
+
+// Campaign is the result of a full run: per-VP discovery snapshots,
+// per-link verdicts, and case-study series.
+type Campaign = experiments.Result
+
+// LinkRecord is one probed link's campaign data.
+type LinkRecord = experiments.LinkRecord
+
+// Verdict is the per-link congestion analysis outcome.
+type Verdict = analysis.Verdict
+
+// Figure is one reproduced paper figure.
+type Figure = experiments.Figure
+
+// Table re-exports the report table for rendering.
+type Table = report.Table
+
+// RunCampaign executes the campaign and per-link analysis.
+func RunCampaign(cfg CampaignConfig) *Campaign {
+	ecfg := experiments.Config{
+		Opts:        scenario.Options{Seed: cfg.Seed, Scale: cfg.Scale},
+		Thresholds:  cfg.Thresholds,
+		DisableLoss: cfg.DisableLoss,
+		Progress:    cfg.Progress,
+	}
+	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)
+	if cfg.Days > 0 {
+		ecfg.Campaign = simclock.Interval{
+			Start: start,
+			End:   start.Add(time.Duration(cfg.Days) * 24 * time.Hour),
+		}
+		if ecfg.Campaign.End > simclock.LatencyEnd {
+			ecfg.Campaign.End = simclock.LatencyEnd
+		}
+	} else if cfg.StartOffsetDays > 0 {
+		ecfg.Campaign = simclock.Interval{Start: start, End: simclock.LatencyEnd}
+	}
+	return experiments.Run(ecfg)
+}
+
+// Table1 computes the paper's threshold-sensitivity rows.
+func Table1(c *Campaign) []experiments.Table1Row { return experiments.Table1(c) }
+
+// Table1Report renders Table 1.
+func Table1Report(c *Campaign) *Table { return experiments.Table1Report(c) }
+
+// Table2 computes the per-VP evolution rows.
+func Table2(c *Campaign) []experiments.Table2Row { return experiments.Table2(c) }
+
+// Table2Report renders Table 2.
+func Table2Report(c *Campaign) *Table { return experiments.Table2Report(c) }
+
+// Figures extracts every reproducible figure covered by the campaign
+// interval.
+func Figures(c *Campaign) []Figure { return experiments.Figures(c) }
+
+// Headline returns the per-VP congested-link rows and the overall
+// congested fraction (the paper's 2.2 % result).
+func Headline(c *Campaign) ([]experiments.HeadlineRow, float64) {
+	return experiments.Headline(c)
+}
+
+// BdrmapAccuracy returns the mean neighbor-discovery coverage across
+// all snapshots (the paper reports 96.2 %).
+func BdrmapAccuracy(c *Campaign) float64 { return experiments.BdrmapAccuracy(c) }
+
+// Waveforms returns A_w / Δt_UD per case-study link.
+func Waveforms(c *Campaign) []experiments.Waveform { return experiments.Waveforms(c) }
+
+// BorderMap runs a one-shot bdrmap discovery from a VP at virtual
+// time t, using the world's published datasets.
+func BorderMap(w *World, vp *VP, t Time) (*bdrmap.Result, error) {
+	p := NewProber(w, vp)
+	return bdrmap.Run(p, bdrmap.Config{
+		BGP:      w.BGP,
+		Rels:     w.Graph,
+		RIR:      registry.NewIndex(w.RIRFile),
+		IXP:      ixpdir.NewIndex(w.Directory),
+		Geo:      w.GeoDB,
+		RDNS:     w.RDNS,
+		Siblings: vp.Siblings,
+	}, t)
+}
+
+// BorderMapResult is the bdrmap output type.
+type BorderMapResult = bdrmap.Result
+
+// ValidateNeighbors scores an inferred neighbor set against ground
+// truth: the discovered fraction plus missed and spurious neighbors.
+func ValidateNeighbors(res *BorderMapResult, truth []ASN) (frac float64, missed, spurious []ASN) {
+	return bdrmap.ValidateNeighbors(res, truth)
+}
+
+// AnalysisConfig tunes the per-link congestion analysis.
+type AnalysisConfig = analysis.Config
+
+// DefaultAnalysisConfig is the paper's operating point: 10 ms
+// threshold, 30-minute minimum event duration.
+func DefaultAnalysisConfig() AnalysisConfig { return analysis.DefaultConfig() }
+
+// AnalyzeLink runs the §5.2 pipeline over one link's collected series.
+func AnalyzeLink(ls analysis.LinkSeries, cfg AnalysisConfig) Verdict {
+	return analysis.AnalyzeLink(ls, cfg)
+}
+
+// LinkSeries carries one link's near/far RTT series.
+type LinkSeries = analysis.LinkSeries
+
+// Collector streams TSLP rounds into analysis-ready series.
+type Collector = analysis.Collector
+
+// CollectorConfig sizes a Collector.
+type CollectorConfig = analysis.CollectorConfig
+
+// NewCollector builds a Collector for a TSLP session.
+func NewCollector(ts *TSLP, cfg CollectorConfig) *Collector {
+	return analysis.NewCollector(ts, cfg)
+}
+
+// LevelShiftEvent is one detected congestion episode.
+type LevelShiftEvent = levelshift.Event
+
+// Monitor is the online congestion watcher (the §7 recommendation
+// implemented): feed it TSLP rounds and it raises onset / cleared /
+// unreachable alerts as they happen.
+type Monitor = monitor.Monitor
+
+// MonitorConfig tunes the online watcher.
+type MonitorConfig = monitor.Config
+
+// Alert is one operator notification from a Monitor.
+type Alert = monitor.Alert
+
+// Alert kinds.
+const (
+	AlertOnset       = monitor.Onset
+	AlertCleared     = monitor.Cleared
+	AlertUnreachable = monitor.Unreachable
+)
+
+// NewMonitor builds an online watcher for one link.
+func NewMonitor(target LinkTarget, cfg MonitorConfig) *Monitor {
+	return monitor.New(target, cfg)
+}
+
+// Fleet watches every link of one vantage point online.
+type Fleet = monitor.Fleet
+
+// NewFleet builds an empty fleet of link watchers.
+func NewFleet(cfg MonitorConfig) *Fleet { return monitor.NewFleet(cfg) }
