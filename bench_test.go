@@ -8,9 +8,11 @@ package afrixp
 // every figure.
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -45,6 +47,38 @@ func BenchmarkFullCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
 			StartOffsetDays: 14, DisableLoss: true})
+	}
+}
+
+// BenchmarkCampaignParallel measures the same one-week campaign as
+// BenchmarkFullCampaign under the sequential engine (workers=1) and the
+// parallel one (workers=GOMAXPROCS); the two sub-benchmarks produce
+// bit-identical results (TestParallelCampaignBitIdentical), so the
+// ratio is pure engine speedup. On a single-core runner the ratio is
+// ~1 by construction.
+func BenchmarkCampaignParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+					StartOffsetDays: 14, DisableLoss: true, Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisFanout measures the per-link threshold-sweep
+// analysis phase alone (rank-CUSUM bootstrap dominated) re-derived from
+// one shared collected campaign, sequentially vs fanned out.
+func BenchmarkAnalysisFanout(b *testing.B) {
+	res := benchCampaign(b)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res.Reanalyze(workers)
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"afrixp"
@@ -22,11 +23,12 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "observatory-out", "output directory")
-		days   = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
-		scale  = flag.Float64("scale", 1.0, "world scale")
-		seed   = flag.Uint64("seed", 0, "world seed")
-		noLoss = flag.Bool("no-loss", false, "skip loss campaigns")
+		out     = flag.String("out", "observatory-out", "output directory")
+		days    = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
+		scale   = flag.Float64("scale", 1.0, "world scale")
+		seed    = flag.Uint64("seed", 0, "world seed")
+		noLoss  = flag.Bool("no-loss", false, "skip loss campaigns")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days,
-		DisableLoss: *noLoss, Progress: os.Stderr,
+		DisableLoss: *noLoss, Workers: *workers, Progress: os.Stderr,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 

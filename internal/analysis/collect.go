@@ -70,27 +70,38 @@ func NewCollector(ts *prober.TSLP, cfg CollectorConfig) *Collector {
 
 // Round probes the link once and records the result.
 func (c *Collector) Round(t simclock.Time) {
-	s := c.TSLP.Round(t)
+	c.recordSample(t, c.TSLP.Round(t))
+}
+
+// RoundFrozen probes the link once through the frozen-frontier sampler
+// (see prober.TSLP.RoundFrozen) and records the result. Used by the
+// parallel campaign engine after the per-step queue advance.
+func (c *Collector) RoundFrozen(t simclock.Time) {
+	c.recordSample(t, c.TSLP.RoundFrozen(t))
+}
+
+func (c *Collector) recordSample(t simclock.Time, s prober.Sample) {
 	c.farRounds++
 	if s.FarLost {
 		c.farLostRounds++
 	}
-	record := func(agg, full *timeseries.Series, lost bool, rtt simclock.Duration) {
-		if lost {
-			return
-		}
-		ms := float64(rtt) / float64(time.Millisecond)
-		if i := agg.Index(t); i >= 0 {
-			if timeseries.IsMissing(agg.Values[i]) || ms < agg.Values[i] {
-				agg.Values[i] = ms // streaming min filter
-			}
-		}
-		if full != nil && c.window.Contains(t) {
-			full.SetAt(t, ms)
+	c.record(c.near, c.fullNear, t, s.NearLost, s.NearRTT)
+	c.record(c.far, c.fullFar, t, s.FarLost, s.FarRTT)
+}
+
+func (c *Collector) record(agg, full *timeseries.Series, t simclock.Time, lost bool, rtt simclock.Duration) {
+	if lost {
+		return
+	}
+	ms := float64(rtt) / float64(time.Millisecond)
+	if i := agg.Index(t); i >= 0 {
+		if timeseries.IsMissing(agg.Values[i]) || ms < agg.Values[i] {
+			agg.Values[i] = ms // streaming min filter
 		}
 	}
-	record(c.near, c.fullNear, s.NearLost, s.NearRTT)
-	record(c.far, c.fullFar, s.FarLost, s.FarRTT)
+	if full != nil && c.window.Contains(t) {
+		full.SetAt(t, ms)
+	}
 }
 
 // Series returns the aggregated link series for analysis.

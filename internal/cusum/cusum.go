@@ -69,38 +69,78 @@ func (cp ChangePoint) Magnitude() float64 { return cp.After - cp.Before }
 func Detect(xs []float64, cfg Config) []ChangePoint {
 	cfg = cfg.withDefaults()
 	cfg.UseRanks = true
-	return detect(xs, cfg)
+	return NewDetector(cfg).Detect(xs, cfg.Seed)
 }
 
 // DetectRaw runs the same analysis on raw values (no rank transform).
 func DetectRaw(xs []float64, cfg Config) []ChangePoint {
 	cfg = cfg.withDefaults()
 	cfg.UseRanks = false
-	return detect(xs, cfg)
+	return NewDetector(cfg).Detect(xs, cfg.Seed)
 }
 
-func detect(xs []float64, cfg Config) []ChangePoint {
-	work := xs
-	if cfg.UseRanks {
-		work = Ranks(xs)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var cps []int
-	var confs []float64
-	segment(work, 0, len(work), cfg, rng, &cps, &confs)
-	order := make([]int, len(cps))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return cps[order[a]] < cps[order[b]] })
+// Detector runs repeated change-point detections with one set of
+// reusable scratch buffers (rank transform, bootstrap shuffle copy,
+// candidate lists). The level-shift analyzer calls Detect once per
+// detection window per link per threshold — reusing the scratch removes
+// the dominant allocation cost of a campaign's analysis phase. Results
+// are bit-identical to the package-level Detect/DetectRaw: reseeding a
+// rand.Rand produces the same stream as constructing it from the same
+// seed, and every buffer is fully overwritten per call.
+//
+// A Detector is not safe for concurrent use; fan-out callers create one
+// per goroutine.
+type Detector struct {
+	cfg Config
+	rng *rand.Rand
 
-	indices := make([]int, 0, len(cps))
-	byIndex := make(map[int]float64, len(cps))
-	for _, oi := range order {
-		indices = append(indices, cps[oi])
-		byIndex[cps[oi]] = confs[oi]
+	ranks   []float64
+	rankIdx []int
+	shuf    []float64
+	cps     []int
+	confs   []float64
+	order   []int
+	indices []int
+	idxConf []float64
+	kept    []int
+}
+
+// NewDetector builds a reusable detector. cfg.Seed is ignored — each
+// Detect call takes its own seed.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewSource(0)),
 	}
-	indices = filterByMagnitude(xs, indices, cfg.MinMagnitude)
+}
+
+// Detect runs the recursive change-point analysis over xs with the
+// given bootstrap seed, honoring cfg.UseRanks as configured. The
+// returned slice is freshly allocated (safe to retain); everything else
+// comes from scratch buffers.
+func (d *Detector) Detect(xs []float64, seed int64) []ChangePoint {
+	work := xs
+	if d.cfg.UseRanks {
+		work = d.ranksInto(xs)
+	}
+	d.rng.Seed(seed)
+	d.cps = d.cps[:0]
+	d.confs = d.confs[:0]
+	d.segment(work, 0, len(work))
+
+	d.order = d.order[:0]
+	for i := range d.cps {
+		d.order = append(d.order, i)
+	}
+	sort.Slice(d.order, func(a, b int) bool { return d.cps[d.order[a]] < d.cps[d.order[b]] })
+
+	d.indices = d.indices[:0]
+	d.idxConf = d.idxConf[:0]
+	for _, oi := range d.order {
+		d.indices = append(d.indices, d.cps[oi])
+		d.idxConf = append(d.idxConf, d.confs[oi])
+	}
+	indices := d.filterByMagnitude(xs, d.indices)
 
 	out := make([]ChangePoint, 0, len(indices))
 	prev := 0
@@ -111,7 +151,7 @@ func detect(xs []float64, cfg Config) []ChangePoint {
 		}
 		out = append(out, ChangePoint{
 			Index:      idx,
-			Confidence: byIndex[idx],
+			Confidence: d.confAt(idx),
 			Before:     mean(xs[prev:idx]),
 			After:      mean(xs[idx:next]),
 		})
@@ -120,14 +160,54 @@ func detect(xs []float64, cfg Config) []ChangePoint {
 	return out
 }
 
+// confAt looks up the bootstrap confidence recorded for index idx in
+// the pre-filter candidate list (sorted by index).
+func (d *Detector) confAt(idx int) float64 {
+	k := sort.SearchInts(d.indices, idx)
+	if k < len(d.indices) && d.indices[k] == idx {
+		return d.idxConf[k]
+	}
+	return 0
+}
+
+// ranksInto is Ranks writing into the detector's scratch buffers.
+func (d *Detector) ranksInto(xs []float64) []float64 {
+	n := len(xs)
+	if cap(d.rankIdx) < n {
+		d.rankIdx = make([]int, n)
+		d.ranks = make([]float64, n)
+	}
+	idx := d.rankIdx[:n]
+	out := d.ranks[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
 // filterByMagnitude removes, weakest first, change points whose level
-// change across adjacent segments falls below minMag, re-merging the
-// segments after each removal.
-func filterByMagnitude(xs []float64, indices []int, minMag float64) []int {
+// change across adjacent segments falls below cfg.MinMagnitude,
+// re-merging the segments after each removal. d.indices is left intact
+// for confidence lookups; the returned slice is d.kept scratch.
+func (d *Detector) filterByMagnitude(xs []float64, indices []int) []int {
+	minMag := d.cfg.MinMagnitude
 	if minMag <= 0 {
 		return indices
 	}
-	kept := append([]int(nil), indices...)
+	kept := append(d.kept[:0], indices...)
+	d.kept = kept
 	for {
 		if len(kept) == 0 {
 			return kept
@@ -156,27 +236,27 @@ func filterByMagnitude(xs []float64, indices []int, minMag float64) []int {
 }
 
 // segment recursively tests [lo,hi) for a change point.
-func segment(xs []float64, lo, hi int, cfg Config, rng *rand.Rand, cps *[]int, confs *[]float64) {
+func (d *Detector) segment(xs []float64, lo, hi int) {
 	n := hi - lo
-	if n < 2*cfg.MinSegment {
+	if n < 2*d.cfg.MinSegment {
 		return
 	}
 	idx, diff := maxCusumSplit(xs[lo:hi])
-	if idx < cfg.MinSegment || idx > n-cfg.MinSegment {
+	if idx < d.cfg.MinSegment || idx > n-d.cfg.MinSegment {
 		// Re-clamp: pick the best split within the allowed band.
-		idx, diff = maxCusumSplitBounded(xs[lo:hi], cfg.MinSegment)
+		idx, diff = maxCusumSplitBounded(xs[lo:hi], d.cfg.MinSegment)
 		if idx < 0 {
 			return
 		}
 	}
-	conf := bootstrapConfidence(xs[lo:hi], diff, cfg.Bootstraps, rng)
-	if conf < cfg.Confidence {
+	conf := d.bootstrapConfidence(xs[lo:hi], diff)
+	if conf < d.cfg.Confidence {
 		return
 	}
-	*cps = append(*cps, lo+idx)
-	*confs = append(*confs, conf)
-	segment(xs, lo, lo+idx, cfg, rng, cps, confs)
-	segment(xs, lo+idx, hi, cfg, rng, cps, confs)
+	d.cps = append(d.cps, lo+idx)
+	d.confs = append(d.confs, conf)
+	d.segment(xs, lo, lo+idx)
+	d.segment(xs, lo+idx, hi)
 }
 
 // maxCusumSplit computes the CUSUM chart of xs and returns the index
@@ -231,15 +311,18 @@ func maxCusumSplitBounded(xs []float64, minSeg int) (int, float64) {
 }
 
 // bootstrapConfidence estimates how often a random reordering of xs
-// produces a smaller CUSUM range than observed.
-func bootstrapConfidence(xs []float64, observed float64, n int, rng *rand.Rand) float64 {
+// produces a smaller CUSUM range than observed. The shuffle copy lives
+// in detector scratch — this is the analysis phase's hot spot.
+func (d *Detector) bootstrapConfidence(xs []float64, observed float64) float64 {
 	if observed <= 0 {
 		return 0
 	}
-	shuf := append([]float64(nil), xs...)
+	shuf := append(d.shuf[:0], xs...)
+	d.shuf = shuf
 	smaller := 0
+	n := d.cfg.Bootstraps
 	for b := 0; b < n; b++ {
-		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		d.rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
 		if _, diff := maxCusumSplit(shuf); diff < observed {
 			smaller++
 		}

@@ -14,6 +14,7 @@ package diurnal
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"afrixp/internal/simclock"
@@ -93,11 +94,20 @@ func Detect(s *timeseries.Series, cfg Config) Verdict {
 	}
 	v.PeakHour = float64(peakBin) * cfg.BinWidth.Hours()
 
-	// Day-to-day consistency.
+	// Day-to-day consistency. Days are visited in calendar order: map
+	// iteration order would vary the float summation order run to run,
+	// perturbing Consistency by an ulp — enough to break the campaign
+	// engine's bit-identical reproducibility guarantee.
 	nBins := len(profile)
+	days := s.SplitDays()
+	dayKeys := make([]int, 0, len(days))
+	for k := range days {
+		dayKeys = append(dayKeys, k)
+	}
+	sort.Ints(dayKeys)
 	var corrSum float64
-	for _, day := range s.SplitDays() {
-		dayProf := day.FoldDaily(cfg.BinWidth, timeseries.Mean)
+	for _, k := range dayKeys {
+		dayProf := days[k].FoldDaily(cfg.BinWidth, timeseries.Mean)
 		if r, ok := correlate(dayProf, profile, nBins/2); ok {
 			corrSum += r
 			v.DaysEvaluated++

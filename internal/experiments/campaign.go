@@ -11,7 +11,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"afrixp/internal/analysis"
@@ -46,7 +49,15 @@ type Config struct {
 	LossBatchEvery simclock.Duration
 	// DisableLoss skips the loss campaigns.
 	DisableLoss bool
+	// Workers fans the probing loop out across per-VP goroutines and
+	// the analysis phase across per-link goroutines. Results are
+	// bit-identical for any value: probing always samples against the
+	// frozen per-step queue frontier with per-VP loss-nonce streams, so
+	// goroutine interleaving cannot reach the numbers. Default
+	// runtime.GOMAXPROCS(0); 1 runs inline without goroutines.
+	Workers int
 	// Progress, when non-nil, receives one line per campaign phase.
+	// Writes are serialized by the engine.
 	Progress io.Writer
 }
 
@@ -65,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LossBatchEvery <= 0 {
 		c.LossBatchEvery = 10 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -179,9 +193,12 @@ func Run(cfg Config) *Result {
 	w := scenario.Paper(cfg.Opts)
 	res := &Result{World: w, Cfg: cfg}
 
+	var progressMu sync.Mutex
 	progress := func(format string, args ...any) {
 		if cfg.Progress != nil {
+			progressMu.Lock()
 			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+			progressMu.Unlock()
 		}
 	}
 
@@ -212,12 +229,29 @@ func Run(cfg Config) *Result {
 		states = append(states, &vpState{vr: vr, snapshots: snaps})
 	}
 
+	// The RIR and IXP-directory indexes are pure functions of their
+	// datasets; rebuilding them for every discovery run (6 VPs × ~28
+	// refreshes) was pure waste. They are cached per dataset version —
+	// scenario events can grow the delegation file mid-campaign (the
+	// October 2016 AS turn-up does), which the length key detects,
+	// since delegations are only ever appended.
+	var idxCache struct {
+		delegs, ixps int
+		rir          *registry.Index
+		ixp          *ixpdir.Index
+	}
 	bcfg := func(vp *scenario.VP) bdrmap.Config {
+		if idxCache.rir == nil || idxCache.delegs != len(w.RIRFile.Delegations) || idxCache.ixps != len(w.Directory.IXPs) {
+			idxCache.delegs = len(w.RIRFile.Delegations)
+			idxCache.ixps = len(w.Directory.IXPs)
+			idxCache.rir = registry.NewIndex(w.RIRFile)
+			idxCache.ixp = ixpdir.NewIndex(w.Directory)
+		}
 		return bdrmap.Config{
 			BGP:      w.BGP,
 			Rels:     w.Graph,
-			RIR:      registry.NewIndex(w.RIRFile),
-			IXP:      ixpdir.NewIndex(w.Directory),
+			RIR:      idxCache.rir,
+			IXP:      idxCache.ixp,
 			Geo:      w.GeoDB,
 			RDNS:     w.RDNS,
 			Siblings: vp.Siblings,
@@ -286,13 +320,21 @@ func Run(cfg Config) *Result {
 		progress("%s: initial discovery found %d links", st.vr.VP.ID, len(st.vr.Links))
 	}
 
-	// Main probing loop.
+	// Main probing loop. Each 5-minute step is a barrier: the world
+	// clock, event application, discovery, and path re-resolution are
+	// single-threaded; queue frontiers are then advanced once; and the
+	// per-VP probing — the bulk of the work — fans out across workers.
+	// Workers sample through the frozen frontier with per-VP loss-nonce
+	// streams and touch only their own VP's state (prober pacing
+	// bucket, collectors, loss collectors), so the step's results are
+	// independent of worker count and scheduling.
 	nextRefresh := cfg.Campaign.Start.Add(cfg.RefreshEvery)
 	stepIdx := 0
 	lossEvery := int(cfg.LossBatchEvery / cfg.Step)
 	if lossEvery < 1 {
 		lossEvery = 1
 	}
+	pathVersion := w.Net.Version()
 	cfg.Campaign.Steps(cfg.Step, func(t simclock.Time) {
 		w.AdvanceTo(t)
 		if t >= nextRefresh {
@@ -308,46 +350,115 @@ func Run(cfg Config) *Result {
 				progress("%s snapshot at %v", st.vr.VP.ID, t)
 				st.snapIdx++
 			}
+		}
+		if v := w.Net.Version(); v != pathVersion {
+			// Topology churn (route invalidation, link removal): refresh
+			// cached probe trajectories at the barrier so workers never
+			// mutate path state. Links that left the routed path keep
+			// their stale marker and report loss, as the paper observed.
+			for _, st := range states {
+				for _, target := range st.vr.order {
+					_ = st.vr.Links[target].tslp.EnsureResolved()
+				}
+			}
+			pathVersion = v
+		}
+		w.Net.AdvanceQueues(t)
+		doLoss := stepIdx%lossEvery == 0
+		parallelDo(len(states), cfg.Workers, func(si int) {
+			st := states[si]
 			for _, target := range st.vr.order {
 				lr := st.vr.Links[target]
-				lr.Collector.Round(t)
-				if lr.lossCol != nil && lr.lossIv.Contains(t) && stepIdx%lossEvery == 0 {
+				lr.Collector.RoundFrozen(t)
+				if lr.lossCol != nil && lr.lossIv.Contains(t) && doLoss {
 					for i := 0; i < loss.BatchSize; i++ {
 						at := t.Add(time.Duration(i) * time.Second)
-						_, farLost := lr.tslp.LossRound(at)
+						_, farLost := lr.tslp.LossRoundFrozen(at)
 						lr.lossCol.Record(at, farLost)
 					}
 				}
 			}
-		}
+		})
 		stepIdx++
 	})
 
 	// Per-link analysis across the threshold sweep.
 	progress("campaign done; analyzing %s of series", cfg.Campaign.Duration())
+	res.Reanalyze(cfg.Workers)
 	for _, vr := range res.VPs {
-		for _, lr := range vr.SortedLinks() {
-			ls := lr.Collector.Series()
-			for _, thr := range cfg.Thresholds {
-				acfg := analysis.DefaultConfig()
-				acfg.ThresholdMs = thr
-				v := analysis.AnalyzeLink(ls, acfg)
-				if lr.Symmetry != nil && !lr.Symmetry.Symmetric {
-					// An asymmetric route invalidates the TSLP
-					// attribution: the far-RTT rise may come from a
-					// reverse path that does not cross this link.
-					v.Symmetric = false
-					v.Congested = false
-				}
-				lr.Verdicts[thr] = v
-			}
-			if lr.lossCol != nil {
-				lr.LossBatches = lr.lossCol.Batches()
-			}
-		}
 		progress("%s: %d links analyzed", vr.VP.ID, len(vr.Links))
 	}
 	return res
+}
+
+// Reanalyze re-runs the per-link threshold-sweep analysis, fanning the
+// links out across the given number of workers. Each link is an
+// independent task (AnalyzeLink is pure and each task writes only its
+// own record), so ordering cannot affect results. Run calls this once;
+// it is exported so callers can re-derive verdicts after changing
+// Cfg.Thresholds, and it is the benchmark surface for the analysis
+// fan-out.
+func (r *Result) Reanalyze(workers int) {
+	var tasks []*LinkRecord
+	for _, vr := range r.VPs {
+		tasks = append(tasks, vr.SortedLinks()...)
+	}
+	thresholds := r.Cfg.Thresholds
+	parallelDo(len(tasks), workers, func(i int) {
+		lr := tasks[i]
+		ls := lr.Collector.Series()
+		if lr.Verdicts == nil {
+			lr.Verdicts = make(map[float64]analysis.Verdict, len(thresholds))
+		}
+		for _, thr := range thresholds {
+			acfg := analysis.DefaultConfig()
+			acfg.ThresholdMs = thr
+			v := analysis.AnalyzeLink(ls, acfg)
+			if lr.Symmetry != nil && !lr.Symmetry.Symmetric {
+				// An asymmetric route invalidates the TSLP
+				// attribution: the far-RTT rise may come from a
+				// reverse path that does not cross this link.
+				v.Symmetric = false
+				v.Congested = false
+			}
+			lr.Verdicts[thr] = v
+		}
+		if lr.lossCol != nil {
+			lr.LossBatches = lr.lossCol.Batches()
+		}
+	})
+}
+
+// parallelDo runs fn(0..n-1) across at most workers goroutines, pulling
+// indices from a shared atomic counter. workers ≤ 1 (or n ≤ 1) runs
+// inline with no goroutines — the sequential engine is literally the
+// parallel one with one worker, not a separate code path.
+func parallelDo(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // sameRouterOracle answers alias questions from simulator ground

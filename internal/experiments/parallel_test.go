@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"afrixp/internal/levelshift"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// runShortCampaign runs a 4-day mid-2016 campaign that exercises every
+// concurrent code path: the window covers a Table 2 snapshot date
+// (VP4, 2016-07-22) and the 1 pps loss campaigns (which begin
+// 2016-07-19 + 2 days), so snapshot discovery, TSLP rounds, and loss
+// batches all run.
+func runShortCampaign(workers int) *Result {
+	return Run(Config{
+		Opts: scenario.Options{Seed: 5, Scale: 0.1},
+		Campaign: simclock.Interval{
+			Start: simclock.Date(2016, time.July, 20),
+			End:   simclock.Date(2016, time.July, 24),
+		},
+		Workers: workers,
+	})
+}
+
+func bits(f float64) uint64 { return math.Float64bits(f) }
+
+// summarizeResult renders every campaign observable — series values,
+// verdict scalars, shifts, events, loss batches — with floats as raw
+// IEEE bits, so two summaries are equal iff the results are
+// bit-identical (NaN-holed series defeat reflect.DeepEqual).
+func summarizeResult(res *Result) string {
+	var b bytes.Buffer
+	for _, vr := range res.VPs {
+		fmt.Fprintf(&b, "VP %s links=%d snaps=%d\n", vr.VP.ID, len(vr.Links), len(vr.Snapshots))
+		for _, s := range vr.Snapshots {
+			fmt.Fprintf(&b, " snap at=%d truth=%d cov=%x links=%d\n",
+				s.At, s.TruthNeighborCount, bits(s.Coverage), len(s.Bdrmap.Links))
+		}
+		for _, lr := range vr.SortedLinks() {
+			fmt.Fprintf(&b, " link %v as=%d ixp=%s disc=%d case=%q farloss=%x\n",
+				lr.Target, lr.FarAS, lr.ViaIXP, lr.DiscoveredAt, lr.CaseName,
+				bits(lr.Collector.FarLossFraction()))
+			ls := lr.Collector.Series()
+			for _, v := range ls.Near.Values {
+				fmt.Fprintf(&b, "%x,", bits(v))
+			}
+			b.WriteByte('\n')
+			for _, v := range ls.Far.Values {
+				fmt.Fprintf(&b, "%x,", bits(v))
+			}
+			b.WriteByte('\n')
+			for _, thr := range res.Cfg.Thresholds {
+				v := lr.Verdicts[thr]
+				fmt.Fprintf(&b, "  thr=%g flag=%t nearflat=%t sym=%t cong=%t class=%d aw=%x dt=%d diur=%t amp=%x cons=%x peak=%x days=%d\n",
+					thr, v.Flagged, v.NearFlat, v.Symmetric, v.Congested, v.Class,
+					bits(v.AW), v.DeltaTUD, v.Diurnal.Diurnal, bits(v.Diurnal.AmplitudeMs),
+					bits(v.Diurnal.Consistency), bits(v.Diurnal.PeakHour), v.Diurnal.DaysEvaluated)
+				for _, r := range []levelshift.Result{v.Far, v.Near} {
+					fmt.Fprintf(&b, "   base=%x shifts=", bits(r.Baseline))
+					for _, cp := range r.Shifts {
+						fmt.Fprintf(&b, "(%d,%x,%x,%x)", cp.Index, bits(cp.Confidence), bits(cp.Before), bits(cp.After))
+					}
+					b.WriteString(" events=")
+					for _, e := range r.Events {
+						fmt.Fprintf(&b, "(%d,%d,%x,%t)", e.Start, e.End, bits(e.Magnitude), e.OpenEnded)
+					}
+					b.WriteByte('\n')
+				}
+			}
+			fmt.Fprintf(&b, "  lossbatches=%d", len(lr.LossBatches))
+			for _, lb := range lr.LossBatches {
+				fmt.Fprintf(&b, " (%d,%d,%d)", lb.Start, lb.Sent, lb.Lost)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// renderReports renders Table 1, Table 2, and the headline fraction as
+// the CLI would print them.
+func renderReports(t *testing.T, res *Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Table1Report(res).Render(&b); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	if err := Table2Report(res).Render(&b); err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	rows, frac := Headline(res)
+	fmt.Fprintf(&b, "headline=%x\n", bits(frac))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s %d %d %x\n", r.VP, r.Links, r.Congested, bits(r.Fraction))
+	}
+	return b.String()
+}
+
+// firstDiff locates the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  workers=1: %s\n  workers=8: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(la), len(lb))
+}
+
+// TestParallelCampaignBitIdentical is the engine's core guarantee: a
+// campaign probed and analyzed by 8 workers produces exactly the same
+// numbers as the sequential run — every series value, verdict, shift,
+// event, loss batch, and rendered report, compared at the bit level.
+func TestParallelCampaignBitIdentical(t *testing.T) {
+	seq := runShortCampaign(1)
+	par := runShortCampaign(8)
+
+	links := 0
+	for _, vr := range seq.VPs {
+		links += len(vr.Links)
+	}
+	if links == 0 {
+		t.Fatal("campaign discovered no links; determinism check is vacuous")
+	}
+
+	if a, b := summarizeResult(seq), summarizeResult(par); a != b {
+		t.Errorf("campaign results differ between workers=1 and workers=8\n%s", firstDiff(a, b))
+	}
+	if a, b := renderReports(t, seq), renderReports(t, par); a != b {
+		t.Errorf("rendered reports differ between workers=1 and workers=8\n%s", firstDiff(a, b))
+	}
+}
+
+// TestReanalyzeParallelMatchesSequential checks the analysis fan-out in
+// isolation: re-deriving verdicts with many workers from one collected
+// campaign must reproduce the sequential verdicts bit for bit.
+func TestReanalyzeParallelMatchesSequential(t *testing.T) {
+	res := runShortCampaign(1)
+	before := summarizeResult(res)
+	res.Reanalyze(8)
+	if after := summarizeResult(res); before != after {
+		t.Errorf("Reanalyze(8) changed verdicts\n%s", firstDiff(before, after))
+	}
+}

@@ -165,6 +165,12 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 	}
 	ccfg := cfg.Cusum
 	ccfg.MinMagnitude = cfg.ThresholdMs / 2 // sub-noise wiggles die here
+	ccfg.UseRanks = true                    // the paper's non-parametric variant
+	// One detector for all windows: its scratch buffers (rank
+	// transform, bootstrap shuffle) are the analysis phase's dominant
+	// allocations. Each window reseeds, so results match per-window
+	// cusum.Detect calls bit for bit.
+	det := cusum.NewDetector(ccfg)
 
 	// elevation[i] > 0 marks compacted sample i as part of a shifted
 	// segment, carrying the segment's elevation above baseline.
@@ -175,9 +181,7 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 			hi = len(vals)
 		}
 		win := vals[lo:hi]
-		wcfg := ccfg
-		wcfg.Seed = ccfg.Seed + int64(lo)
-		cps := cusum.Detect(win, wcfg)
+		cps := det.Detect(win, ccfg.Seed+int64(lo))
 		res.Shifts = append(res.Shifts, offsetShifts(cps, lo)...)
 		bounds := []int{0}
 		for _, cp := range cps {

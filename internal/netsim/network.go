@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"afrixp/internal/asrel"
 	"afrixp/internal/bgpsim"
@@ -123,6 +124,9 @@ type Network struct {
 	version    int64
 	pktCounter uint64
 	seed       uint64
+	// rlMu serializes shared ICMP rate-limit buckets on the frozen
+	// sampling path; see ProbePath.SampleCtx.
+	rlMu sync.Mutex
 }
 
 // New creates an empty network over the given BGP control plane.
@@ -297,6 +301,31 @@ func (nw *Network) SetGateway(n *Node, ifc *Iface) {
 
 // bump invalidates cached FIBs and probe paths after topology changes.
 func (nw *Network) bump() { nw.version++ }
+
+// AdvanceQueues moves every fluid queue's integration frontier to t.
+// It is the single-writer half of the parallel probing protocol:
+// campaign engines call it once per step (with the world clock already
+// at t), after which concurrent workers observe the network through
+// the frozen read path (ProbePath.SampleCtx) without mutating any
+// shared state. Queues are independent, so the iteration order is
+// immaterial.
+func (nw *Network) AdvanceQueues(t simclock.Time) {
+	adv := func(p *Pipe) {
+		if p != nil && p.Queue != nil {
+			p.Queue.Advance(t)
+		}
+	}
+	for _, l := range nw.links {
+		adv(l.Pipes[0])
+		adv(l.Pipes[1])
+	}
+	for _, lan := range nw.lans {
+		for i := range lan.Attachments {
+			adv(lan.Attachments[i].ToFabric)
+			adv(lan.Attachments[i].FromFabric)
+		}
+	}
+}
 
 // Version returns the topology version; cached ProbePaths embed it.
 func (nw *Network) Version() int64 { return nw.version }

@@ -122,6 +122,71 @@ func (pp *ProbePath) Sample(t simclock.Time) (simclock.Duration, bool) {
 	return t.Sub(start), true
 }
 
+// ProbeCtx is one measurement agent's private probe-side state: an
+// independent nonce stream for deterministic loss draws. Each
+// concurrently-probing agent (one per vantage point) owns its own
+// context; the streams are disjoint by construction, so a probe's loss
+// draw depends only on its position in its own VP's stream — never on
+// how worker goroutines interleave. That property is what makes
+// campaign results bit-identical for any worker count.
+//
+// A ProbeCtx must not be shared between goroutines.
+type ProbeCtx struct {
+	salt  uint64
+	count uint64
+}
+
+// NewProbeCtx derives an agent-scoped probe context. id distinguishes
+// agents (the VP node id); streams are spaced 2^40 nonces apart, far
+// beyond any campaign's probe count.
+func (nw *Network) NewProbeCtx(id uint64) *ProbeCtx {
+	return &ProbeCtx{salt: (id + 1) << 40}
+}
+
+// nonce returns the next per-packet nonce of this context's stream.
+func (c *ProbeCtx) nonce() uint64 {
+	c.count++
+	return c.salt + c.count
+}
+
+// SampleCtx sends one virtual probe along the cached path at time t
+// using the caller's probe context for loss draws and the frozen queue
+// read path for conditions. Unlike Sample it mutates no network state
+// (shared ICMP rate-limit buckets, when present, are serialized under
+// a lock — worlds probing such responders from multiple VPs trade
+// cross-worker bit-determinism for the shared budget; the paper world
+// has none). Callers must have advanced the world's queues to the
+// current step barrier via Network.AdvanceQueues.
+func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duration, bool) {
+	start := t
+	for _, p := range pp.FwdPipes {
+		exit, ok := p.TraverseFrozen(t, ctx.nonce())
+		if !ok {
+			return 0, false
+		}
+		t = exit
+	}
+	if rl := pp.Responder.ICMPRateLimit; rl != nil {
+		pp.nw.rlMu.Lock()
+		ok := rl.Allow(t)
+		pp.nw.rlMu.Unlock()
+		if !ok {
+			return 0, false
+		}
+	}
+	if pp.Responder.ICMPDelay != nil {
+		t = t.Add(pp.Responder.ICMPDelay(t))
+	}
+	for _, p := range pp.RevPipes {
+		exit, ok := p.TraverseFrozen(t, ctx.nonce())
+		if !ok {
+			return 0, false
+		}
+		t = exit
+	}
+	return t.Sub(start), true
+}
+
 // SampleDelayOnly returns the RTT at t ignoring loss — used by
 // analyses that need the latency surface itself.
 func (pp *ProbePath) SampleDelayOnly(t simclock.Time) simclock.Duration {

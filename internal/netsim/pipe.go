@@ -58,6 +58,28 @@ func (p *Pipe) Traverse(t simclock.Time, n uint64) (simclock.Time, bool) {
 	return t.Add(d), true
 }
 
+// TraverseFrozen is Traverse against the queue's frozen integration
+// frontier: the fluid state is computed for t without being advanced,
+// so concurrent probes (each with its own nonce stream) observe
+// identical conditions regardless of ordering. The campaign engine
+// pairs it with Network.AdvanceQueues at each step barrier.
+func (p *Pipe) TraverseFrozen(t simclock.Time, n uint64) (simclock.Time, bool) {
+	if p.Up != nil && !p.Up(t) {
+		return t, false
+	}
+	d := p.Prop
+	loss := p.BaseLoss
+	if p.Queue != nil {
+		qd, ql := p.Queue.ObserveFrozen(t)
+		d += qd
+		loss = 1 - (1-loss)*(1-ql)
+	}
+	if loss > 0 && hashUnit(p.seed, n) < loss {
+		return t, false
+	}
+	return t.Add(d), true
+}
+
 // DelayAt returns the pipe's one-way delay at t without a loss draw,
 // used by the fast-path sampler's delay accounting.
 func (p *Pipe) DelayAt(t simclock.Time) simclock.Duration {

@@ -34,11 +34,16 @@ type Config struct {
 }
 
 // Prober is a scamper-like measurement process on one VP.
+//
+// A Prober is single-goroutine state (pacing bucket, sequence
+// numbers, probe context); campaigns that probe several VPs
+// concurrently give each VP its own Prober and fan out per VP.
 type Prober struct {
 	nw     *netsim.Network
 	vp     *netsim.Node
 	cfg    Config
 	bucket *queue.TokenBucket
+	ctx    *netsim.ProbeCtx
 	icmpID uint16
 	seq    uint16
 }
@@ -59,6 +64,7 @@ func New(nw *netsim.Network, vp *netsim.Node, cfg Config) *Prober {
 		vp:     vp,
 		cfg:    cfg,
 		bucket: queue.NewTokenBucket(cfg.RatePPS, cfg.RatePPS, 0),
+		ctx:    nw.NewProbeCtx(uint64(vp.ID)),
 		icmpID: uint16(vp.ID)*257 + 11,
 	}
 }

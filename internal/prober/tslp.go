@@ -135,6 +135,66 @@ func (ts *TSLP) logRound(t simclock.Time, s Sample) {
 	})
 }
 
+// EnsureResolved re-resolves the cached trajectories if topology churn
+// invalidated them. The parallel campaign engine calls it at the step
+// barrier (single-threaded) whenever the network's topology version
+// changed, so that RoundFrozen never has to mutate path state from a
+// worker goroutine.
+func (ts *TSLP) EnsureResolved() error {
+	if ts.nearPath.Valid() && ts.farPath.Valid() {
+		return nil
+	}
+	return ts.resolve()
+}
+
+// RoundFrozen is Round against the frozen queue frontier: it paces and
+// samples exactly like Round but draws loss from this prober's private
+// nonce stream and never mutates network state. Stale trajectories are
+// NOT re-resolved here — the campaign engine refreshes them at the step
+// barrier via EnsureResolved; a link that truly left the routed path
+// keeps reporting loss, exactly as Round would.
+func (ts *TSLP) RoundFrozen(t simclock.Time) Sample {
+	if !ts.nearPath.Valid() || !ts.farPath.Valid() {
+		s := Sample{At: t, NearLost: true, FarLost: true}
+		ts.logRound(t, s)
+		return s
+	}
+	s := Sample{At: t}
+	nearAt := ts.p.bucket.NextAllowed(t)
+	ts.p.bucket.Allow(nearAt)
+	if rtt, ok := ts.nearPath.SampleCtx(ts.p.ctx, nearAt); ok && rtt <= ts.p.cfg.Timeout {
+		s.NearRTT = rtt
+	} else {
+		s.NearLost = true
+	}
+	farAt := ts.p.bucket.NextAllowed(nearAt.Add(10 * time.Millisecond))
+	ts.p.bucket.Allow(farAt)
+	if rtt, ok := ts.farPath.SampleCtx(ts.p.ctx, farAt); ok && rtt <= ts.p.cfg.Timeout {
+		s.FarRTT = rtt
+	} else {
+		s.FarLost = true
+	}
+	ts.logRound(t, s)
+	return s
+}
+
+// LossRoundFrozen is LossRound against the frozen queue frontier, with
+// the same no-resolve contract as RoundFrozen.
+func (ts *TSLP) LossRoundFrozen(t simclock.Time) (nearLost, farLost bool) {
+	if !ts.nearPath.Valid() || !ts.farPath.Valid() {
+		return true, true
+	}
+	_, nearOK := ts.nearPath.SampleCtx(ts.p.ctx, t)
+	_, farOK := ts.farPath.SampleCtx(ts.p.ctx, t.Add(500*time.Millisecond))
+	if ts.p.cfg.Warts != nil {
+		ts.p.log(&warts.Record{Type: warts.TypeLossProbe, VP: ts.p.cfg.Name, At: t,
+			Target: ts.Target.Near, Lost: !nearOK})
+		ts.p.log(&warts.Record{Type: warts.TypeLossProbe, VP: ts.p.cfg.Name, At: t,
+			Target: ts.Target.Far, Lost: !farOK})
+	}
+	return !nearOK, !farOK
+}
+
 // LossRound sends one 1 pps loss probe to each end at time t,
 // reporting only survival — the §4 loss-rate campaign.
 func (ts *TSLP) LossRound(t simclock.Time) (nearLost, farLost bool) {

@@ -147,17 +147,26 @@ func (q *Fluid) advance(t simclock.Time) {
 	if t <= q.lastTime {
 		return
 	}
+	q.occupancy, q.lossFrac = q.integrate(q.lastTime, q.occupancy, t)
+	q.lastTime = t
+}
+
+// integrate runs the fluid stepping from (from, occ) up to t and
+// returns the resulting occupancy plus the drop fraction over the
+// integrated window. It reads only immutable configuration, so it is
+// safe to call from concurrent frozen observers.
+func (q *Fluid) integrate(from simclock.Time, occ float64, t simclock.Time) (float64, float64) {
 	var offered, dropped float64
-	for q.lastTime < t {
+	for from < t {
 		dt := q.step
-		if rem := t.Sub(q.lastTime); rem < dt {
+		if rem := t.Sub(from); rem < dt {
 			dt = rem
 		}
 		sec := dt.Seconds()
-		in := q.load(q.lastTime) * sec
+		in := q.load(from) * sec
 		out := q.capacityBps * sec
 		offered += in
-		next := q.occupancy + in - out
+		next := occ + in - out
 		if next > q.bufferBits {
 			dropped += next - q.bufferBits
 			next = q.bufferBits
@@ -165,23 +174,41 @@ func (q *Fluid) advance(t simclock.Time) {
 		if next < 0 {
 			next = 0
 		}
-		q.occupancy = next
-		q.lastTime = q.lastTime.Add(dt)
+		occ = next
+		from = from.Add(dt)
 	}
+	lossFrac := 0.0
 	if offered > 0 {
-		q.lossFrac = math.Min(1, dropped/offered)
-	} else {
-		q.lossFrac = 0
+		lossFrac = math.Min(1, dropped/offered)
 	}
+	return occ, lossFrac
 }
 
-// DelayAt returns the queueing delay a packet arriving at time t
-// experiences: the fluid standing-queue drain time, plus (when
-// PacketBits is set) the stochastic near-saturation term, capped at
-// the buffer drain time.
-func (q *Fluid) DelayAt(t simclock.Time) simclock.Duration {
-	q.advance(t)
-	d := q.occupancy / q.capacityBps
+// Advance moves the integration frontier to t. It is the single-writer
+// half of the parallel campaign protocol: the campaign engine advances
+// every queue once per probing step, then concurrent workers observe
+// the step through ObserveFrozen without mutating anything.
+func (q *Fluid) Advance(t simclock.Time) { q.advance(t) }
+
+// ObserveFrozen returns the queueing delay and drop probability a
+// packet arriving at t experiences, computed by integrating forward
+// from the current frontier into locals — the frontier itself is not
+// moved. Because the result depends only on (frontier, t), concurrent
+// observers see identical values regardless of ordering, which is what
+// makes campaign results bit-identical across worker counts.
+func (q *Fluid) ObserveFrozen(t simclock.Time) (simclock.Duration, float64) {
+	occ, lossFrac := q.occupancy, q.lossFrac
+	if t > q.lastTime {
+		occ, lossFrac = q.integrate(q.lastTime, q.occupancy, t)
+	}
+	return q.delayFromOccupancy(occ, t), lossFrac
+}
+
+// delayFromOccupancy converts a buffer occupancy into the arriving
+// packet's queueing delay, including the near-saturation stochastic
+// term when configured.
+func (q *Fluid) delayFromOccupancy(occ float64, t simclock.Time) simclock.Duration {
+	d := occ / q.capacityBps
 	if q.pktBits > 0 {
 		rho := q.load(t) / q.capacityBps
 		if rho >= 1 {
@@ -194,6 +221,15 @@ func (q *Fluid) DelayAt(t simclock.Time) simclock.Duration {
 		}
 	}
 	return time.Duration(d * float64(time.Second))
+}
+
+// DelayAt returns the queueing delay a packet arriving at time t
+// experiences: the fluid standing-queue drain time, plus (when
+// PacketBits is set) the stochastic near-saturation term, capped at
+// the buffer drain time.
+func (q *Fluid) DelayAt(t simclock.Time) simclock.Duration {
+	q.advance(t)
+	return q.delayFromOccupancy(q.occupancy, t)
 }
 
 // LossAt returns the probability that a packet arriving at time t is

@@ -34,6 +34,9 @@ type CampaignConfig struct {
 	Thresholds []float64
 	// DisableLoss skips the 1 pps loss campaigns.
 	DisableLoss bool
+	// Workers fans probing and analysis across goroutines; results are
+	// bit-identical for any value. Default runtime.GOMAXPROCS(0).
+	Workers int
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 }
@@ -60,6 +63,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Opts:        scenario.Options{Seed: cfg.Seed, Scale: cfg.Scale},
 		Thresholds:  cfg.Thresholds,
 		DisableLoss: cfg.DisableLoss,
+		Workers:     cfg.Workers,
 		Progress:    cfg.Progress,
 	}
 	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)

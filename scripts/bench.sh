@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Records the campaign-engine benchmarks into BENCH_campaign.json:
+# the end-to-end campaign, the TSLP sampling hot loop, and the
+# parallel-engine sub-benchmarks (workers=1 vs workers=GOMAXPROCS).
+# Speedup from the workers>1 rows requires a multi-core runner; the
+# results themselves are bit-identical at any worker count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-1}"
+OUT="BENCH_campaign.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkCampaignParallel|BenchmarkAnalysisFanout' \
+  -benchmem -count "$COUNT" . | tee "$RAW"
+
+{
+  echo '{'
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"gomaxprocs\": $(nproc),"
+  echo '  "benchmarks": ['
+  awk '/^Benchmark/ {
+    name=$1; iters=$2; ns=$3
+    bytes="null"; allocs="null"
+    for (i=4; i<=NF; i++) {
+      if ($i == "B/op")      bytes=$(i-1)
+      if ($i == "allocs/op") allocs=$(i-1)
+    }
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, iters, ns, bytes, allocs
+    sep=",\n"
+  } END { print "" }' "$RAW"
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

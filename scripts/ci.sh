@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before merging.
+#
+#   vet        static checks
+#   build      every package compiles
+#   test -race full suite under the race detector — the parallel
+#              campaign engine's determinism tests double as its race
+#              exerciser (8 workers over shared world state)
+#   bench 1x   smoke-runs every benchmark once so they cannot bit-rot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration each) =="
+go test -run '^$' -bench . -benchtime 1x .
+
+echo "CI OK"
