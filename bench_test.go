@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"afrixp/internal/analysis"
 	"afrixp/internal/cusum"
 	"afrixp/internal/levelshift"
 	"afrixp/internal/simclock"
@@ -80,6 +81,49 @@ func BenchmarkAnalysisFanout(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalysisSweep isolates the detect-once/threshold-many win on
+// the same collected links: "sweep" runs one AnalyzeLinkSweep per link
+// (one Sweeper, the campaign worker pattern) while "independent" pays a
+// full detection per threshold — the pre-sweep cost model. Both cover
+// the Table-1 thresholds; the ratio is the pure sweep speedup with the
+// fan-out machinery factored out.
+func BenchmarkAnalysisSweep(b *testing.B) {
+	res := benchCampaign(b)
+	var series []analysis.LinkSeries
+	for _, vr := range res.VPs {
+		for _, lr := range vr.SortedLinks() {
+			series = append(series, lr.Collector.Series())
+		}
+	}
+	thresholds := res.Cfg.Thresholds
+	cfg := analysis.DefaultConfig()
+	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		sw := analysis.NewSweeper()
+		for i := 0; i < b.N; i++ {
+			for _, ls := range series {
+				if got := sw.AnalyzeLinkSweep(ls, cfg, thresholds); len(got) != len(thresholds) {
+					b.Fatalf("%d verdicts for %d thresholds", len(got), len(thresholds))
+				}
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, ls := range series {
+				for _, thr := range thresholds {
+					one := cfg
+					one.ThresholdMs = thr
+					if v := analysis.AnalyzeLink(ls, one); v.Target != ls.Target {
+						b.Fatal("verdict target mismatch")
+					}
+				}
+			}
+		}
+	})
 }
 
 func BenchmarkTable1Sensitivity(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 
 	"afrixp"
 	"afrixp/internal/netaddr"
+	"afrixp/internal/profiling"
 	"afrixp/internal/report"
 	"afrixp/internal/simclock"
 	"afrixp/internal/warts"
@@ -29,8 +30,20 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "world seed")
 		noLoss  = flag.Bool("no-loss", false, "skip loss campaigns")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal("mkdir: %v", err)

@@ -6,7 +6,7 @@
 //
 //	repro [-days N] [-scale F] [-seed N] [-csvdir DIR] [-quiet]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
-//	      [-asrank] [-whatif]
+//	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no selection flags, everything is produced. The default run
 // covers the paper's full 13-month campaign at scale 1.0; use -days
@@ -24,6 +24,7 @@ import (
 
 	"afrixp"
 	"afrixp/internal/experiments"
+	"afrixp/internal/profiling"
 	"afrixp/internal/report"
 	"afrixp/internal/scenario"
 )
@@ -46,8 +47,21 @@ func main() {
 		doWaves  = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
 		doRels   = flag.Bool("asrank", false, "AS-relationship inference validation")
 		doWhatIf = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	all := !(*doTable1 || *doTable2 || *doFigs || *doHead || *doBdrmap || *doWaves || *doRels || *doWhatIf)
 

@@ -10,6 +10,7 @@ package analysis
 import (
 	"time"
 
+	"afrixp/internal/cusum"
 	"afrixp/internal/diurnal"
 	"afrixp/internal/levelshift"
 	"afrixp/internal/prober"
@@ -100,56 +101,114 @@ type Verdict struct {
 	DeltaTUD simclock.Duration
 }
 
-// AnalyzeLink runs the full per-link pipeline.
+// AnalyzeLink runs the full per-link pipeline at cfg.ThresholdMs — the
+// single-threshold case of AnalyzeLinkSweep.
 func AnalyzeLink(ls LinkSeries, cfg Config) Verdict {
-	v := Verdict{Target: ls.Target, Symmetric: true}
+	return AnalyzeLinkSweep(ls, cfg, []float64{cfg.ThresholdMs})[0]
+}
+
+// AnalyzeLinkSweep runs the per-link pipeline across a threshold sweep
+// (Table 1's 5/10/15/20 ms sensitivity analysis), detecting once and
+// classifying per threshold. The far and near series each get one
+// level-shift detection (windowed rank-CUSUM bootstrap — the analysis
+// hot spot) and one diurnal fold per distinct event window; each
+// threshold then pays only the cheap classification: magnitude
+// filtering, elevation runs, event assembly, and the diurnal gates.
+// Verdicts are bit-identical to len(thresholds) independent
+// AnalyzeLink calls. cfg.ThresholdMs is ignored; thresholds rules.
+func AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []float64) []Verdict {
+	return NewSweeper().AnalyzeLinkSweep(ls, cfg, thresholds)
+}
+
+// Sweeper runs link analyses reusing one rank-CUSUM detector's scratch
+// buffers across calls. Campaign engines keep one Sweeper per analysis
+// worker and feed it links; results are bit-identical to fresh
+// per-call detectors. Not safe for concurrent use.
+type Sweeper struct {
+	det *cusum.Detector
+}
+
+// NewSweeper builds a reusable analysis worker state.
+func NewSweeper() *Sweeper {
+	return &Sweeper{det: cusum.NewDetector(cusum.Config{})}
+}
+
+// AnalyzeLinkSweep is the package-level AnalyzeLinkSweep reusing the
+// sweeper's detector scratch across calls.
+func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []float64) []Verdict {
+	// Detection phase, once per end: candidates, baseline, and the
+	// aggregated series are all independent of the magnitude threshold.
 	lcfg := cfg.LevelShift
-	lcfg.ThresholdMs = cfg.ThresholdMs
-	v.Far = levelshift.Analyze(ls.Far, lcfg)
-	v.Flagged = v.Far.Flagged()
+	farDet := levelshift.DetectWith(sw.det, ls.Far, lcfg)
+	nearDet := levelshift.DetectWith(sw.det, ls.Near, lcfg)
 
-	nearLimit := cfg.NearFlatMs
-	if nearLimit <= 0 {
-		nearLimit = cfg.ThresholdMs
+	// The diurnal day-folded profile depends on the threshold only
+	// through the event window it is computed over; thresholds that
+	// flag the same window share one fold.
+	type window struct {
+		whole    bool
+		from, to simclock.Time
 	}
-	ncfg := cfg.LevelShift
-	ncfg.ThresholdMs = nearLimit
-	v.Near = levelshift.Analyze(ls.Near, ncfg)
-	v.NearFlat = !v.Near.Flagged()
+	folds := make(map[window]diurnal.Verdict, 1)
 
-	dcfg := cfg.Diurnal
-	if dcfg.MinAmplitudeMs <= 0 {
-		// Track the flagging threshold, discounted for min-filter
-		// peak shaving.
-		dcfg.MinAmplitudeMs = cfg.ThresholdMs * 0.8
-	}
-	// The paper checks for a recurring diurnal pattern during the
-	// congestion epoch — QCELL–NETPAGE was diurnal in phase 1 only,
-	// before the upgrade. Testing the whole campaign would dilute a
-	// phase-limited pattern, so the window spans the flagged events
-	// (with margin); links whose events scatter across the campaign
-	// (slow-ICMP regimes) still see a near-full window and fail on
-	// consistency.
-	diurnalInput := ls.Far
-	if len(v.Far.Events) > 0 {
-		margin := simclock.Duration(48 * time.Hour)
-		from := v.Far.Events[0].Start.Add(-margin)
-		to := v.Far.Events[len(v.Far.Events)-1].End.Add(margin)
-		diurnalInput = ls.Far.Slice(from, to)
-	}
-	v.Diurnal = diurnal.Detect(diurnalInput, dcfg)
+	out := make([]Verdict, 0, len(thresholds))
+	for _, thr := range thresholds {
+		v := Verdict{Target: ls.Target, Symmetric: true}
+		v.Far = farDet.AtThreshold(thr)
+		v.Flagged = v.Far.Flagged()
 
-	v.Congested = v.Flagged && v.NearFlat && v.Diurnal.Diurnal && v.Symmetric
-	if v.Congested {
-		events := levelshift.Sanitize(v.Far.Events, 90*time.Minute, lcfg.MinDuration)
-		r := levelshift.Result{Events: events}
-		// A_w follows the paper's definition: the mean magnitude of
-		// the level shifts themselves.
-		v.AW = v.Far.ShiftAW()
-		v.DeltaTUD = r.MeanDuration()
-		v.Class = classify(events, ls.Far, cfg)
+		nearLimit := cfg.NearFlatMs
+		if nearLimit <= 0 {
+			nearLimit = thr
+		}
+		v.Near = nearDet.AtThreshold(nearLimit)
+		v.NearFlat = !v.Near.Flagged()
+
+		dcfg := cfg.Diurnal
+		if dcfg.MinAmplitudeMs <= 0 {
+			// Track the flagging threshold, discounted for min-filter
+			// peak shaving.
+			dcfg.MinAmplitudeMs = thr * 0.8
+		}
+		// The paper checks for a recurring diurnal pattern during the
+		// congestion epoch — QCELL–NETPAGE was diurnal in phase 1 only,
+		// before the upgrade. Testing the whole campaign would dilute a
+		// phase-limited pattern, so the window spans the flagged events
+		// (with margin); links whose events scatter across the campaign
+		// (slow-ICMP regimes) still see a near-full window and fail on
+		// consistency.
+		win := window{whole: true}
+		if len(v.Far.Events) > 0 {
+			margin := simclock.Duration(48 * time.Hour)
+			win = window{
+				from: v.Far.Events[0].Start.Add(-margin),
+				to:   v.Far.Events[len(v.Far.Events)-1].End.Add(margin),
+			}
+		}
+		fold, ok := folds[win]
+		if !ok {
+			diurnalInput := ls.Far
+			if !win.whole {
+				diurnalInput = ls.Far.Slice(win.from, win.to)
+			}
+			fold = diurnal.Fold(diurnalInput, dcfg)
+			folds[win] = fold
+		}
+		v.Diurnal = fold.Decide(dcfg)
+
+		v.Congested = v.Flagged && v.NearFlat && v.Diurnal.Diurnal && v.Symmetric
+		if v.Congested {
+			events := levelshift.Sanitize(v.Far.Events, 90*time.Minute, lcfg.MinDuration)
+			r := levelshift.Result{Events: events}
+			// A_w follows the paper's definition: the mean magnitude of
+			// the level shifts themselves.
+			v.AW = v.Far.ShiftAW()
+			v.DeltaTUD = r.MeanDuration()
+			v.Class = classify(events, ls.Far, cfg)
+		}
+		out = append(out, v)
 	}
-	return v
+	return out
 }
 
 // classify separates sustained from transient congestion by where the

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"afrixp/internal/levelshift"
+	"afrixp/internal/timeseries"
+)
+
+// summarizeVerdict renders every verdict observable with floats as raw
+// IEEE bits, so two summaries are equal iff the verdicts are
+// bit-identical (NaN-holed series defeat reflect.DeepEqual).
+func summarizeVerdict(v Verdict) string {
+	var b bytes.Buffer
+	bits := func(f float64) uint64 { return math.Float64bits(f) }
+	fmt.Fprintf(&b, "flag=%t nearflat=%t sym=%t cong=%t class=%d aw=%x dt=%d\n",
+		v.Flagged, v.NearFlat, v.Symmetric, v.Congested, v.Class, bits(v.AW), v.DeltaTUD)
+	fmt.Fprintf(&b, "diur=%t amp=%x cons=%x peak=%x days=%d\n",
+		v.Diurnal.Diurnal, bits(v.Diurnal.AmplitudeMs), bits(v.Diurnal.Consistency),
+		bits(v.Diurnal.PeakHour), v.Diurnal.DaysEvaluated)
+	for _, r := range []levelshift.Result{v.Far, v.Near} {
+		fmt.Fprintf(&b, "base=%x shifts=", bits(r.Baseline))
+		for _, cp := range r.Shifts {
+			fmt.Fprintf(&b, "(%d,%x,%x,%x)", cp.Index, bits(cp.Confidence), bits(cp.Before), bits(cp.After))
+		}
+		b.WriteString(" events=")
+		for _, e := range r.Events {
+			fmt.Fprintf(&b, "(%d,%d,%x,%t)", e.Start, e.End, bits(e.Magnitude), e.OpenEnded)
+		}
+		b.WriteString(" series=")
+		if r.Series != nil {
+			fmt.Fprintf(&b, "step=%d:", r.Series.Step)
+			for _, x := range r.Series.Values {
+				fmt.Fprintf(&b, "%x,", bits(x))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sweepLinkSeries builds link series of various congestion shapes,
+// including gap patterns, so the sweep equality is not checked on
+// clean inputs only.
+func sweepLinkSeries(t *testing.T) map[string]LinkSeries {
+	t.Helper()
+	out := map[string]LinkSeries{
+		"diurnal-congested": synth(21, diurnalFn(2, 25, 9, 17, 0.5, 1), flatFn(1, 0.3, 2)),
+		"borderline-12ms":   synth(14, diurnalFn(2, 12, 10, 16, 0.4, 3), flatFn(1, 0.3, 4)),
+		"near-shifts-too":   synth(14, diurnalFn(2, 25, 9, 17, 0.5, 5), diurnalFn(2, 25, 9, 17, 0.5, 6)),
+		"flat":              synth(14, flatFn(2, 0.4, 7), flatFn(1, 0.3, 8)),
+	}
+	lossy := synth(21, diurnalFn(2, 20, 9, 17, 0.5, 9), flatFn(1, 0.3, 10))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < lossy.Far.Len(); i++ {
+		if rng.Float64() < 0.15 {
+			lossy.Far.Set(i, timeseries.Missing)
+		}
+		if rng.Float64() < 0.1 {
+			lossy.Near.Set(i, timeseries.Missing)
+		}
+	}
+	out["lossy"] = lossy
+	return out
+}
+
+// TestAnalyzeLinkSweepBitIdentical is the sweep's acceptance property:
+// the shared-detection path must produce, per threshold, exactly the
+// verdict of an independent AnalyzeLink call — bit for bit, across
+// congestion shapes and gap patterns.
+func TestAnalyzeLinkSweepBitIdentical(t *testing.T) {
+	thresholds := []float64{5, 10, 15, 20}
+	for name, ls := range sweepLinkSeries(t) {
+		cfg := DefaultConfig()
+		swept := AnalyzeLinkSweep(ls, cfg, thresholds)
+		if len(swept) != len(thresholds) {
+			t.Fatalf("%s: %d verdicts for %d thresholds", name, len(swept), len(thresholds))
+		}
+		for k, thr := range thresholds {
+			one := cfg
+			one.ThresholdMs = thr
+			want := summarizeVerdict(AnalyzeLink(ls, one))
+			got := summarizeVerdict(swept[k])
+			if got != want {
+				t.Errorf("%s @ %g ms: sweep verdict diverges from AnalyzeLink\nsweep: %s\nsolo:  %s",
+					name, thr, got, want)
+			}
+		}
+	}
+}
+
+// TestSweeperReuseAcrossLinks pins that one Sweeper fed many links in
+// sequence (the campaign worker pattern) matches fresh per-link
+// sweeps — detector scratch must not leak state between links.
+func TestSweeperReuseAcrossLinks(t *testing.T) {
+	thresholds := []float64{5, 10, 15, 20}
+	cfg := DefaultConfig()
+	sw := NewSweeper()
+	for name, ls := range sweepLinkSeries(t) {
+		reused := sw.AnalyzeLinkSweep(ls, cfg, thresholds)
+		fresh := AnalyzeLinkSweep(ls, cfg, thresholds)
+		for k := range thresholds {
+			if a, b := summarizeVerdict(reused[k]), summarizeVerdict(fresh[k]); a != b {
+				t.Errorf("%s @ %g ms: reused sweeper diverges\nreused: %s\nfresh:  %s",
+					name, thresholds[k], a, b)
+			}
+		}
+	}
+}
+
+// TestSweepNearFlatOverride pins that an explicit NearFlatMs applies
+// at every threshold (not just the default nearLimit=thr case).
+func TestSweepNearFlatOverride(t *testing.T) {
+	ls := sweepLinkSeries(t)["near-shifts-too"]
+	cfg := DefaultConfig()
+	cfg.NearFlatMs = 50 // near shifts of ~25 ms now count as flat
+	thresholds := []float64{5, 10}
+	swept := AnalyzeLinkSweep(ls, cfg, thresholds)
+	for k, thr := range thresholds {
+		one := cfg
+		one.ThresholdMs = thr
+		want := AnalyzeLink(ls, one)
+		if swept[k].NearFlat != want.NearFlat {
+			t.Fatalf("thr %g: NearFlat %t != %t", thr, swept[k].NearFlat, want.NearFlat)
+		}
+		if !swept[k].NearFlat {
+			t.Fatalf("thr %g: 50 ms NearFlatMs must tolerate 25 ms near shifts", thr)
+		}
+	}
+}
+
+// TestSweepEmptyThresholds keeps the degenerate call well-defined.
+func TestSweepEmptyThresholds(t *testing.T) {
+	ls := synth(7, flatFn(2, 0.4, 20), flatFn(1, 0.3, 21))
+	if got := AnalyzeLinkSweep(ls, DefaultConfig(), nil); len(got) != 0 {
+		t.Fatalf("nil thresholds produced %d verdicts", len(got))
+	}
+}

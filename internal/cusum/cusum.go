@@ -61,6 +61,18 @@ type ChangePoint struct {
 	Before, After float64
 }
 
+// Candidate is a change point accepted by the bootstrap significance
+// test but not yet filtered by MinMagnitude. Candidates depend only on
+// the series, the detector configuration, and the seed — never on the
+// magnitude threshold — which is what lets a threshold sweep detect
+// once and filter many times (ApplyMagnitude).
+type Candidate struct {
+	// Index is the first sample of the new level.
+	Index int
+	// Confidence is the bootstrap confidence of the detection.
+	Confidence float64
+}
+
 // Magnitude returns the signed level change.
 func (cp ChangePoint) Magnitude() float64 { return cp.After - cp.Before }
 
@@ -100,9 +112,6 @@ type Detector struct {
 	cps     []int
 	confs   []float64
 	order   []int
-	indices []int
-	idxConf []float64
-	kept    []int
 }
 
 // NewDetector builds a reusable detector. cfg.Seed is ignored — each
@@ -114,11 +123,29 @@ func NewDetector(cfg Config) *Detector {
 	}
 }
 
+// Reconfigure swaps the detector's configuration while keeping its
+// scratch buffers — fan-out callers thread one detector per worker
+// across many analyses whose configs may differ.
+func (d *Detector) Reconfigure(cfg Config) {
+	d.cfg = cfg.withDefaults()
+}
+
 // Detect runs the recursive change-point analysis over xs with the
 // given bootstrap seed, honoring cfg.UseRanks as configured. The
 // returned slice is freshly allocated (safe to retain); everything else
-// comes from scratch buffers.
+// comes from scratch buffers. Detect is exactly Candidates followed by
+// ApplyMagnitude at cfg.MinMagnitude.
 func (d *Detector) Detect(xs []float64, seed int64) []ChangePoint {
+	return ApplyMagnitude(xs, d.Candidates(xs, seed), d.cfg.MinMagnitude)
+}
+
+// Candidates runs the expensive, threshold-independent phase —
+// segmentation plus bootstrap significance — and returns the accepted
+// candidates sorted by index. cfg.MinMagnitude is deliberately ignored:
+// the caller filters with ApplyMagnitude, once per magnitude threshold,
+// over one shared candidate list. The returned slice is freshly
+// allocated (safe to retain across further Candidates calls).
+func (d *Detector) Candidates(xs []float64, seed int64) []Candidate {
 	work := xs
 	if d.cfg.UseRanks {
 		work = d.ranksInto(xs)
@@ -134,24 +161,60 @@ func (d *Detector) Detect(xs []float64, seed int64) []ChangePoint {
 	}
 	sort.Slice(d.order, func(a, b int) bool { return d.cps[d.order[a]] < d.cps[d.order[b]] })
 
-	d.indices = d.indices[:0]
-	d.idxConf = d.idxConf[:0]
+	out := make([]Candidate, 0, len(d.order))
 	for _, oi := range d.order {
-		d.indices = append(d.indices, d.cps[oi])
-		d.idxConf = append(d.idxConf, d.confs[oi])
+		out = append(out, Candidate{Index: d.cps[oi], Confidence: d.confs[oi]})
 	}
-	indices := d.filterByMagnitude(xs, d.indices)
+	return out
+}
 
-	out := make([]ChangePoint, 0, len(indices))
+// ApplyMagnitude is the cheap per-threshold phase: it removes, weakest
+// first, candidates whose level change across adjacent segments falls
+// below minMag (re-merging the segments after each removal) and
+// materializes the survivors as ChangePoints with Before/After levels
+// under the final segmentation. Pure — the same candidate list can be
+// filtered at any number of thresholds. cands must be sorted by Index
+// (as Candidates returns them).
+func ApplyMagnitude(xs []float64, cands []Candidate, minMag float64) []ChangePoint {
+	kept := make([]int, len(cands))
+	for i, c := range cands {
+		kept[i] = c.Index
+	}
+	if minMag > 0 {
+		for len(kept) > 0 {
+			// Compute each kept point's magnitude under current segmentation.
+			weakest, weakestMag := -1, minMag
+			for k, idx := range kept {
+				lo := 0
+				if k > 0 {
+					lo = kept[k-1]
+				}
+				hi := len(xs)
+				if k+1 < len(kept) {
+					hi = kept[k+1]
+				}
+				mag := abs(mean(xs[idx:hi]) - mean(xs[lo:idx]))
+				if mag < weakestMag {
+					weakest, weakestMag = k, mag
+				}
+			}
+			if weakest < 0 {
+				break
+			}
+			kept = append(kept[:weakest], kept[weakest+1:]...)
+		}
+	}
+
+	out := make([]ChangePoint, 0, len(kept))
 	prev := 0
-	for k, idx := range indices {
+	for k, idx := range kept {
 		next := len(xs)
-		if k+1 < len(indices) {
-			next = indices[k+1]
+		if k+1 < len(kept) {
+			next = kept[k+1]
 		}
 		out = append(out, ChangePoint{
 			Index:      idx,
-			Confidence: d.confAt(idx),
+			Confidence: confAt(cands, idx),
 			Before:     mean(xs[prev:idx]),
 			After:      mean(xs[idx:next]),
 		})
@@ -162,10 +225,10 @@ func (d *Detector) Detect(xs []float64, seed int64) []ChangePoint {
 
 // confAt looks up the bootstrap confidence recorded for index idx in
 // the pre-filter candidate list (sorted by index).
-func (d *Detector) confAt(idx int) float64 {
-	k := sort.SearchInts(d.indices, idx)
-	if k < len(d.indices) && d.indices[k] == idx {
-		return d.idxConf[k]
+func confAt(cands []Candidate, idx int) float64 {
+	k := sort.Search(len(cands), func(i int) bool { return cands[i].Index >= idx })
+	if k < len(cands) && cands[k].Index == idx {
+		return cands[k].Confidence
 	}
 	return 0
 }
@@ -177,62 +240,8 @@ func (d *Detector) ranksInto(xs []float64) []float64 {
 		d.rankIdx = make([]int, n)
 		d.ranks = make([]float64, n)
 	}
-	idx := d.rankIdx[:n]
-	out := d.ranks[:n]
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	for i := 0; i < n; {
-		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
-			j++
-		}
-		avg := float64(i+j)/2 + 1
-		for k := i; k <= j; k++ {
-			out[idx[k]] = avg
-		}
-		i = j + 1
-	}
-	return out
-}
-
-// filterByMagnitude removes, weakest first, change points whose level
-// change across adjacent segments falls below cfg.MinMagnitude,
-// re-merging the segments after each removal. d.indices is left intact
-// for confidence lookups; the returned slice is d.kept scratch.
-func (d *Detector) filterByMagnitude(xs []float64, indices []int) []int {
-	minMag := d.cfg.MinMagnitude
-	if minMag <= 0 {
-		return indices
-	}
-	kept := append(d.kept[:0], indices...)
-	d.kept = kept
-	for {
-		if len(kept) == 0 {
-			return kept
-		}
-		// Compute each kept point's magnitude under current segmentation.
-		weakest, weakestMag := -1, minMag
-		for k, idx := range kept {
-			lo := 0
-			if k > 0 {
-				lo = kept[k-1]
-			}
-			hi := len(xs)
-			if k+1 < len(kept) {
-				hi = kept[k+1]
-			}
-			mag := abs(mean(xs[idx:hi]) - mean(xs[lo:idx]))
-			if mag < weakestMag {
-				weakest, weakestMag = k, mag
-			}
-		}
-		if weakest < 0 {
-			return kept
-		}
-		kept = append(kept[:weakest], kept[weakest+1:]...)
-	}
+	rankInto(xs, d.rankIdx[:n], d.ranks[:n])
+	return d.ranks[:n]
 }
 
 // segment recursively tests [lo,hi) for a change point.
@@ -334,12 +343,20 @@ func (d *Detector) bootstrapConfidence(xs []float64, observed float64) float64 {
 // non-parametric transform of the paper's detector.
 func Ranks(xs []float64) []float64 {
 	n := len(xs)
-	idx := make([]int, n)
+	out := make([]float64, n)
+	rankInto(xs, make([]int, n), out)
+	return out
+}
+
+// rankInto writes each value's (average-tie) rank into out, using idx
+// as sort scratch. Both Ranks and the detector's scratch-buffer variant
+// funnel through here; len(idx) and len(out) must equal len(xs).
+func rankInto(xs []float64, idx []int, out []float64) {
+	n := len(xs)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
@@ -351,7 +368,6 @@ func Ranks(xs []float64) []float64 {
 		}
 		i = j + 1
 	}
-	return out
 }
 
 func mean(xs []float64) float64 {

@@ -172,6 +172,71 @@ func TestMinMagnitudeFilter(t *testing.T) {
 	}
 }
 
+func TestRanksMatchDetectorScratch(t *testing.T) {
+	// Ranks and the detector's scratch-buffer variant share one
+	// implementation; pin their equality (ties included) so the dedupe
+	// cannot silently regress.
+	rng := rand.New(rand.NewSource(77))
+	d := NewDetector(Config{})
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, rng.Intn(200)+1)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(20)) // many ties
+		}
+		if got, want := d.ranksInto(xs), Ranks(xs); !reflect.DeepEqual(append([]float64(nil), got...), want) {
+			t.Fatalf("trial %d: ranksInto = %v, Ranks = %v", trial, got, want)
+		}
+	}
+}
+
+func TestCandidatesPlusApplyMagnitudeEqualsDetect(t *testing.T) {
+	// The two-phase API must reproduce Detect bit for bit at every
+	// magnitude threshold — the contract the threshold sweep relies on.
+	xs := append(step(80, 5, 80, 35, 0.3, 20), step(80, 37, 80, 5, 0.3, 21)...)
+	for _, minMag := range []float64{0, 2.5, 5, 10, 20} {
+		cfg := Config{Seed: 30, MinMagnitude: minMag}
+		want := Detect(xs, cfg)
+
+		dcfg := cfg
+		dcfg.UseRanks = true
+		d := NewDetector(dcfg)
+		cands := d.Candidates(xs, cfg.Seed)
+		got := ApplyMagnitude(xs, cands, minMag)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("minMag %v: two-phase %+v != Detect %+v", minMag, got, want)
+		}
+	}
+}
+
+func TestCandidatesIgnoreMinMagnitude(t *testing.T) {
+	// Candidate detection is threshold-independent: the same list comes
+	// back whatever MinMagnitude says.
+	xs := step(100, 2, 100, 30, 0.5, 1)
+	a := NewDetector(Config{UseRanks: true}).Candidates(xs, 7)
+	b := NewDetector(Config{UseRanks: true, MinMagnitude: 50}).Candidates(xs, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("candidates vary with MinMagnitude: %+v vs %+v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no candidates on a clean step")
+	}
+}
+
+func TestReconfigureKeepsScratch(t *testing.T) {
+	xs := step(100, 2, 100, 30, 0.5, 1)
+	d := NewDetector(Config{UseRanks: true})
+	before := d.Detect(xs, 7)
+	d.Reconfigure(Config{UseRanks: true, MinMagnitude: 5})
+	after := d.Detect(xs, 7)
+	want := Detect(xs, Config{Seed: 7, MinMagnitude: 5})
+	if !reflect.DeepEqual(after, want) {
+		t.Fatalf("reconfigured detector: %+v, want %+v", after, want)
+	}
+	if len(before) == 0 {
+		t.Fatal("pre-reconfigure detection empty")
+	}
+}
+
 func TestRanksAverageTies(t *testing.T) {
 	got := Ranks([]float64{10, 20, 10, 30})
 	want := []float64{1.5, 3, 1.5, 4}

@@ -74,6 +74,48 @@ func TestQuickRanksMonotoneInvariance(t *testing.T) {
 	}
 }
 
+// Property: one candidate list filtered at increasing magnitude
+// thresholds yields monotonically fewer change points, and each
+// filtered list equals a from-scratch Detect at that threshold.
+func TestQuickApplyMagnitudeSweep(t *testing.T) {
+	f := func(seed int64, n8 uint8, mag uint8) bool {
+		n := int(n8%150) + 50
+		m := float64(mag%30) + 5
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			v := 5.0
+			if i >= n/2 {
+				v += m
+			}
+			xs[i] = v + rng.NormFloat64()
+		}
+		d := NewDetector(Config{UseRanks: true})
+		cands := d.Candidates(xs, seed)
+		prevLen := len(cands) + 1
+		for _, minMag := range []float64{0, 3, 9, 27} {
+			got := ApplyMagnitude(xs, cands, minMag)
+			if len(got) > prevLen {
+				return false
+			}
+			prevLen = len(got)
+			want := Detect(xs, Config{Seed: seed, MinMagnitude: minMag})
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: detected change points are strictly increasing, inside
 // the series, and magnitudes respect MinMagnitude.
 func TestQuickDetectInvariants(t *testing.T) {

@@ -66,8 +66,18 @@ type Verdict struct {
 	DaysEvaluated int
 }
 
-// Detect runs the analysis.
+// Detect runs the analysis: Fold's threshold-independent profile
+// statistics gated by cfg's amplitude/consistency/day floors (Decide).
 func Detect(s *timeseries.Series, cfg Config) Verdict {
+	return Fold(s, cfg).Decide(cfg)
+}
+
+// Fold computes the threshold-independent statistics — the day-folded
+// profile's amplitude, peak hour, and day-to-day consistency — leaving
+// the Diurnal decision false. The amplitude gate (MinAmplitudeMs) is
+// the only input that varies across a Table-1 threshold sweep, so one
+// Fold serves every threshold via Decide.
+func Fold(s *timeseries.Series, cfg Config) Verdict {
 	cfg = cfg.withDefaults()
 	var v Verdict
 	if s.Len() == 0 {
@@ -116,6 +126,14 @@ func Detect(s *timeseries.Series, cfg Config) Verdict {
 	if v.DaysEvaluated > 0 {
 		v.Consistency = corrSum / float64(v.DaysEvaluated)
 	}
+	return v
+}
+
+// Decide applies cfg's gates to folded statistics and returns the
+// verdict with the Diurnal decision set. Pure — the same folded
+// statistics can be gated at any number of amplitude thresholds.
+func (v Verdict) Decide(cfg Config) Verdict {
+	cfg = cfg.withDefaults()
 	v.Diurnal = v.AmplitudeMs >= cfg.MinAmplitudeMs &&
 		v.Consistency >= cfg.MinConsistency &&
 		v.DaysEvaluated >= cfg.MinDays

@@ -173,3 +173,47 @@ func TestCorrelateEdgeCases(t *testing.T) {
 		t.Fatalf("perfect correlation: %v %v", r, ok)
 	}
 }
+
+func TestFoldDecideMatchesDetect(t *testing.T) {
+	// Detect is exactly Fold gated by Decide, and the folded statistics
+	// are independent of the amplitude gate — the property the analysis
+	// threshold sweep exploits by folding once per link.
+	rng := rand.New(rand.NewSource(31))
+	s := series(10, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 10 && h < 15 {
+			v = 14
+		}
+		return v + math.Abs(0.4*rng.NormFloat64())
+	})
+	fold := Fold(s, Config{})
+	for _, minAmp := range []float64{4, 8, 12, 16} {
+		cfg := Config{MinAmplitudeMs: minAmp}
+		want := Detect(s, cfg)
+		got := fold.Decide(cfg)
+		if got != want {
+			t.Fatalf("minAmp %v: Fold+Decide %+v != Detect %+v", minAmp, got, want)
+		}
+		if refold := Fold(s, cfg); refold != fold {
+			t.Fatalf("minAmp %v: folded statistics vary with the gate: %+v vs %+v",
+				minAmp, refold, fold)
+		}
+	}
+}
+
+func TestFoldLeavesDecisionFalse(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := series(14, func(_ int, h float64) float64 {
+		v := 2.0
+		if h >= 9 && h < 17 {
+			v = 25
+		}
+		return v + math.Abs(0.3*rng.NormFloat64())
+	})
+	if Fold(s, Config{}).Diurnal {
+		t.Fatal("Fold must not decide; Decide does")
+	}
+	if !Fold(s, Config{}).Decide(Config{}).Diurnal {
+		t.Fatal("gated fold should confirm the clean diurnal")
+	}
+}

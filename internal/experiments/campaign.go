@@ -392,10 +392,16 @@ func Run(cfg Config) *Result {
 }
 
 // Reanalyze re-runs the per-link threshold-sweep analysis, fanning the
-// links out across the given number of workers. Each link is an
-// independent task (AnalyzeLink is pure and each task writes only its
-// own record), so ordering cannot affect results. Run calls this once;
-// it is exported so callers can re-derive verdicts after changing
+// links out across the given number of workers. Each link is one task
+// running the whole Table-1 sweep (analysis.AnalyzeLinkSweep): the
+// windowed rank-CUSUM detection and the diurnal fold run once per link
+// end and every threshold reuses them — the detect-once/threshold-many
+// optimization that took the analysis phase from ~4× to ~1× detection
+// cost. Each worker threads one analysis.Sweeper, so detector scratch
+// (rank transform, bootstrap shuffle) is reused across its links too.
+// AnalyzeLinkSweep is pure and each task writes only its own record,
+// so ordering cannot affect results. Run calls this once; it is
+// exported so callers can re-derive verdicts after changing
 // Cfg.Thresholds, and it is the benchmark surface for the analysis
 // fan-out.
 func (r *Result) Reanalyze(workers int) {
@@ -404,16 +410,19 @@ func (r *Result) Reanalyze(workers int) {
 		tasks = append(tasks, vr.SortedLinks()...)
 	}
 	thresholds := r.Cfg.Thresholds
-	parallelDo(len(tasks), workers, func(i int) {
+	sweepers := make([]*analysis.Sweeper, effectiveWorkers(len(tasks), workers))
+	for w := range sweepers {
+		sweepers[w] = analysis.NewSweeper()
+	}
+	parallelWorkers(len(tasks), workers, func(w, i int) {
 		lr := tasks[i]
 		ls := lr.Collector.Series()
 		if lr.Verdicts == nil {
 			lr.Verdicts = make(map[float64]analysis.Verdict, len(thresholds))
 		}
-		for _, thr := range thresholds {
-			acfg := analysis.DefaultConfig()
-			acfg.ThresholdMs = thr
-			v := analysis.AnalyzeLink(ls, acfg)
+		verdicts := sweepers[w].AnalyzeLinkSweep(ls, analysis.DefaultConfig(), thresholds)
+		for k, thr := range thresholds {
+			v := verdicts[k]
 			if lr.Symmetry != nil && !lr.Symmetry.Symmetric {
 				// An asymmetric route invalidates the TSLP
 				// attribution: the far-RTT rise may come from a
@@ -429,17 +438,35 @@ func (r *Result) Reanalyze(workers int) {
 	})
 }
 
+// effectiveWorkers is the worker count parallelWorkers actually uses:
+// clamped to the task count, floored at one.
+func effectiveWorkers(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // parallelDo runs fn(0..n-1) across at most workers goroutines, pulling
 // indices from a shared atomic counter. workers ≤ 1 (or n ≤ 1) runs
 // inline with no goroutines — the sequential engine is literally the
 // parallel one with one worker, not a separate code path.
 func parallelDo(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
+	parallelWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelWorkers is parallelDo handing each invocation its worker
+// index (0 ≤ w < effectiveWorkers(n, workers)), so callers can give
+// every worker goroutine private reusable state (analysis sweepers,
+// detector scratch) without locking.
+func parallelWorkers(n, workers int, fn func(worker, i int)) {
+	workers = effectiveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -447,16 +474,16 @@ func parallelDo(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for k := 0; k < workers; k++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }

@@ -125,7 +125,37 @@ func (r Result) MeanDuration() simclock.Duration {
 	return sum / simclock.Duration(n)
 }
 
-// Analyze runs the full §5.2 pipeline on a series.
+// Analyze runs the full §5.2 pipeline on a series: the
+// threshold-independent detection phase (Detect) followed by
+// classification at cfg.ThresholdMs (Detection.AtThreshold).
+func Analyze(s *timeseries.Series, cfg Config) Result {
+	return Detect(s, cfg).AtThreshold(cfg.ThresholdMs)
+}
+
+// Detection is the threshold-independent half of the analysis: the
+// aggregated series, the NaN-compacted samples with their grid
+// mapping, the global baseline, and the per-window CUSUM candidate
+// lists. It is the expensive part — segmentation plus bootstrap — and
+// none of it depends on the magnitude threshold, so a Table-1 style
+// sensitivity sweep computes it once and calls AtThreshold per
+// threshold.
+type Detection struct {
+	// Series is the series the detector actually ran on (after
+	// min-filter aggregation).
+	Series *timeseries.Series
+	// Baseline is the inferred uncongested level (ms): the global 10th
+	// percentile of the compacted samples.
+	Baseline float64
+
+	cfg   Config              // captured analysis config (ThresholdMs unused)
+	vals  []float64           // present samples, NaNs compacted away
+	slots []int               // vals[i] came from Series grid slot slots[i]
+	win   int                 // detection window length in samples
+	cands [][]cusum.Candidate // per-window pre-filter change points
+}
+
+// Detect runs the detection phase on a series; cfg.ThresholdMs is
+// ignored (that is AtThreshold's parameter).
 //
 // Detection is windowed: the CUSUM chart of a year-long periodic
 // signal is not significant against bootstrap shuffles (the shuffled
@@ -134,7 +164,22 @@ func (r Result) MeanDuration() simclock.Duration {
 // and elevation runs are merged across window boundaries. The
 // baseline is the global 10th percentile of the (min-filtered)
 // series, i.e. the uncongested floor.
-func Analyze(s *timeseries.Series, cfg Config) Result {
+func Detect(s *timeseries.Series, cfg Config) *Detection {
+	// One detector for all windows: its scratch buffers (rank
+	// transform, bootstrap shuffle) are the analysis phase's dominant
+	// allocations. Each window reseeds, so results match per-window
+	// cusum.Detect calls bit for bit.
+	ccfg := cfg.Cusum
+	ccfg.UseRanks = true // the paper's non-parametric variant
+	return DetectWith(cusum.NewDetector(ccfg), s, cfg)
+}
+
+// DetectWith is Detect reusing a caller-owned cusum.Detector's scratch
+// buffers — campaign fan-outs thread one detector per worker across
+// every link they analyze. The detector is reconfigured from cfg, so
+// its prior configuration does not matter; results are bit-identical
+// to Detect.
+func DetectWith(det *cusum.Detector, s *timeseries.Series, cfg Config) *Detection {
 	work := s
 	if cfg.AggregateTo > 0 && cfg.AggregateTo > s.Step {
 		factor := int(cfg.AggregateTo / s.Step)
@@ -150,38 +195,57 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 			slots = append(slots, i)
 		}
 	}
-	res := Result{Series: work}
+	d := &Detection{Series: work, cfg: cfg, vals: vals, slots: slots}
 	if len(vals) < 4 {
-		return res
+		return d
 	}
-	base := timeseries.Quantile(vals, 0.10)
-	res.Baseline = base
+	d.Baseline = timeseries.Quantile(vals, 0.10)
 
-	winSamples := 48
+	d.win = 48
 	if work.Step > 0 {
 		if n := int(24 * time.Hour / work.Step); n >= 8 {
-			winSamples = n
+			d.win = n
 		}
 	}
 	ccfg := cfg.Cusum
-	ccfg.MinMagnitude = cfg.ThresholdMs / 2 // sub-noise wiggles die here
-	ccfg.UseRanks = true                    // the paper's non-parametric variant
-	// One detector for all windows: its scratch buffers (rank
-	// transform, bootstrap shuffle) are the analysis phase's dominant
-	// allocations. Each window reseeds, so results match per-window
-	// cusum.Detect calls bit for bit.
-	det := cusum.NewDetector(ccfg)
+	ccfg.UseRanks = true
+	det.Reconfigure(ccfg)
+	d.cands = make([][]cusum.Candidate, 0, (len(vals)+d.win-1)/d.win)
+	for lo := 0; lo < len(vals); lo += d.win {
+		hi := lo + d.win
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		d.cands = append(d.cands, det.Candidates(vals[lo:hi], ccfg.Seed+int64(lo)))
+	}
+	return d
+}
+
+// AtThreshold runs the cheap per-threshold classification phase:
+// magnitude-filter the shared candidates, classify elevated segments,
+// merge elevation runs, and assemble events. O(n) plus the magnitude
+// filter — no bootstrap. Bit-identical to Analyze with
+// cfg.ThresholdMs = thresholdMs.
+func (d *Detection) AtThreshold(thresholdMs float64) Result {
+	res := Result{Series: d.Series}
+	if len(d.vals) < 4 {
+		return res
+	}
+	res.Baseline = d.Baseline
+	base := d.Baseline
+	vals := d.vals
+	minMag := thresholdMs / 2 // sub-noise wiggles die here
 
 	// elevation[i] > 0 marks compacted sample i as part of a shifted
 	// segment, carrying the segment's elevation above baseline.
 	elevation := make([]float64, len(vals))
-	for lo := 0; lo < len(vals); lo += winSamples {
-		hi := lo + winSamples
+	for w, lo := 0, 0; lo < len(vals); w, lo = w+1, lo+d.win {
+		hi := lo + d.win
 		if hi > len(vals) {
 			hi = len(vals)
 		}
 		win := vals[lo:hi]
-		cps := det.Detect(win, ccfg.Seed+int64(lo))
+		cps := cusum.ApplyMagnitude(win, d.cands[w], minMag)
 		res.Shifts = append(res.Shifts, offsetShifts(cps, lo)...)
 		bounds := []int{0}
 		for _, cp := range cps {
@@ -194,7 +258,7 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 				continue
 			}
 			level := timeseries.Median(win[a:b])
-			if level-base >= cfg.ThresholdMs {
+			if level-base >= thresholdMs {
 				for i := lo + a; i < lo+b; i++ {
 					elevation[i] = level - base
 				}
@@ -211,12 +275,12 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 	// construction — the series is already minimum-filtered, so noise
 	// spikes cannot form such runs.
 	for i := 0; i < len(vals); {
-		if vals[i]-base < cfg.ThresholdMs {
+		if vals[i]-base < thresholdMs {
 			i++
 			continue
 		}
 		j := i
-		for j < len(vals) && vals[j]-base >= cfg.ThresholdMs {
+		for j < len(vals) && vals[j]-base >= thresholdMs {
 			j++
 		}
 		if j-i >= 2 {
@@ -244,14 +308,14 @@ func Analyze(s *timeseries.Series, cfg Config) Result {
 			j++
 		}
 		events = append(events, Event{
-			Start:     work.TimeAt(slots[i]),
-			End:       work.TimeAt(slots[j-1] + 1),
+			Start:     d.Series.TimeAt(d.slots[i]),
+			End:       d.Series.TimeAt(d.slots[j-1] + 1),
 			Magnitude: sum / float64(j-i),
 			OpenEnded: j == len(elevation),
 		})
 		i = j
 	}
-	res.Events = filterShort(events, cfg.MinDuration)
+	res.Events = filterShort(events, d.cfg.MinDuration)
 	return res
 }
 

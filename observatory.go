@@ -146,6 +146,14 @@ func AnalyzeLink(ls analysis.LinkSeries, cfg AnalysisConfig) Verdict {
 	return analysis.AnalyzeLink(ls, cfg)
 }
 
+// AnalyzeLinkSweep runs the per-link pipeline across a threshold sweep
+// (Table 1), detecting level shifts once per link end and classifying
+// per threshold. Verdicts are bit-identical to independent AnalyzeLink
+// calls at each threshold.
+func AnalyzeLinkSweep(ls analysis.LinkSeries, cfg AnalysisConfig, thresholds []float64) []Verdict {
+	return analysis.AnalyzeLinkSweep(ls, cfg, thresholds)
+}
+
 // LinkSeries carries one link's near/far RTT series.
 type LinkSeries = analysis.LinkSeries
 

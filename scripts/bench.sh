@@ -1,39 +1,28 @@
 #!/usr/bin/env bash
 # Records the campaign-engine benchmarks into BENCH_campaign.json:
-# the end-to-end campaign, the TSLP sampling hot loop, and the
-# parallel-engine sub-benchmarks (workers=1 vs workers=GOMAXPROCS).
-# Speedup from the workers>1 rows requires a multi-core runner; the
-# results themselves are bit-identical at any worker count.
+# the end-to-end campaign, the TSLP sampling hot loop, the analysis
+# threshold sweep (detect-once vs per-threshold detection), and the
+# parallel-engine sub-benchmarks. The parallel benches run under
+# GOMAXPROCS>1 explicitly so workers=N is a real fan-out even on a
+# single-core runner (the results are bit-identical either way; only
+# the timing needs the cores). Prior recorded runs are preserved in
+# the ledger's history array.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-1}"
+PROCS="${PROCS:-4}"
 OUT="BENCH_campaign.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkCampaignParallel|BenchmarkAnalysisFanout' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
-{
-  echo '{'
-  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
-  echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"gomaxprocs\": $(nproc),"
-  echo '  "benchmarks": ['
-  awk '/^Benchmark/ {
-    name=$1; iters=$2; ns=$3
-    bytes="null"; allocs="null"
-    for (i=4; i<=NF; i++) {
-      if ($i == "B/op")      bytes=$(i-1)
-      if ($i == "allocs/op") allocs=$(i-1)
-    }
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, iters, ns, bytes, allocs
-    sep=",\n"
-  } END { print "" }' "$RAW"
-  echo '  ]'
-  echo '}'
-} > "$OUT"
+GOMAXPROCS="$PROCS" go test -run '^$' \
+  -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout' \
+  -benchmem -count "$COUNT" . | tee -a "$RAW"
 
+go run ./scripts/benchjson -raw "$RAW" -prev "$OUT" -out "$OUT"
 echo "wrote $OUT"

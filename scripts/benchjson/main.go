@@ -1,0 +1,219 @@
+// Command benchjson turns `go test -bench` output into the committed
+// benchmark ledger (BENCH_campaign.json) and guards CI against
+// performance regressions.
+//
+// Record mode (the default) parses a raw benchmark log and writes the
+// ledger. The previous ledger's run — and everything already in its
+// history — is carried into the new file's history array, so the
+// committed JSON accumulates a performance record across PRs:
+//
+//	benchjson -raw bench.txt -prev BENCH_campaign.json -out BENCH_campaign.json
+//
+// Guard mode compares a raw benchmark log against the committed
+// ledger and prints a warning for every benchmark whose ns/op
+// regressed beyond the tolerance. It always exits 0 — single-shot CI
+// smoke runs are too noisy to gate on — the warning is for humans:
+//
+//	benchjson -guard -raw smoke.txt -prev BENCH_campaign.json -tolerance 25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one `Benchmark...` result line. Procs is the GOMAXPROCS
+// suffix go test appends to the name (1 when absent), kept separately
+// so the same benchmark is comparable across runner core counts.
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Procs       int      `json:"procs"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// Run is one recording session.
+type Run struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Ledger is the committed file: the latest run plus prior runs.
+type Ledger struct {
+	Run
+	History []Run `json:"history,omitempty"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-(\d+)$`)
+
+func main() {
+	var (
+		raw       = flag.String("raw", "", "raw `go test -bench` log to parse (required)")
+		prev      = flag.String("prev", "", "previous ledger: feeds history (record) or the baseline (guard)")
+		out       = flag.String("out", "", "ledger file to write (record mode)")
+		guard     = flag.Bool("guard", false, "compare -raw against -prev and warn on ns/op regressions")
+		tolerance = flag.Float64("tolerance", 25, "guard: allowed ns/op regression in percent")
+	)
+	flag.Parse()
+
+	if *raw == "" {
+		fatal("benchjson: -raw is required")
+	}
+	benches, err := parseRaw(*raw)
+	if err != nil {
+		fatal("benchjson: %v", err)
+	}
+
+	if *guard {
+		if *prev == "" {
+			fatal("benchjson: guard mode needs -prev")
+		}
+		runGuard(benches, *prev, *tolerance)
+		return
+	}
+
+	if *out == "" {
+		fatal("benchjson: record mode needs -out")
+	}
+	ledger := Ledger{Run: Run{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Benchmarks: benches,
+	}}
+	if *prev != "" {
+		if old, err := readLedger(*prev); err == nil {
+			// The previous latest run becomes the newest history entry.
+			ledger.History = append([]Run{old.Run}, old.History...)
+		} else if !os.IsNotExist(err) {
+			fatal("benchjson: %v", err)
+		}
+	}
+	buf, err := json.MarshalIndent(&ledger, "", "  ")
+	if err != nil {
+		fatal("benchjson: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal("benchjson: %v", err)
+	}
+}
+
+// parseRaw extracts Benchmark lines from a `go test -bench` log.
+func parseRaw(path string) ([]Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Benchmark
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Procs: 1}
+		if m := cpuSuffix.FindStringSubmatch(b.Name); m != nil {
+			b.Procs, _ = strconv.Atoi(m[1])
+			b.Name = strings.TrimSuffix(b.Name, m[0])
+		}
+		if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // e.g. a "Benchmarking..." prose line
+		}
+		// Values carry their unit in the following field.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				v := v
+				b.BytesPerOp = &v
+			case "allocs/op":
+				v := v
+				b.AllocsPerOp = &v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+func readLedger(path string) (Ledger, error) {
+	var l Ledger
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return l, err
+	}
+	if err := json.Unmarshal(buf, &l); err != nil {
+		return l, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// runGuard warns about ns/op regressions beyond tol percent against the
+// baseline ledger. Benchmarks are matched by name and procs; benchmarks
+// present on only one side are skipped (new or retired benchmarks are
+// not regressions). Always exits 0.
+func runGuard(benches []Benchmark, prevPath string, tol float64) {
+	baselineLedger, err := readLedger(prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: guard skipped: %v\n", err)
+		return
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	baseline := make(map[key]Benchmark, len(baselineLedger.Benchmarks))
+	for _, b := range baselineLedger.Benchmarks {
+		if b.Procs == 0 {
+			b.Procs = 1 // ledgers written before the procs field
+		}
+		baseline[key{b.Name, b.Procs}] = b
+	}
+	regressions := 0
+	for _, b := range benches {
+		base, ok := baseline[key{b.Name, b.Procs}]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		change := 100 * (b.NsPerOp - base.NsPerOp) / base.NsPerOp
+		if change > tol {
+			regressions++
+			fmt.Printf("WARNING: %s (procs=%d) ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+				b.Name, b.Procs, change, base.NsPerOp, b.NsPerOp, tol)
+		}
+	}
+	if regressions == 0 {
+		fmt.Printf("bench guard: no ns/op regression beyond %.0f%% vs %s\n", tol, prevPath)
+	} else {
+		fmt.Printf("bench guard: %d benchmark(s) beyond %.0f%% of %s — investigate before trusting the numbers (non-fatal)\n",
+			regressions, tol, prevPath)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleRaw = `goos: linux
+goarch: amd64
+pkg: afrixp
+BenchmarkFullCampaign                  3         424646477 ns/op        45747189 B/op     929197 allocs/op
+BenchmarkCampaignParallel/workers=1-4  3         408039389 ns/op        45747178 B/op     929197 allocs/op
+BenchmarkCampaignParallel/workers=4-4  3         108039389 ns/op        45747178 B/op     929197 allocs/op
+BenchmarkTSLPSamplingThroughput        4319487   283.9 ns/op            0 B/op            0 allocs/op
+PASS
+ok      afrixp  12.3s
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseRaw(t *testing.T) {
+	benches, err := parseRaw(writeTemp(t, "raw.txt", sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	b := benches[1]
+	if b.Name != "BenchmarkCampaignParallel/workers=1" || b.Procs != 4 {
+		t.Fatalf("cpu suffix not split: %+v", b)
+	}
+	if b.NsPerOp != 408039389 || b.BytesPerOp == nil || *b.BytesPerOp != 45747178 {
+		t.Fatalf("values misparsed: %+v", b)
+	}
+	if benches[0].Procs != 1 {
+		t.Fatalf("suffix-free name must mean procs=1: %+v", benches[0])
+	}
+	if benches[3].NsPerOp != 283.9 {
+		t.Fatalf("fractional ns/op misparsed: %+v", benches[3])
+	}
+}
+
+func TestParseRawRejectsEmpty(t *testing.T) {
+	if _, err := parseRaw(writeTemp(t, "empty.txt", "PASS\n")); err == nil {
+		t.Fatal("expected error for a log without benchmark lines")
+	}
+}
+
+func TestGuardMatchesByNameAndProcs(t *testing.T) {
+	// The guard is warn-only; here we only pin that it does not crash
+	// on a baseline missing the procs field (pre-field ledgers) and on
+	// benchmarks absent from the baseline.
+	baseline := `{
+  "date": "2026-01-01T00:00:00Z", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkFullCampaign", "iterations": 3, "ns_per_op": 400000000, "bytes_per_op": 1, "allocs_per_op": 1}
+  ]
+}`
+	benches, err := parseRaw(writeTemp(t, "raw.txt", sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runGuard(benches, writeTemp(t, "base.json", baseline), 25)
+}

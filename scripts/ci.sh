@@ -6,7 +6,9 @@
 #   test -race full suite under the race detector — the parallel
 #              campaign engine's determinism tests double as its race
 #              exerciser (8 workers over shared world state)
-#   bench 1x   smoke-runs every benchmark once so they cannot bit-rot
+#   bench 1x   smoke-runs every benchmark once so they cannot bit-rot,
+#              then compares ns/op against the committed
+#              BENCH_campaign.json (warn-only: smoke timings are noisy)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,13 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== bench smoke (1 iteration each) =="
-go test -run '^$' -bench . -benchtime 1x .
+SMOKE="$(mktemp)"
+trap 'rm -f "$SMOKE"' EXIT
+go test -run '^$' -bench . -benchtime 1x . | tee "$SMOKE"
+
+echo "== bench regression guard (warn-only) =="
+# Single-iteration timings are noisy, so a regression here warns but
+# never fails CI; scripts/bench.sh records the authoritative numbers.
+go run ./scripts/benchjson -guard -raw "$SMOKE" -prev BENCH_campaign.json -tolerance 25 || true
 
 echo "CI OK"
