@@ -68,6 +68,26 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeStepBatch isolates the batch planner's barrier
+// amortization: the same one-week parallel campaign dispatched one
+// probing step per worker hand-off (batch=1, the pre-batching engine's
+// cadence) versus larger batches up to the default. Results are
+// bit-identical at every batch size (TestBatchSizeSweepBitIdentical),
+// so the ratio is pure scheduling overhead — channel hand-offs and
+// world-clock barriers per probing step.
+func BenchmarkProbeStepBatch(b *testing.B) {
+	for _, batch := range []int{1, 32, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+					StartOffsetDays: 14, DisableLoss: true,
+					Workers: runtime.GOMAXPROCS(0), BatchSteps: batch})
+			}
+		})
+	}
+}
+
 // BenchmarkAnalysisFanout measures the per-link threshold-sweep
 // analysis phase alone (rank-CUSUM bootstrap dominated) re-derived from
 // one shared collected campaign, sequentially vs fanned out.

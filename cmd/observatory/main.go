@@ -30,6 +30,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "world seed")
 		noLoss  = flag.Bool("no-loss", false, "skip loss campaigns")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch   = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default; results are identical for any value)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -51,7 +52,7 @@ func main() {
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days,
-		DisableLoss: *noLoss, Workers: *workers, Progress: os.Stderr,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Progress: os.Stderr,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 

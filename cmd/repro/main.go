@@ -39,6 +39,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		noLoss   = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch    = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default; results are identical for any value)")
 		doTable1 = flag.Bool("table1", false, "Table 1: threshold sensitivity")
 		doTable2 = flag.Bool("table2", false, "Table 2: per-VP evolution")
 		doFigs   = flag.Bool("figs", false, "Figures 1-4")
@@ -73,7 +74,7 @@ func main() {
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
-		DisableLoss: *noLoss, Workers: *workers, Progress: progress,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Progress: progress,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
 

@@ -143,7 +143,8 @@ func (v Verdict) Decide(cfg Config) Verdict {
 // correlate computes the Pearson correlation between two profiles over
 // bins present in both, requiring at least minBins shared bins.
 func correlate(a, b []float64, minBins int) (float64, bool) {
-	var xs, ys []float64
+	xs := make([]float64, 0, len(a))
+	ys := make([]float64, 0, len(a))
 	for i := range a {
 		if i < len(b) && !timeseries.IsMissing(a[i]) && !timeseries.IsMissing(b[i]) {
 			xs = append(xs, a[i])

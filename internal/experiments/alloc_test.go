@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/loss"
+	"afrixp/internal/prober"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// TestSteadyStateProbeStepZeroAlloc pins the engine's allocation diet:
+// once discovery has run and every scratch buffer is warm, a quiescent
+// probing step — the batched queue advance, a frozen TSLP round per
+// link, collector and loss-batch recording — must not touch the heap
+// at all. Any regression here multiplies by the ~115k steps of a
+// full-period campaign.
+func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 5, Scale: 0.1})
+	campaign := simclock.Interval{
+		Start: simclock.Date(2016, time.July, 20),
+		End:   simclock.Date(2016, time.July, 24),
+	}
+	step := 5 * time.Minute
+
+	// One prober on a VP with case links, probing each of them — the
+	// same per-(step, link) work the campaign's pool.run performs.
+	var pr *prober.Prober
+	var collectors []*analysis.Collector
+	var tslps []*prober.TSLP
+	for _, vp := range w.VPs {
+		if len(vp.CaseLinks) == 0 {
+			continue
+		}
+		pr = prober.New(w.Net, vp.Node, prober.Config{Name: vp.Monitor})
+		for _, target := range vp.CaseLinks {
+			ts, err := pr.NewTSLP(target)
+			if err != nil {
+				t.Fatalf("NewTSLP(%v): %v", target, err)
+			}
+			tslps = append(tslps, ts)
+			collectors = append(collectors, analysis.NewCollector(ts,
+				analysis.CollectorConfig{Campaign: campaign, Step: step}))
+		}
+		break
+	}
+	if pr == nil {
+		t.Fatal("no VP with case links in the paper scenario")
+	}
+
+	var lossCol loss.Collector
+	lossCol.Reserve(64)
+
+	w.AdvanceTo(campaign.Start)
+	at := campaign.Start
+	steps := make([]simclock.Time, 1)
+	round := func() {
+		steps[0] = at
+		w.Net.AdvanceQueuesBatch(steps)
+		pr.SetBatchStep(0)
+		for _, c := range collectors {
+			c.RoundFrozen(at)
+		}
+		_, farLost := tslps[0].LossRoundFrozen(at)
+		lossCol.Record(at, farLost)
+		pr.SetBatchStep(-1)
+		at = at.Add(step)
+	}
+	// Warm up: the first rounds size the per-queue frontier tables and
+	// any lazily-grown scratch.
+	for i := 0; i < 8; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Errorf("steady-state probing step makes %v heap allocations; want 0", avg)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// runBatchCampaign is runShortCampaign with an explicit batch size.
+func runBatchCampaign(workers, batchSteps int) *Result {
+	return Run(Config{
+		Opts: scenario.Options{Seed: 5, Scale: 0.1},
+		Campaign: simclock.Interval{
+			Start: simclock.Date(2016, time.July, 20),
+			End:   simclock.Date(2016, time.July, 24),
+		},
+		Workers:    workers,
+		BatchSteps: batchSteps,
+	})
+}
+
+// TestBatchCampaignBitIdentical is the batch planner's core guarantee:
+// batch size is a scheduling knob, never a modeling one. A campaign run
+// step by step (BatchSteps=1, the old per-step protocol) must produce
+// exactly the same numbers as one run in maximal batches — every
+// series value, verdict, shift, event, loss batch, and rendered
+// report, compared at the bit level — at one worker and at many.
+func TestBatchCampaignBitIdentical(t *testing.T) {
+	// 4 days at 5-minute steps is 1152 steps; a 4096-step cap means the
+	// planner only breaks batches at genuine barriers.
+	perStep := runBatchCampaign(1, 1)
+	batched := runBatchCampaign(1, 4096)
+	batchedPar := runBatchCampaign(8, 4096)
+
+	links := 0
+	for _, vr := range perStep.VPs {
+		links += len(vr.Links)
+	}
+	if links == 0 {
+		t.Fatal("campaign discovered no links; batch equivalence check is vacuous")
+	}
+
+	want := summarizeResult(perStep)
+	if got := summarizeResult(batched); want != got {
+		t.Errorf("results differ between BatchSteps=1 and BatchSteps=4096 (workers=1)\n%s",
+			firstDiff(want, got))
+	}
+	if got := summarizeResult(batchedPar); want != got {
+		t.Errorf("results differ between BatchSteps=1/workers=1 and BatchSteps=4096/workers=8\n%s",
+			firstDiff(want, got))
+	}
+	if a, b := renderReports(t, perStep), renderReports(t, batchedPar); a != b {
+		t.Errorf("rendered reports differ across batch sizes\n%s", firstDiff(a, b))
+	}
+}
+
+// TestBatchSizeSweepBitIdentical sweeps awkward batch sizes — ones
+// that misalign with the refresh cadence and loss-round phase — to
+// pin that batch boundaries never leak into results.
+func TestBatchSizeSweepBitIdentical(t *testing.T) {
+	want := summarizeResult(runBatchCampaign(2, 1))
+	for _, bs := range []int{2, 7, 97} {
+		if got := summarizeResult(runBatchCampaign(2, bs)); want != got {
+			t.Errorf("BatchSteps=%d diverges from per-step results\n%s", bs, firstDiff(want, got))
+		}
+	}
+}

@@ -56,6 +56,13 @@ type Config struct {
 	// goroutine interleaving cannot reach the numbers. Default
 	// runtime.GOMAXPROCS(0); 1 runs inline without goroutines.
 	Workers int
+	// BatchSteps caps how many consecutive quiescent steps the batch
+	// planner hands the worker pool at once. Bigger batches amortize
+	// the per-step coordination; the cap bounds the per-queue frontier
+	// tables AdvanceQueuesBatch records. Results are bit-identical for
+	// any value (see DESIGN.md §9). Default 1024; 1 degenerates to the
+	// per-step protocol.
+	BatchSteps int
 	// Progress, when non-nil, receives one line per campaign phase.
 	// Writes are serialized by the engine.
 	Progress io.Writer
@@ -79,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSteps <= 0 {
+		c.BatchSteps = 1024
 	}
 	return c
 }
@@ -286,6 +296,8 @@ func Run(cfg Config) *Result {
 					if lw, ok := lossWindows[name]; ok && !cfg.DisableLoss {
 						lr.lossIv = clamp(lw, cfg.Campaign)
 						lr.lossCol = &loss.Collector{}
+						// One batch per loss round over the window.
+						lr.lossCol.Reserve(lr.lossIv.NumSteps(cfg.LossBatchEvery) + 1)
 					}
 				}
 			}
@@ -320,22 +332,65 @@ func Run(cfg Config) *Result {
 		progress("%s: initial discovery found %d links", st.vr.VP.ID, len(st.vr.Links))
 	}
 
-	// Main probing loop. Each 5-minute step is a barrier: the world
-	// clock, event application, discovery, and path re-resolution are
-	// single-threaded; queue frontiers are then advanced once; and the
-	// per-VP probing — the bulk of the work — fans out across workers.
-	// Workers sample through the frozen frontier with per-VP loss-nonce
-	// streams and touch only their own VP's state (prober pacing
-	// bucket, collectors, loss collectors), so the step's results are
-	// independent of worker count and scheduling.
+	// Main probing loop — step-batched. A *barrier step* is any step
+	// needing single-threaded work: scenario event application, a
+	// discovery refresh, a Table-2 snapshot, or topology-churn path
+	// re-resolution. The planner (simclock.Interval.StepBatches) opens a
+	// batch at each barrier step, runs the serialized work there, then
+	// scans ahead collecting quiescent steps (up to BatchSteps). The
+	// fluid queues advance once per batch with every step's frontier
+	// recorded (AdvanceQueuesBatch); the persistent worker pool then
+	// replays the whole batch, each worker pointing its VP's probe
+	// context at the step being sampled (SetBatchStep). Workers touch
+	// only their own VP's state (pacing bucket, nonce stream,
+	// collectors) and visit (step, link) pairs in exactly the per-step
+	// engine's order, so results are bit-identical for any worker count
+	// and any batch size — see DESIGN.md §9.
 	nextRefresh := cfg.Campaign.Start.Add(cfg.RefreshEvery)
-	stepIdx := 0
 	lossEvery := int(cfg.LossBatchEvery / cfg.Step)
 	if lossEvery < 1 {
 		lossEvery = 1
 	}
 	pathVersion := w.Net.Version()
-	cfg.Campaign.Steps(cfg.Step, func(t simclock.Time) {
+
+	// Per-VP link slices, refreshed only when discovery grows them, so
+	// the hot loop never walks the Links map.
+	links := make([][]*LinkRecord, len(states))
+	refreshLinks := func() {
+		for si, st := range states {
+			if len(links[si]) != len(st.vr.order) {
+				links[si] = st.vr.SortedLinks()
+			}
+		}
+	}
+	refreshLinks()
+
+	// Shared batch state, written by the coordinator between pool
+	// rounds; the pool's channel handoff publishes it to workers.
+	var batch []simclock.Time
+	firstIdx := 0
+	pool := newProbePool(effectiveWorkers(len(states), cfg.Workers))
+	pool.run = func(si int) {
+		st := states[si]
+		pr := st.vr.Prober
+		for k, t := range batch {
+			pr.SetBatchStep(k)
+			doLoss := (firstIdx+k)%lossEvery == 0
+			for _, lr := range links[si] {
+				lr.Collector.RoundFrozen(t)
+				if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
+					for i := 0; i < loss.BatchSize; i++ {
+						at := t.Add(time.Duration(i) * time.Second)
+						_, farLost := lr.tslp.LossRoundFrozen(at)
+						lr.lossCol.Record(at, farLost)
+					}
+				}
+			}
+		}
+		pr.SetBatchStep(-1)
+	}
+
+	open := func(t simclock.Time) {
 		w.AdvanceTo(t)
 		if t >= nextRefresh {
 			for _, st := range states {
@@ -363,24 +418,33 @@ func Run(cfg Config) *Result {
 			}
 			pathVersion = v
 		}
-		w.Net.AdvanceQueues(t)
-		doLoss := stepIdx%lossEvery == 0
-		parallelDo(len(states), cfg.Workers, func(si int) {
-			st := states[si]
-			for _, target := range st.vr.order {
-				lr := st.vr.Links[target]
-				lr.Collector.RoundFrozen(t)
-				if lr.lossCol != nil && lr.lossIv.Contains(t) && doLoss {
-					for i := 0; i < loss.BatchSize; i++ {
-						at := t.Add(time.Duration(i) * time.Second)
-						_, farLost := lr.tslp.LossRoundFrozen(at)
-						lr.lossCol.Record(at, farLost)
-					}
-				}
+		refreshLinks()
+	}
+	// quiescent reports whether step t needs none of open's serialized
+	// work; it runs after every earlier step's open, so the state it
+	// reads (refresh deadline, snapshot cursors, pending events) is
+	// current. Topology only churns through events, discovery, or
+	// snapshots, so a step clearing those three cannot churn paths.
+	quiescent := func(t simclock.Time) bool {
+		if t >= nextRefresh {
+			return false
+		}
+		for _, st := range states {
+			if st.snapIdx < len(st.snapshots) && t >= st.snapshots[st.snapIdx] {
+				return false
 			}
-		})
-		stepIdx++
-	})
+		}
+		ev := w.PendingEvents()
+		return len(ev) == 0 || ev[0].At > t
+	}
+	flush := func(first int, steps []simclock.Time) {
+		w.AdvanceTo(steps[len(steps)-1]) // no events in range, by quiescence
+		w.Net.AdvanceQueuesBatch(steps)
+		firstIdx, batch = first, steps
+		pool.do(len(states))
+	}
+	cfg.Campaign.StepBatches(cfg.Step, cfg.BatchSteps, open, quiescent, flush)
+	pool.close()
 
 	// Per-link analysis across the threshold sweep.
 	progress("campaign done; analyzing %s of series", cfg.Campaign.Duration())
@@ -450,18 +514,14 @@ func effectiveWorkers(n, workers int) int {
 	return workers
 }
 
-// parallelDo runs fn(0..n-1) across at most workers goroutines, pulling
-// indices from a shared atomic counter. workers ≤ 1 (or n ≤ 1) runs
-// inline with no goroutines — the sequential engine is literally the
-// parallel one with one worker, not a separate code path.
-func parallelDo(n, workers int, fn func(int)) {
-	parallelWorkers(n, workers, func(_, i int) { fn(i) })
-}
-
-// parallelWorkers is parallelDo handing each invocation its worker
-// index (0 ≤ w < effectiveWorkers(n, workers)), so callers can give
-// every worker goroutine private reusable state (analysis sweepers,
-// detector scratch) without locking.
+// parallelWorkers runs fn(w, 0..n-1) across at most workers goroutines
+// pulling indices from a shared atomic counter, handing each invocation
+// its worker index (0 ≤ w < effectiveWorkers(n, workers)) so callers
+// can give every worker goroutine private reusable state (analysis
+// sweepers, detector scratch) without locking. workers ≤ 1 (or n ≤ 1)
+// runs inline with no goroutines. The probing loop no longer uses this
+// — it keeps a persistent probePool across the campaign — but the
+// one-shot analysis fan-out does not need goroutine reuse.
 func parallelWorkers(n, workers int, fn func(worker, i int)) {
 	workers = effectiveWorkers(n, workers)
 	if workers <= 1 {

@@ -1,0 +1,73 @@
+package experiments
+
+import "sync"
+
+// probePool is the campaign's persistent probing crew: long-lived
+// worker goroutines fed task indexes over a channel, replacing the
+// spawn-and-join barrier the engine used to pay at every 5-minute step
+// (~115k barrier cycles per full campaign). The pool is built once per
+// campaign; each dispatch round sends one task per vantage point and
+// waits for as many completions, so a round is still a barrier — just
+// one whose goroutines, stacks, and scheduler state are reused.
+//
+// Memory model: the coordinator writes the shared batch state, then
+// sends task indexes; workers read the state after receiving. The
+// channel send/receive pairs order those accesses, so workers never
+// observe a half-written batch, and the coordinator never reclaims
+// state a worker is still reading.
+type probePool struct {
+	workers int
+	tasks   chan int
+	done    chan struct{}
+	wg      sync.WaitGroup
+	// run is the task body. It must be set before the first do call
+	// and must only touch per-task state (one VP's prober, collectors).
+	run func(task int)
+}
+
+// newProbePool starts workers goroutines. workers <= 1 starts none:
+// the sequential engine is the pool with inline dispatch, not a
+// separate code path.
+func newProbePool(workers int) *probePool {
+	p := &probePool{workers: workers}
+	if workers <= 1 {
+		return p
+	}
+	p.tasks = make(chan int, workers)
+	p.done = make(chan struct{}, workers)
+	p.wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer p.wg.Done()
+			for i := range p.tasks {
+				p.run(i)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// do runs run(0..n-1) across the pool and returns when all complete.
+func (p *probePool) do(n int) {
+	if p.workers <= 1 {
+		for i := 0; i < n; i++ {
+			p.run(i)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.tasks <- i
+	}
+	for i := 0; i < n; i++ {
+		<-p.done
+	}
+}
+
+// close retires the workers. The pool must be idle.
+func (p *probePool) close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}

@@ -38,6 +38,17 @@ type Collector struct {
 	open    bool
 }
 
+// Reserve pre-sizes the batch store for n completed batches, so a
+// campaign that knows its loss window up front collects without
+// regrowing the slice mid-flight.
+func (c *Collector) Reserve(n int) {
+	if n > cap(c.batches) {
+		grown := make([]Batch, len(c.batches), n)
+		copy(grown, c.batches)
+		c.batches = grown
+	}
+}
+
 // Record adds one probe outcome at time t.
 func (c *Collector) Record(t simclock.Time, lost bool) {
 	if !c.open {

@@ -81,6 +81,17 @@ func (a Addr) AppendTo(b []byte) []byte {
 	return append(b, o1, o2, o3, o4)
 }
 
+// Put4 writes the wire (big-endian) representation into b[0:4]. It is
+// the in-place counterpart of AppendTo for serializers that have
+// already sized their buffer; it panics if b holds fewer than 4 bytes.
+func (a Addr) Put4(b []byte) {
+	_ = b[3]
+	b[0] = byte(a >> 24)
+	b[1] = byte(a >> 16)
+	b[2] = byte(a >> 8)
+	b[3] = byte(a)
+}
+
 // AddrFromBytes decodes a big-endian 4-byte slice. It panics if b is
 // shorter than 4 bytes; callers validate packet lengths first.
 func AddrFromBytes(b []byte) Addr {

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/queue"
+	"afrixp/internal/simclock"
+	"afrixp/internal/trafficmodel"
+)
+
+// Batched world advancement (AdvanceQueuesBatch + ProbeCtx.SetStep)
+// must reproduce the per-step frozen protocol bit-identically —
+// delays, loss draws and all — since the campaign scheduler treats the
+// two as interchangeable.
+func TestSampleCtxBatchMatchesPerStep(t *testing.T) {
+	build := func() (*world, *ProbePath, *ProbeCtx) {
+		w := buildWorld(t)
+		load := trafficmodel.Diurnal{
+			BaseBps: 60e6, PeakBps: 70e6, PeakHour: 14, Width: 3,
+			NoiseFrac: 0.3, Seed: 9,
+		}
+		w.r200FromFabric.Queue = queue.NewFluid(queue.Config{
+			CapacityBps: 100e6, BufferDrain: 28 * time.Millisecond,
+			Load: load.Bps, PacketBits: 12000,
+		})
+		w.r200FromFabric.BaseLoss = 0.01
+		pp, err := w.nw.TracePath(w.vp, w.farAddr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, pp, w.nw.NewProbeCtx(1)
+	}
+	wA, ppA, ctxA := build() // advanced step by step
+	wB, ppB, ctxB := build() // advanced in one batch
+
+	const n = 48
+	steps := make([]simclock.Time, n)
+	for i := range steps {
+		steps[i] = simclock.Time(time.Duration(i) * 5 * time.Minute)
+	}
+	wB.nw.AdvanceQueuesBatch(steps)
+	for i, at := range steps {
+		wA.nw.AdvanceQueues(at)
+		ctxB.SetStep(i)
+		// Several probes per step, spilling past the step boundary the
+		// way loss batches do, so the forward-integration path runs.
+		for k := 0; k < 3; k++ {
+			probeAt := at.Add(time.Duration(k) * 700 * time.Millisecond)
+			d1, ok1 := ppA.SampleCtx(ctxA, probeAt)
+			d2, ok2 := ppB.SampleCtx(ctxB, probeAt)
+			if d1 != d2 || ok1 != ok2 {
+				t.Fatalf("step %d probe %d: per-step (%v,%v) != batched (%v,%v)",
+					i, k, d1, ok1, d2, ok2)
+			}
+		}
+	}
+
+	// SetStep(-1) returns the context to live-frontier observation; both
+	// worlds' frontiers now sit at the last step, so samples still agree.
+	ctxB.SetStep(-1)
+	d1, ok1 := ppA.SampleCtx(ctxA, steps[n-1])
+	d2, ok2 := ppB.SampleCtx(ctxB, steps[n-1])
+	if d1 != d2 || ok1 != ok2 {
+		t.Fatalf("frontier mode after batch: (%v,%v) != (%v,%v)", d1, ok1, d2, ok2)
+	}
+}

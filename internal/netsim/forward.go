@@ -7,12 +7,19 @@ import (
 
 // hop is one resolved forwarding step: the local egress interface, the
 // interface the packet arrives on at the next node, and the pipes it
-// traverses in order (one for p2p, two for a LAN crossing).
+// traverses in order (one for p2p, two for a LAN crossing). The pipe
+// list is a fixed-size array — hop values are built on every forwarded
+// packet, and a heap-allocated slice here was one of the largest
+// allocation sources in a campaign.
 type hop struct {
 	egress  *Iface
 	arrival *Iface
-	pipes   []*Pipe
+	pipes   [2]*Pipe
+	npipes  int8
 }
+
+// pipeSeq returns the pipes the hop traverses, in order.
+func (h *hop) pipeSeq() []*Pipe { return h.pipes[:h.npipes] }
 
 // fibEntry caches a node's forwarding decision toward a destination
 // origin AS.
@@ -95,7 +102,7 @@ func (nw *Network) linkStep(ifc *Iface) (hop, bool) {
 	} else {
 		pipe, arrival = l.Pipes[1], l.A
 	}
-	return hop{egress: ifc, arrival: nw.ifaces[arrival], pipes: []*Pipe{pipe}}, true
+	return hop{egress: ifc, arrival: nw.ifaces[arrival], pipes: [2]*Pipe{pipe}, npipes: 1}, true
 }
 
 // lanStep builds the hop across ifc's LAN to the attachment at slot.
@@ -106,7 +113,8 @@ func (nw *Network) lanStep(ifc *Iface, slot int) (hop, bool) {
 	return hop{
 		egress:  ifc,
 		arrival: nw.ifaces[dst.Iface],
-		pipes:   []*Pipe{src.ToFabric, dst.FromFabric},
+		pipes:   [2]*Pipe{src.ToFabric, dst.FromFabric},
+		npipes:  2,
 	}, true
 }
 

@@ -36,7 +36,9 @@ func (o Outcome) String() string {
 
 // Response is the packet that came back to the injecting node.
 type Response struct {
-	// Wire is the raw response datagram.
+	// Wire is the raw response datagram. It aliases scratch owned by
+	// the Network and is only valid until the next Inject call; decode
+	// it (or copy it) before injecting again.
 	Wire []byte
 	// At is the virtual arrival time; RTT = At - send time.
 	At simclock.Time
@@ -52,28 +54,40 @@ const maxWalkHops = 128
 // network. It returns the response when one arrives back at src.
 //
 // The walk is synchronous: background traffic is fluid (inside the
-// pipes' queues), so only the probe itself moves hop by hop.
-func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, Outcome, error) {
+// pipes' queues), so only the probe itself moves hop by hop. The
+// caller's wire buffer is never written; rewritten wires live in the
+// network's double-buffered scratch (see Response.Wire).
+func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (Response, Outcome, error) {
 	cur := src
 	var arrival *Iface
 	originated := true // the current node created the current wire
+	slot := -1         // injWire slot backing wire; -1 = caller's buffer
+
+	// nextWire returns the scratch slot a rewritten wire may be
+	// serialized into: the one not backing the wire being read.
+	nextWire := func() int {
+		if slot == 0 {
+			return 1
+		}
+		return 0
+	}
 
 	for hops := 0; hops < maxWalkHops; hops++ {
 		ip, payload, err := packet.DecodeIPv4(wire)
 		if err != nil {
-			return nil, Unreachable, fmt.Errorf("netsim: hop %d at %s: %w", hops, cur.Name, err)
+			return Response{}, Unreachable, fmt.Errorf("netsim: hop %d at %s: %w", hops, cur.Name, err)
 		}
 
 		if nw.ownsAddr(cur, ip.Dst) {
 			icmp, err := packet.DecodeICMP(payload)
 			if err != nil {
-				return nil, Unreachable, fmt.Errorf("netsim: non-ICMP payload at %s: %w", cur.Name, err)
+				return Response{}, Unreachable, fmt.Errorf("netsim: non-ICMP payload at %s: %w", cur.Name, err)
 			}
 			if icmp.Type == packet.ICMPEcho {
 				// Control-plane policing: a router out of ICMP budget
 				// silently drops the request.
 				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
-					return nil, Lost, nil
+					return Response{}, Lost, nil
 				}
 				// Generate an echo reply (control-plane delay applies).
 				if cur.ICMPDelay != nil {
@@ -84,28 +98,30 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, O
 				if ip.RecordRoute != nil {
 					ip.RecordRoute.Stamp(ip.Dst)
 				}
-				reply, err := packet.BuildEchoReply(ip, icmp, 64, cur.nextIPID())
+				ns := nextWire()
+				reply, err := nw.pkt.EchoReply(nw.injWire[ns][:0], ip, icmp, 64, cur.nextIPID())
 				if err != nil {
-					return nil, Unreachable, err
+					return Response{}, Unreachable, err
 				}
-				wire = reply
+				nw.injWire[ns] = reply
+				wire, slot = reply, ns
 				originated = true
 				continue
 			}
 			// Echo reply or ICMP error arriving at its destination.
 			if cur == src {
-				return &Response{Wire: wire, At: t, From: ip.Src}, Delivered, nil
+				return Response{Wire: wire, At: t, From: ip.Src}, Delivered, nil
 			}
 			// A response addressed to somebody else's address that we
 			// own: swallow it (should not happen in practice).
-			return nil, Unreachable, nil
+			return Response{}, Unreachable, nil
 		}
 
 		// TTL check applies when forwarding somebody else's packet.
 		if !originated {
 			if ip.TTL <= 1 {
 				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
-					return nil, Lost, nil
+					return Response{}, Lost, nil
 				}
 				respAddr := ip.Dst // fallback; normally the arrival iface
 				if arrival != nil {
@@ -114,12 +130,14 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, O
 				if cur.ICMPDelay != nil {
 					t = t.Add(cur.ICMPDelay(t))
 				}
-				te, err := packet.BuildTimeExceeded(
+				ns := nextWire()
+				te, err := nw.pkt.TimeExceeded(nw.injWire[ns][:0],
 					packet.IPv4{TTL: 64, ID: cur.nextIPID(), Src: respAddr, Dst: ip.Src}, wire)
 				if err != nil {
-					return nil, Unreachable, err
+					return Response{}, Unreachable, err
 				}
-				wire = te
+				nw.injWire[ns] = te
+				wire, slot = te, ns
 				originated = true
 				continue
 			}
@@ -128,23 +146,28 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, O
 
 		h, ok := nw.resolveStep(cur, ip.Dst)
 		if !ok {
-			return nil, Unreachable, nil
+			return Response{}, Unreachable, nil
 		}
 		// Routers forwarding a packet stamp the Record Route option
 		// with their egress address.
 		if !originated && ip.RecordRoute != nil && cur.Gateway == noIface {
 			ip.RecordRoute.Stamp(h.egress.Addr)
 		}
-		wire, err = ip.SerializeTo(nil, payload)
+		// Re-serialize into the free slot: payload aliases the wire
+		// being replaced, so the write must not land on top of it.
+		ns := nextWire()
+		rewired, err := ip.SerializeTo(nw.injWire[ns][:0], payload)
 		if err != nil {
-			return nil, Unreachable, err
+			return Response{}, Unreachable, err
 		}
+		nw.injWire[ns] = rewired
+		wire, slot = rewired, ns
 
-		for _, p := range h.pipes {
+		for _, p := range h.pipeSeq() {
 			nw.pktCounter++
 			exit, alive := p.Traverse(t, nw.pktCounter)
 			if !alive {
-				return nil, Lost, nil
+				return Response{}, Lost, nil
 			}
 			t = exit
 		}
@@ -152,7 +175,7 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (*Response, O
 		arrival = h.arrival
 		originated = false
 	}
-	return nil, Unreachable, fmt.Errorf("netsim: walk exceeded %d hops (loop?)", maxWalkHops)
+	return Response{}, Unreachable, fmt.Errorf("netsim: walk exceeded %d hops (loop?)", maxWalkHops)
 }
 
 // ownsAddr reports whether any of n's interfaces carries addr.

@@ -8,6 +8,7 @@ import (
 	"afrixp/internal/asrel"
 	"afrixp/internal/bgpsim"
 	"afrixp/internal/netaddr"
+	"afrixp/internal/packet"
 	"afrixp/internal/queue"
 	"afrixp/internal/simclock"
 )
@@ -127,6 +128,14 @@ type Network struct {
 	// rlMu serializes shared ICMP rate-limit buckets on the frozen
 	// sampling path; see ProbePath.SampleCtx.
 	rlMu sync.Mutex
+
+	// injWire double-buffers the wire images an injection walk
+	// rewrites at every hop, and pkt stages their ICMP layers. Two
+	// slots suffice: each rewrite reads the current wire and writes the
+	// other slot. Owned by Inject, which (like pktCounter) is
+	// single-goroutine by contract.
+	injWire [2][]byte
+	pkt     packet.Scratch
 }
 
 // New creates an empty network over the given BGP control plane.
@@ -313,6 +322,32 @@ func (nw *Network) AdvanceQueues(t simclock.Time) {
 	adv := func(p *Pipe) {
 		if p != nil && p.Queue != nil {
 			p.Queue.Advance(t)
+		}
+	}
+	for _, l := range nw.links {
+		adv(l.Pipes[0])
+		adv(l.Pipes[1])
+	}
+	for _, lan := range nw.lans {
+		for i := range lan.Attachments {
+			adv(lan.Attachments[i].ToFabric)
+			adv(lan.Attachments[i].FromFabric)
+		}
+	}
+}
+
+// AdvanceQueuesBatch moves every fluid queue's integration frontier
+// through the given step times in order, recording per-step frontier
+// states (queue.Fluid.AdvanceBatch) so workers can observe any step of
+// the batch via the frozen-step read path (ProbeCtx.SetStep +
+// ProbePath.SampleCtx). It is the batched form of AdvanceQueues: one
+// call per quiescent run of steps instead of one per step. The final
+// frontier position is the last step, exactly as len(steps) successive
+// AdvanceQueues calls would leave it.
+func (nw *Network) AdvanceQueuesBatch(steps []simclock.Time) {
+	adv := func(p *Pipe) {
+		if p != nil && p.Queue != nil {
+			p.Queue.AdvanceBatch(steps)
 		}
 	}
 	for _, l := range nw.links {

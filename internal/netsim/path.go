@@ -63,7 +63,7 @@ func (nw *Network) TracePath(src *Node, dst netaddr.Addr, ttl int) (*ProbePath, 
 		if !ok {
 			return nil, fmt.Errorf("netsim: no route from %s toward %v", cur.Name, dst)
 		}
-		pp.FwdPipes = append(pp.FwdPipes, h.pipes...)
+		pp.FwdPipes = append(pp.FwdPipes, h.pipeSeq()...)
 		pp.HopAddrs = append(pp.HopAddrs, h.arrival.Addr)
 		cur = nw.nodes[h.arrival.Node]
 		arrival = h.arrival
@@ -84,7 +84,7 @@ func (nw *Network) TracePath(src *Node, dst netaddr.Addr, ttl int) (*ProbePath, 
 		if !ok {
 			return nil, fmt.Errorf("netsim: no return route from %s toward %v", cur.Name, back)
 		}
-		pp.RevPipes = append(pp.RevPipes, h.pipes...)
+		pp.RevPipes = append(pp.RevPipes, h.pipeSeq()...)
 		cur = nw.nodes[h.arrival.Node]
 	}
 	return nil, fmt.Errorf("netsim: return path toward %v never terminated", back)
@@ -134,6 +134,23 @@ func (pp *ProbePath) Sample(t simclock.Time) (simclock.Duration, bool) {
 type ProbeCtx struct {
 	salt  uint64
 	count uint64
+	// step is the batch-step index plus one; zero observes the live
+	// queue frontier (the non-batched protocol). See SetStep.
+	step int
+}
+
+// SetStep points subsequent samples at batch step i of the most recent
+// Network.AdvanceQueuesBatch, so a worker can replay the whole batch
+// without the world stopping at each step. A negative i restores
+// live-frontier observation. The step index only selects which recorded
+// queue state a sample reads; the nonce stream is untouched, which is
+// why batching cannot perturb loss draws.
+func (c *ProbeCtx) SetStep(i int) {
+	if i < 0 {
+		c.step = 0
+	} else {
+		c.step = i + 1
+	}
 }
 
 // NewProbeCtx derives an agent-scoped probe context. id distinguishes
@@ -156,11 +173,13 @@ func (c *ProbeCtx) nonce() uint64 {
 // a lock — worlds probing such responders from multiple VPs trade
 // cross-worker bit-determinism for the shared budget; the paper world
 // has none). Callers must have advanced the world's queues to the
-// current step barrier via Network.AdvanceQueues.
+// current step barrier via Network.AdvanceQueues, or published the
+// containing batch via Network.AdvanceQueuesBatch and pointed the
+// context at the step being replayed with SetStep.
 func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duration, bool) {
 	start := t
 	for _, p := range pp.FwdPipes {
-		exit, ok := p.TraverseFrozen(t, ctx.nonce())
+		exit, ok := p.TraverseFrozenStep(ctx.step-1, t, ctx.nonce())
 		if !ok {
 			return 0, false
 		}
@@ -178,7 +197,7 @@ func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duratio
 		t = t.Add(pp.Responder.ICMPDelay(t))
 	}
 	for _, p := range pp.RevPipes {
-		exit, ok := p.TraverseFrozen(t, ctx.nonce())
+		exit, ok := p.TraverseFrozenStep(ctx.step-1, t, ctx.nonce())
 		if !ok {
 			return 0, false
 		}

@@ -64,13 +64,22 @@ func (p *Pipe) Traverse(t simclock.Time, n uint64) (simclock.Time, bool) {
 // identical conditions regardless of ordering. The campaign engine
 // pairs it with Network.AdvanceQueues at each step barrier.
 func (p *Pipe) TraverseFrozen(t simclock.Time, n uint64) (simclock.Time, bool) {
+	return p.TraverseFrozenStep(-1, t, n)
+}
+
+// TraverseFrozenStep is TraverseFrozen against the queue state recorded
+// for step i of the most recent Network.AdvanceQueuesBatch, letting a
+// worker replay any step of a batch without the frontier having stopped
+// there. A negative i observes the live frontier (identical to
+// TraverseFrozen).
+func (p *Pipe) TraverseFrozenStep(i int, t simclock.Time, n uint64) (simclock.Time, bool) {
 	if p.Up != nil && !p.Up(t) {
 		return t, false
 	}
 	d := p.Prop
 	loss := p.BaseLoss
 	if p.Queue != nil {
-		qd, ql := p.Queue.ObserveFrozen(t)
+		qd, ql := p.Queue.ObserveFrozenStep(i, t)
 		d += qd
 		loss = 1 - (1-loss)*(1-ql)
 	}

@@ -82,37 +82,69 @@ func DecodeICMP(b []byte) (ICMP, error) {
 	return m, nil
 }
 
-// BuildEcho assembles a complete IPv4+ICMP echo request datagram.
-func BuildEcho(ip IPv4, id, seq uint16, payload []byte) ([]byte, error) {
-	ip.Protocol = ProtoICMP
-	icmp := ICMP{Type: ICMPEcho, ID: id, Seq: seq, Payload: payload}
-	return ip.SerializeTo(nil, icmp.SerializeTo(nil))
+// Scratch holds the intermediate ICMP buffer datagram builders need,
+// so a long-lived owner (a prober, the packet walker) can assemble
+// packets without per-packet allocation. Methods append the finished
+// datagram to dst and return the extended slice; passing scratch[:0]
+// of a retained buffer reuses its capacity. The zero Scratch is ready
+// to use. Not safe for concurrent use.
+type Scratch struct {
+	icmp []byte
 }
 
-// BuildEchoReply assembles the reply a destination host generates for
-// an echo request: source/destination swapped, ID/Seq/payload echoed.
+// Append serializes ip carrying m as its ICMP payload, appending the
+// datagram to dst. The ICMP layer is staged through the scratch buffer
+// first, so dst may overlap the buffers m's Payload or Quote alias.
+func (s *Scratch) Append(dst []byte, ip IPv4, m ICMP) ([]byte, error) {
+	ip.Protocol = ProtoICMP
+	s.icmp = m.SerializeTo(s.icmp[:0])
+	return ip.SerializeTo(dst, s.icmp)
+}
+
+// Echo assembles a complete IPv4+ICMP echo request datagram.
+func (s *Scratch) Echo(dst []byte, ip IPv4, id, seq uint16, payload []byte) ([]byte, error) {
+	return s.Append(dst, ip, ICMP{Type: ICMPEcho, ID: id, Seq: seq, Payload: payload})
+}
+
+// EchoReply assembles the reply a destination host generates for an
+// echo request: source/destination swapped, ID/Seq/payload echoed.
 // ipID is the responder's IP identification value (routers use a
 // shared per-box counter, which alias resolution exploits).
-func BuildEchoReply(req IPv4, echo ICMP, ttl uint8, ipID uint16) ([]byte, error) {
-	reply := IPv4{TTL: ttl, ID: ipID, Protocol: ProtoICMP, Src: req.Dst, Dst: req.Src,
+func (s *Scratch) EchoReply(dst []byte, req IPv4, echo ICMP, ttl uint8, ipID uint16) ([]byte, error) {
+	reply := IPv4{TTL: ttl, ID: ipID, Src: req.Dst, Dst: req.Src,
 		RecordRoute: req.RecordRoute.clone()}
 	// Per RFC 791 the RR option is copied into the reply and continues
 	// recording on the return path.
-	m := ICMP{Type: ICMPEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
-	return reply.SerializeTo(nil, m.SerializeTo(nil))
+	return s.Append(dst, reply, ICMP{Type: ICMPEchoReply, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload})
 }
 
-// BuildTimeExceeded assembles the ICMP time-exceeded error a router
+// TimeExceeded assembles the ICMP time-exceeded error a router
 // generates when a packet's TTL expires: the quote carries the original
 // IPv4 header plus the first 8 payload bytes (RFC 792).
-func BuildTimeExceeded(routerAddr IPv4, orig []byte) ([]byte, error) {
+func (s *Scratch) TimeExceeded(dst []byte, routerAddr IPv4, orig []byte) ([]byte, error) {
 	quote := orig
 	if len(quote) > icmpErrorQuoteOptMax {
 		quote = quote[:icmpErrorQuoteOptMax]
 	}
-	routerAddr.Protocol = ProtoICMP
-	m := ICMP{Type: ICMPTimeExceeded, Code: ICMPCodeTTLExceeded, Quote: quote}
-	return routerAddr.SerializeTo(nil, m.SerializeTo(nil))
+	return s.Append(dst, routerAddr, ICMP{Type: ICMPTimeExceeded, Code: ICMPCodeTTLExceeded, Quote: quote})
+}
+
+// BuildEcho assembles a complete IPv4+ICMP echo request datagram.
+func BuildEcho(ip IPv4, id, seq uint16, payload []byte) ([]byte, error) {
+	var s Scratch
+	return s.Echo(nil, ip, id, seq, payload)
+}
+
+// BuildEchoReply is Scratch.EchoReply into a fresh buffer.
+func BuildEchoReply(req IPv4, echo ICMP, ttl uint8, ipID uint16) ([]byte, error) {
+	var s Scratch
+	return s.EchoReply(nil, req, echo, ttl, ipID)
+}
+
+// BuildTimeExceeded is Scratch.TimeExceeded into a fresh buffer.
+func BuildTimeExceeded(routerAddr IPv4, orig []byte) ([]byte, error) {
+	var s Scratch
+	return s.TimeExceeded(nil, routerAddr, orig)
 }
 
 // ParseQuote decodes the datagram quoted inside an ICMP error so the

@@ -108,8 +108,14 @@ func (h *IPv4) headerLen() int {
 	return n
 }
 
+// zeroHeader is the zero-fill source SerializeTo extends buffers from.
+var zeroHeader [ipv4MaxHeaderLen]byte
+
 // SerializeTo appends the header followed by payload to b and returns
 // the extended slice. The checksum and length fields are computed.
+// Passing a buffer with spare capacity (b[:0] of a scratch slice) makes
+// serialization allocation-free; see Scratch for the packet builders'
+// reusable form.
 func (h *IPv4) SerializeTo(b []byte, payload []byte) ([]byte, error) {
 	hl := h.headerLen()
 	if hl > ipv4MaxHeaderLen {
@@ -120,7 +126,9 @@ func (h *IPv4) SerializeTo(b []byte, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("packet: total length %d overflows", total)
 	}
 	start := len(b)
-	b = append(b, make([]byte, hl)...)
+	// Extend from a static zero block: append(b, make(...)...) with a
+	// variable length heap-allocates the temporary on every packet.
+	b = append(b, zeroHeader[:hl]...)
 	hdr := b[start : start+hl]
 
 	hdr[0] = 0x40 | uint8(hl/4) // version 4, IHL
@@ -131,8 +139,8 @@ func (h *IPv4) SerializeTo(b []byte, payload []byte) ([]byte, error) {
 	hdr[8] = h.TTL
 	hdr[9] = h.Protocol
 	// checksum at hdr[10:12] filled below
-	copy(hdr[12:16], h.Src.AppendTo(nil))
-	copy(hdr[16:20], h.Dst.AppendTo(nil))
+	h.Src.Put4(hdr[12:16])
+	h.Dst.Put4(hdr[16:20])
 
 	if rr := h.RecordRoute; rr != nil {
 		opt := hdr[20:]
@@ -141,7 +149,7 @@ func (h *IPv4) SerializeTo(b []byte, payload []byte) ([]byte, error) {
 		opt[1] = uint8(optLen)
 		opt[2] = uint8(4 + 4*len(rr.Recorded)) // pointer: 1-based offset of next slot
 		for i, a := range rr.Recorded {
-			copy(opt[3+4*i:], a.AppendTo(nil))
+			a.Put4(opt[3+4*i:])
 		}
 		for i := optLen; i < len(opt); i++ {
 			opt[i] = optEOL

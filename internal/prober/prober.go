@@ -46,6 +46,15 @@ type Prober struct {
 	ctx    *netsim.ProbeCtx
 	icmpID uint16
 	seq    uint16
+	// payload is the echo-payload scratch tsPayload writes into;
+	// building the wire copies it into the wire image, so it is free
+	// to be rewritten by the next probe.
+	payload [8]byte
+	// wire and pkt are the probe-building scratch: one retained wire
+	// buffer plus the packet builders' ICMP staging buffer, reused
+	// across probes so steady-state probing does not allocate.
+	wire []byte
+	pkt  packet.Scratch
 }
 
 // New binds a prober to a vantage-point node.
@@ -72,6 +81,13 @@ func New(nw *netsim.Network, vp *netsim.Node, cfg Config) *Prober {
 // VP returns the prober's vantage-point node.
 func (p *Prober) VP() *netsim.Node { return p.vp }
 
+// SetBatchStep points this prober's frozen samples at batch step i of
+// the most recent Network.AdvanceQueuesBatch; a negative i restores
+// live-frontier observation. The batched campaign scheduler calls it as
+// a worker walks the steps of its batch. Pacing and the nonce stream
+// are untouched — only the queue state a sample reads changes.
+func (p *Prober) SetBatchStep(i int) { p.ctx.SetStep(i) }
+
 // Name returns the monitor name.
 func (p *Prober) Name() string { return p.cfg.Name }
 
@@ -96,12 +112,13 @@ func (p *Prober) Ping(dst netaddr.Addr, ttl uint8, t simclock.Time) (PingResult,
 	sendAt := p.bucket.NextAllowed(t)
 	p.bucket.Allow(sendAt)
 	p.seq++
-	wire, err := packet.BuildEcho(packet.IPv4{
+	wire, err := p.pkt.Echo(p.wire[:0], packet.IPv4{
 		TTL: ttl, Src: p.nw.SrcAddr(p.vp), Dst: dst, ID: p.seq,
-	}, p.icmpID, p.seq, tsPayload(sendAt))
+	}, p.icmpID, p.seq, p.tsPayload(sendAt))
 	if err != nil {
 		return PingResult{}, fmt.Errorf("prober: building echo: %w", err)
 	}
+	p.wire = wire
 	resp, outcome, err := p.nw.Inject(p.vp, wire, sendAt)
 	if err != nil {
 		return PingResult{}, fmt.Errorf("prober: inject: %w", err)
@@ -156,7 +173,7 @@ const tracerouteGapLimit = 4
 // reached. Each hop consumes pacing budget; lost hops are retried
 // once, as scamper does by default.
 func (p *Prober) Traceroute(dst netaddr.Addr, maxTTL uint8, t simclock.Time) ([]Hop, error) {
-	var hops []Hop
+	hops := make([]Hop, 0, maxTTL)
 	gap := 0
 	at := t
 	for ttl := uint8(1); ttl <= maxTTL; ttl++ {
@@ -210,11 +227,11 @@ func (p *Prober) RRPing(dst netaddr.Addr, t simclock.Time) (RRResult, error) {
 	p.seq++
 	ip := packet.IPv4{TTL: 64, Src: p.nw.SrcAddr(p.vp), Dst: dst, ID: p.seq,
 		RecordRoute: &packet.RecordRoute{Slots: packet.MaxRecordRouteSlots}}
-	icmp := packet.ICMP{Type: packet.ICMPEcho, ID: p.icmpID, Seq: p.seq, Payload: tsPayload(sendAt)}
-	wire, err := ip.SerializeTo(nil, icmp.SerializeTo(nil))
+	wire, err := p.pkt.Echo(p.wire[:0], ip, p.icmpID, p.seq, p.tsPayload(sendAt))
 	if err != nil {
 		return RRResult{}, err
 	}
+	p.wire = wire
 	resp, outcome, err := p.nw.Inject(p.vp, wire, sendAt)
 	if err != nil {
 		return RRResult{}, err
@@ -252,12 +269,12 @@ func (p *Prober) log(rec *warts.Record) {
 }
 
 // tsPayload encodes the transmit timestamp into the echo payload, as
-// scamper does to match replies without keeping state.
-func tsPayload(t simclock.Time) []byte {
-	b := make([]byte, 8)
+// scamper does to match replies without keeping state. The bytes live
+// in the prober's scratch and are only valid until the next probe.
+func (p *Prober) tsPayload(t simclock.Time) []byte {
 	v := uint64(t)
 	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (56 - 8*i))
+		p.payload[i] = byte(v >> (56 - 8*i))
 	}
-	return b
+	return p.payload[:]
 }

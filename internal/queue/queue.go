@@ -49,6 +49,13 @@ type Fluid struct {
 	step simclock.Duration
 	// pktBits enables the near-saturation stochastic delay term.
 	pktBits float64
+
+	// Batch scratch: the frontier state recorded after each step of the
+	// most recent AdvanceBatch, indexed by step. Reused across batches
+	// so steady-state advancement allocates nothing.
+	batchTime []simclock.Time
+	batchOcc  []float64
+	batchLoss []float64
 }
 
 // Config describes a fluid queue.
@@ -200,6 +207,52 @@ func (q *Fluid) ObserveFrozen(t simclock.Time) (simclock.Duration, float64) {
 	occ, lossFrac := q.occupancy, q.lossFrac
 	if t > q.lastTime {
 		occ, lossFrac = q.integrate(q.lastTime, q.occupancy, t)
+	}
+	return q.delayFromOccupancy(occ, t), lossFrac
+}
+
+// AdvanceBatch advances the integration frontier through each step
+// time in order — exactly as len(steps) successive Advance calls would
+// — while recording the frontier state after every step. The recorded
+// states let ObserveFrozenStep later reproduce, for any step in the
+// batch, precisely what ObserveFrozen would have returned had the
+// campaign stopped to advance the world at that step. The scratch
+// tables are reused across batches, so steady-state advancement does
+// not allocate.
+//
+// Note the recorded time is the post-advance frontier, not steps[i]:
+// advance is a no-op for times at or before the frontier, and the
+// replayed observation must integrate from the same origin the live
+// one would have.
+func (q *Fluid) AdvanceBatch(steps []simclock.Time) {
+	if cap(q.batchTime) < len(steps) {
+		q.batchTime = make([]simclock.Time, len(steps))
+		q.batchOcc = make([]float64, len(steps))
+		q.batchLoss = make([]float64, len(steps))
+	}
+	q.batchTime = q.batchTime[:len(steps)]
+	q.batchOcc = q.batchOcc[:len(steps)]
+	q.batchLoss = q.batchLoss[:len(steps)]
+	for i, t := range steps {
+		q.advance(t)
+		q.batchTime[i] = q.lastTime
+		q.batchOcc[i] = q.occupancy
+		q.batchLoss[i] = q.lossFrac
+	}
+}
+
+// ObserveFrozenStep is ObserveFrozen evaluated against the frontier as
+// it stood after batch step i of the most recent AdvanceBatch. A
+// negative i observes the live frontier (the non-batched protocol).
+// Like ObserveFrozen it mutates nothing, so concurrent workers may
+// observe any mix of steps from the same batch.
+func (q *Fluid) ObserveFrozenStep(i int, t simclock.Time) (simclock.Duration, float64) {
+	if i < 0 {
+		return q.ObserveFrozen(t)
+	}
+	occ, lossFrac := q.batchOcc[i], q.batchLoss[i]
+	if t > q.batchTime[i] {
+		occ, lossFrac = q.integrate(q.batchTime[i], q.batchOcc[i], t)
 	}
 	return q.delayFromOccupancy(occ, t), lossFrac
 }

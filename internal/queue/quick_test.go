@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -37,6 +38,58 @@ func TestQuickDelayAndLossBounds(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a batched advance over a window of steps yields, at every
+// step index and probe offset, bit-identical observations to advancing
+// the frontier step by step — the invariant the step-batched campaign
+// scheduler rests on. Includes a repeated step time so the no-op
+// advance path (frontier already at or past t) is exercised.
+func TestQuickBatchObservationMatchesPerStep(t *testing.T) {
+	f := func(capMbps uint16, drainMs uint8, baseFrac, peakFrac uint8, seed uint16, stepMin, nSteps uint8) bool {
+		capBps := float64(capMbps%1000+1) * 1e6
+		drain := time.Duration(drainMs%100+1) * time.Millisecond
+		load := trafficmodel.Diurnal{
+			BaseBps:  float64(baseFrac) / 64 * capBps,
+			PeakBps:  float64(peakFrac) / 64 * capBps,
+			PeakHour: 14, Width: 3,
+			NoiseFrac: 0.2, Seed: uint64(seed),
+		}
+		mk := func() *Fluid {
+			return NewFluid(Config{CapacityBps: capBps, BufferDrain: drain,
+				Load: load.Bps, PacketBits: 12000})
+		}
+		perStep, batched := mk(), mk()
+		step := time.Duration(stepMin%30+1) * time.Minute
+		offsets := []simclock.Duration{0, 10 * time.Millisecond, 500 * time.Millisecond, 90 * time.Second}
+		start := simclock.Time(6 * time.Hour)
+		// Two consecutive batches, so the scratch-table reuse path runs.
+		for batch := 0; batch < 2; batch++ {
+			n := int(nSteps%32) + 2
+			steps := make([]simclock.Time, n)
+			for i := range steps {
+				steps[i] = start.Add(time.Duration(i) * step)
+			}
+			steps[n/2] = steps[n/2-1] // repeated step: advance must no-op
+			start = steps[n-1].Add(step)
+			batched.AdvanceBatch(steps)
+			for i, st := range steps {
+				perStep.Advance(st)
+				for _, off := range offsets {
+					at := st.Add(off)
+					d1, l1 := perStep.ObserveFrozen(at)
+					d2, l2 := batched.ObserveFrozenStep(i, at)
+					if d1 != d2 || math.Float64bits(l1) != math.Float64bits(l2) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }

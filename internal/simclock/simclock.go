@@ -149,6 +149,46 @@ func (iv Interval) Steps(step Duration, fn func(Time)) {
 	}
 }
 
+// StepBatches visits exactly the boundaries Steps would, but groups
+// them into runs the caller can process in one go. For each batch it
+// first calls open with the batch's opening step — the caller performs
+// whatever serialized barrier work that step needs, updating the state
+// quiescent reads — then extends the batch with following boundaries
+// while quiescent approves them (up to max steps), and finally hands
+// the whole run to flush. firstIdx is the index Steps would have given
+// the batch's first boundary. The batch slice is reused between
+// flushes, so callers must not retain it.
+//
+// quiescent is consulted for a boundary only after every earlier
+// boundary's open ran, which is what lets the campaign's batch planner
+// ask "does this step need a barrier?" against up-to-date engine
+// state. A nil quiescent batches unconditionally.
+func (iv Interval) StepBatches(step Duration, max int, open func(Time), quiescent func(Time) bool, flush func(firstIdx int, batch []Time)) {
+	if step <= 0 {
+		panic("simclock: non-positive step")
+	}
+	if max < 1 {
+		max = 1
+	}
+	if quiescent == nil {
+		quiescent = func(Time) bool { return true }
+	}
+	buf := make([]Time, 0, max)
+	idx := 0
+	for t := iv.Start; t < iv.End; {
+		open(t)
+		buf = append(buf[:0], t)
+		next := t.Add(step)
+		for len(buf) < max && next < iv.End && quiescent(next) {
+			buf = append(buf, next)
+			next = next.Add(step)
+		}
+		flush(idx, buf)
+		idx += len(buf)
+		t = next
+	}
+}
+
 // NumSteps returns the number of boundaries Steps would visit.
 func (iv Interval) NumSteps(step Duration) int {
 	if step <= 0 || iv.End <= iv.Start {

@@ -157,6 +157,76 @@ func TestIntervalSteps(t *testing.T) {
 	}
 }
 
+func TestIntervalStepBatches(t *testing.T) {
+	iv := Interval{Start: 0, End: Time(100 * time.Minute)}
+	step := 10 * time.Minute
+	// Barriers at 0 (always), 30 and 60 minutes; max batch of 3 forces
+	// an extra break inside the 60..100 run.
+	barrier := map[Time]bool{Time(30 * time.Minute): true, Time(60 * time.Minute): true}
+	var opened, flat []Time
+	var firsts []int
+	var sizes []int
+	iv.StepBatches(step, 3,
+		func(tm Time) { opened = append(opened, tm) },
+		func(tm Time) bool { return !barrier[tm] },
+		func(first int, batch []Time) {
+			firsts = append(firsts, first)
+			sizes = append(sizes, len(batch))
+			flat = append(flat, batch...)
+		})
+
+	// Every boundary Steps would visit, once, in order.
+	var want []Time
+	iv.Steps(step, func(tm Time) { want = append(want, tm) })
+	if len(flat) != len(want) {
+		t.Fatalf("StepBatches visited %d boundaries, want %d", len(flat), len(want))
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("boundary %d = %v, want %v", i, flat[i], want[i])
+		}
+	}
+	// Batches: [0,10,20] (max), [30,40,50] (barrier then max),
+	// [60,70,80] (barrier then max), [90].
+	wantSizes := []int{3, 3, 3, 1}
+	if len(sizes) != len(wantSizes) {
+		t.Fatalf("batch sizes %v, want %v", sizes, wantSizes)
+	}
+	for i := range wantSizes {
+		if sizes[i] != wantSizes[i] {
+			t.Fatalf("batch sizes %v, want %v", sizes, wantSizes)
+		}
+	}
+	// open ran exactly once per batch, on the batch's first boundary,
+	// and firstIdx matches the Steps numbering.
+	if len(opened) != len(firsts) {
+		t.Fatalf("open ran %d times for %d batches", len(opened), len(firsts))
+	}
+	idx := 0
+	for i, sz := range sizes {
+		if opened[i] != want[firsts[i]] || firsts[i] != idx {
+			t.Fatalf("batch %d opened at %v firstIdx %d, want %v firstIdx %d",
+				i, opened[i], firsts[i], want[idx], idx)
+		}
+		idx += sz
+	}
+}
+
+func TestIntervalStepBatchesPerStep(t *testing.T) {
+	// max=1 degenerates to Steps with open on every boundary.
+	iv := Interval{Start: 0, End: Time(25 * time.Minute)}
+	n := 0
+	iv.StepBatches(10*time.Minute, 1, func(Time) { n++ }, nil,
+		func(first int, batch []Time) {
+			if len(batch) != 1 || first != n-1 {
+				t.Fatalf("batch %v first %d with max=1", batch, first)
+			}
+		})
+	if n != 3 {
+		t.Fatalf("open ran %d times, want 3", n)
+	}
+}
+
 func TestIntervalStepsPanicsOnBadStep(t *testing.T) {
 	defer func() {
 		if recover() == nil {

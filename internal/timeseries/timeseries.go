@@ -251,21 +251,39 @@ func (s *Series) FoldDaily(binWidth simclock.Duration, fn func([]float64) float6
 		panic(fmt.Sprintf("timeseries: bin width %v must divide 24h", binWidth))
 	}
 	nBins := int(24 * time.Hour / binWidth)
-	buckets := make([][]float64, nBins)
+	secPerBin := int(binWidth / time.Second)
+
+	// Two passes over the samples: count per bin, then fill contiguous
+	// regions of one flat buffer. Same values in the same order as
+	// per-bin append slices, without the per-bin allocation churn.
+	offs := make([]int, nBins+1)
 	for i, v := range s.Values {
 		if IsMissing(v) {
 			continue
 		}
-		sec := s.TimeAt(i).SecondOfDay()
-		b := sec / int(binWidth/time.Second)
-		buckets[b] = append(buckets[b], v)
+		offs[s.TimeAt(i).SecondOfDay()/secPerBin+1]++
+	}
+	for b := 0; b < nBins; b++ {
+		offs[b+1] += offs[b]
+	}
+	flat := make([]float64, offs[nBins])
+	cursor := make([]int, nBins)
+	copy(cursor, offs[:nBins])
+	for i, v := range s.Values {
+		if IsMissing(v) {
+			continue
+		}
+		b := s.TimeAt(i).SecondOfDay() / secPerBin
+		flat[cursor[b]] = v
+		cursor[b]++
 	}
 	out := make([]float64, nBins)
 	for b := range out {
-		if len(buckets[b]) == 0 {
+		lo, hi := offs[b], offs[b+1]
+		if lo == hi {
 			out[b] = Missing
 		} else {
-			out[b] = fn(buckets[b])
+			out[b] = fn(flat[lo:hi])
 		}
 	}
 	return out

@@ -37,6 +37,10 @@ type CampaignConfig struct {
 	// Workers fans probing and analysis across goroutines; results are
 	// bit-identical for any value. Default runtime.GOMAXPROCS(0).
 	Workers int
+	// BatchSteps caps how many probing steps the scheduler hands a
+	// worker per dispatch between barrier events; results are
+	// bit-identical for any value. Default 1024.
+	BatchSteps int
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 }
@@ -64,6 +68,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Thresholds:  cfg.Thresholds,
 		DisableLoss: cfg.DisableLoss,
 		Workers:     cfg.Workers,
+		BatchSteps:  cfg.BatchSteps,
 		Progress:    cfg.Progress,
 	}
 	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)

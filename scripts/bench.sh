@@ -21,7 +21,7 @@ go test -run '^$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 GOMAXPROCS="$PROCS" go test -run '^$' \
-  -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout' \
+  -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout|BenchmarkProbeStepBatch' \
   -benchmem -count "$COUNT" . | tee -a "$RAW"
 
 go run ./scripts/benchjson -raw "$RAW" -prev "$OUT" -out "$OUT"

@@ -159,6 +159,22 @@ func parseRaw(path string) ([]Benchmark, error) {
 	return out, nil
 }
 
+// normalize backfills fields older ledger rows lack. Rows written
+// before the procs field existed carry procs 0; an absent GOMAXPROCS
+// suffix means the benchmark ran at procs 1, so 0 and 1 are the same
+// row and must not split into two ledger keys.
+func (r *Run) normalize() {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Procs == 0 {
+			r.Benchmarks[i].Procs = 1
+		}
+	}
+}
+
+// readLedger loads and normalizes a committed ledger: the latest run
+// and every history entry come back with procs backfilled, so record
+// mode never carries procs-0 rows forward and guard mode matches
+// pre-field baselines correctly.
 func readLedger(path string) (Ledger, error) {
 	var l Ledger
 	buf, err := os.ReadFile(path)
@@ -168,18 +184,24 @@ func readLedger(path string) (Ledger, error) {
 	if err := json.Unmarshal(buf, &l); err != nil {
 		return l, fmt.Errorf("%s: %w", path, err)
 	}
+	l.Run.normalize()
+	for i := range l.History {
+		l.History[i].normalize()
+	}
 	return l, nil
 }
 
-// runGuard warns about ns/op regressions beyond tol percent against the
-// baseline ledger. Benchmarks are matched by name and procs; benchmarks
-// present on only one side are skipped (new or retired benchmarks are
-// not regressions). Always exits 0.
-func runGuard(benches []Benchmark, prevPath string, tol float64) {
+// runGuard warns about ns/op and allocs/op regressions beyond tol
+// percent against the baseline ledger, plus inverted parallel scaling
+// in the current run, returning the warning count. Benchmarks are
+// matched by name and procs; benchmarks present on only one side are
+// skipped (new or retired benchmarks are not regressions). The caller
+// always exits 0 — single-shot CI smoke runs are too noisy to gate on.
+func runGuard(benches []Benchmark, prevPath string, tol float64) int {
 	baselineLedger, err := readLedger(prevPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: guard skipped: %v\n", err)
-		return
+		return 0
 	}
 	type key struct {
 		name  string
@@ -187,30 +209,79 @@ func runGuard(benches []Benchmark, prevPath string, tol float64) {
 	}
 	baseline := make(map[key]Benchmark, len(baselineLedger.Benchmarks))
 	for _, b := range baselineLedger.Benchmarks {
-		if b.Procs == 0 {
-			b.Procs = 1 // ledgers written before the procs field
-		}
 		baseline[key{b.Name, b.Procs}] = b
 	}
 	regressions := 0
 	for _, b := range benches {
 		base, ok := baseline[key{b.Name, b.Procs}]
+		if !ok {
+			continue
+		}
+		if base.NsPerOp > 0 {
+			change := 100 * (b.NsPerOp - base.NsPerOp) / base.NsPerOp
+			if change > tol {
+				regressions++
+				fmt.Printf("WARNING: %s (procs=%d) ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+					b.Name, b.Procs, change, base.NsPerOp, b.NsPerOp, tol)
+			}
+		}
+		// allocs/op is deterministic where ns/op is noisy, so the same
+		// tolerance catches real allocation creep without false alarms.
+		if base.AllocsPerOp != nil && b.AllocsPerOp != nil && *base.AllocsPerOp > 0 {
+			change := 100 * (*b.AllocsPerOp - *base.AllocsPerOp) / *base.AllocsPerOp
+			if change > tol {
+				regressions++
+				fmt.Printf("WARNING: %s (procs=%d) allocs/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+					b.Name, b.Procs, change, *base.AllocsPerOp, *b.AllocsPerOp, tol)
+			}
+		}
+	}
+	regressions += warnInvertedScaling(benches)
+	if regressions == 0 {
+		fmt.Printf("bench guard: no regression beyond %.0f%% vs %s\n", tol, prevPath)
+	} else {
+		fmt.Printf("bench guard: %d warning(s) — investigate before trusting the numbers (non-fatal)\n",
+			regressions)
+	}
+	return regressions
+}
+
+// workersVariant splits "Benchmark.../workers=N" sub-benchmark names.
+var workersVariant = regexp.MustCompile(`^(.+)/workers=(\d+)$`)
+
+// warnInvertedScaling flags multi-worker sub-benchmarks that ran slower
+// than their workers=1 sibling at GOMAXPROCS>1 — the signature of the
+// engine paying coordination overhead without buying parallelism. At
+// procs=1 the comparison is skipped: time-sharing one core cannot
+// speed anything up, so parity there is expected, not a regression.
+func warnInvertedScaling(benches []Benchmark) int {
+	type key struct {
+		prefix string
+		procs  int
+	}
+	sequential := make(map[key]Benchmark)
+	for _, b := range benches {
+		if m := workersVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			sequential[key{m[1], b.Procs}] = b
+		}
+	}
+	warnings := 0
+	for _, b := range benches {
+		m := workersVariant.FindStringSubmatch(b.Name)
+		if m == nil || m[2] == "1" || b.Procs <= 1 {
+			continue
+		}
+		base, ok := sequential[key{m[1], b.Procs}]
 		if !ok || base.NsPerOp <= 0 {
 			continue
 		}
-		change := 100 * (b.NsPerOp - base.NsPerOp) / base.NsPerOp
-		if change > tol {
-			regressions++
-			fmt.Printf("WARNING: %s (procs=%d) ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
-				b.Name, b.Procs, change, base.NsPerOp, b.NsPerOp, tol)
+		if b.NsPerOp > base.NsPerOp {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) is slower than %s/workers=1 (%.0f > %.0f ns/op) — parallel engine scaling is inverted\n",
+				b.Name, b.Procs, m[1], b.NsPerOp, base.NsPerOp)
 		}
 	}
-	if regressions == 0 {
-		fmt.Printf("bench guard: no ns/op regression beyond %.0f%% vs %s\n", tol, prevPath)
-	} else {
-		fmt.Printf("bench guard: %d benchmark(s) beyond %.0f%% of %s — investigate before trusting the numbers (non-fatal)\n",
-			regressions, tol, prevPath)
-	}
+	return warnings
 }
 
 func fatal(format string, args ...any) {

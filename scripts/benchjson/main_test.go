@@ -55,6 +55,84 @@ func TestParseRawRejectsEmpty(t *testing.T) {
 	}
 }
 
+func TestReadLedgerNormalizesProcs(t *testing.T) {
+	// Rows written before the procs field carry 0; they must come back
+	// as procs 1 at every level (latest run and history), so record
+	// mode stops propagating 0-rows and guard matches old baselines.
+	ledger := `{
+  "date": "2026-01-02T00:00:00Z", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkFullCampaign", "procs": 0, "iterations": 3, "ns_per_op": 1},
+    {"name": "BenchmarkTSLPSamplingThroughput", "procs": 4, "iterations": 3, "ns_per_op": 1}
+  ],
+  "history": [
+    {"date": "2026-01-01T00:00:00Z", "go": "go1.24.0",
+     "benchmarks": [{"name": "BenchmarkFullCampaign", "iterations": 3, "ns_per_op": 1}]}
+  ]
+}`
+	l, err := readLedger(writeTemp(t, "ledger.json", ledger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Benchmarks[0].Procs != 1 {
+		t.Fatalf("latest-run procs 0 not backfilled: %+v", l.Benchmarks[0])
+	}
+	if l.Benchmarks[1].Procs != 4 {
+		t.Fatalf("explicit procs clobbered: %+v", l.Benchmarks[1])
+	}
+	if l.History[0].Benchmarks[0].Procs != 1 {
+		t.Fatalf("history procs 0 not backfilled: %+v", l.History[0].Benchmarks[0])
+	}
+}
+
+func TestGuardWarnsOnAllocRegression(t *testing.T) {
+	// ns/op is flat but allocs/op is ~9× the baseline: exactly one
+	// warning, from the allocs guard.
+	baseline := `{
+  "date": "2026-01-01T00:00:00Z", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkFullCampaign", "procs": 1, "iterations": 3, "ns_per_op": 424646477, "allocs_per_op": 100000}
+  ]
+}`
+	benches, err := parseRaw(writeTemp(t, "raw.txt", sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runGuard(benches, writeTemp(t, "base.json", baseline), 25); got != 1 {
+		t.Fatalf("runGuard warned %d times, want 1 (allocs/op regression)", got)
+	}
+}
+
+func TestWarnInvertedScaling(t *testing.T) {
+	mk := func(name string, procs int, ns float64) Benchmark {
+		return Benchmark{Name: name, Procs: procs, NsPerOp: ns}
+	}
+	// workers=4 slower than workers=1 at procs=4: one warning.
+	got := warnInvertedScaling([]Benchmark{
+		mk("BenchmarkCampaignParallel/workers=1", 4, 100),
+		mk("BenchmarkCampaignParallel/workers=4", 4, 150),
+	})
+	if got != 1 {
+		t.Fatalf("inverted scaling at procs=4: %d warnings, want 1", got)
+	}
+	// Healthy scaling: no warning.
+	got = warnInvertedScaling([]Benchmark{
+		mk("BenchmarkCampaignParallel/workers=1", 4, 100),
+		mk("BenchmarkCampaignParallel/workers=4", 4, 40),
+	})
+	if got != 0 {
+		t.Fatalf("healthy scaling: %d warnings, want 0", got)
+	}
+	// procs=1 parity is expected (single-core runner), not a warning.
+	got = warnInvertedScaling([]Benchmark{
+		mk("BenchmarkCampaignParallel/workers=1", 1, 100),
+		mk("BenchmarkCampaignParallel/workers=4", 1, 110),
+	})
+	if got != 0 {
+		t.Fatalf("procs=1 parity: %d warnings, want 0", got)
+	}
+}
+
 func TestGuardMatchesByNameAndProcs(t *testing.T) {
 	// The guard is warn-only; here we only pin that it does not crash
 	// on a baseline missing the procs field (pre-field ledgers) and on

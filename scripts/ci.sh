@@ -21,6 +21,15 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== go test -race, forced multi-proc (batched worker pool) =="
+# The full-suite race pass above runs at the runner's GOMAXPROCS, which
+# is 1 on single-core CI — goroutines then interleave only at yield
+# points, hiding scheduling orders a real multi-core box would explore.
+# Re-run the engine packages (persistent worker pool, frozen-frontier
+# queue observation) with parallelism forced on so the Workers>1
+# determinism tests double as a genuine concurrent exerciser.
+GOMAXPROCS=4 go test -race -count=1 ./internal/experiments/ ./internal/netsim/
+
 echo "== bench smoke (1 iteration each) =="
 SMOKE="$(mktemp)"
 trap 'rm -f "$SMOKE"' EXIT
