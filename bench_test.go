@@ -51,6 +51,19 @@ func BenchmarkFullCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultCampaign measures the same one-week campaign with the
+// default fault plan injected — VP outages, ICMP blackouts and
+// rate-limit duty cycles, link flaps. The delta over
+// BenchmarkFullCampaign is the full cost of fault injection: plan
+// construction, the per-step outage gate, the per-probe ICMP-silence
+// schedules, and the extra barrier events at episode boundaries.
+func BenchmarkFaultCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+			StartOffsetDays: 14, DisableLoss: true, Faults: true})
+	}
+}
+
 // BenchmarkCampaignParallel measures the same one-week campaign as
 // BenchmarkFullCampaign under the sequential engine (workers=1) and the
 // parallel one (workers=GOMAXPROCS); the two sub-benchmarks produce

@@ -24,15 +24,17 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "observatory-out", "output directory")
-		days    = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
-		scale   = flag.Float64("scale", 1.0, "world scale")
-		seed    = flag.Uint64("seed", 0, "world seed")
-		noLoss  = flag.Bool("no-loss", false, "skip loss campaigns")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
-		batch   = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default; results are identical for any value)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		out       = flag.String("out", "observatory-out", "output directory")
+		days      = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
+		scale     = flag.Float64("scale", 1.0, "world scale")
+		seed      = flag.Uint64("seed", 0, "world seed")
+		noLoss    = flag.Bool("no-loss", false, "skip loss campaigns")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch     = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
+		doFaults  = flag.Bool("faults", false, "inject the deterministic fault plan and report per-VP uptime/sample yield")
+		faultSeed = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -52,7 +54,8 @@ func main() {
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days,
-		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Progress: os.Stderr,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
+		Faults: *doFaults, FaultSeed: *faultSeed, Progress: os.Stderr,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 
@@ -74,6 +77,14 @@ func main() {
 	fmt.Fprintf(rf, "overall congested fraction: %.1f%% (paper: 2.2%%)\n", 100*frac)
 	fmt.Fprintf(rf, "bdrmap mean coverage: %.1f%% (paper: 96.2%%)\n",
 		100*afrixp.BdrmapAccuracy(c))
+	if *doFaults {
+		fmt.Fprintf(rf, "\nfault plan (%d episodes): per-VP uptime and sample yield\n",
+			len(c.Faults.Faults))
+		for _, y := range c.Yields() {
+			fmt.Fprintf(rf, "%s: uptime %.1f%%, sample yield %.1f%% (%d rounds, %d missed, %d links)\n",
+				y.VP, 100*y.Uptime, 100*y.SampleYield, y.Rounds, y.Missed, y.Links)
+		}
+	}
 	rf.Close()
 
 	// Figures: ASCII into the report dir, CSVs alongside.

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	repro [-days N] [-scale F] [-seed N] [-csvdir DIR] [-quiet]
+//	      [-faults] [-fault-seed N]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
 //	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -faults injects the deterministic fault plan (VP outages, ICMP
+// blackouts and rate limiting, link flaps) and prints each VP's
+// uptime and sample yield; results remain bit-identical for any
+// -workers / -batch.
 //
 // With no selection flags, everything is produced. The default run
 // covers the paper's full 13-month campaign at scale 1.0; use -days
@@ -31,25 +37,27 @@ import (
 
 func main() {
 	var (
-		days     = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
-		startOff = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
-		scale    = flag.Float64("scale", 1.0, "synthetic population scale")
-		seed     = flag.Uint64("seed", 0, "world seed (0 = default)")
-		csvDir   = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		noLoss   = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
-		batch    = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default; results are identical for any value)")
-		doTable1 = flag.Bool("table1", false, "Table 1: threshold sensitivity")
-		doTable2 = flag.Bool("table2", false, "Table 2: per-VP evolution")
-		doFigs   = flag.Bool("figs", false, "Figures 1-4")
-		doHead   = flag.Bool("headline", false, "§6.1 congested fraction")
-		doBdrmap = flag.Bool("bdrmap", false, "§4 bdrmap validation")
-		doWaves  = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
-		doRels   = flag.Bool("asrank", false, "AS-relationship inference validation")
-		doWhatIf = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		days      = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
+		startOff  = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
+		scale     = flag.Float64("scale", 1.0, "synthetic population scale")
+		seed      = flag.Uint64("seed", 0, "world seed (0 = default)")
+		csvDir    = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		noLoss    = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch     = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
+		doFaults  = flag.Bool("faults", false, "inject the deterministic fault plan (VP outages, ICMP blackouts/rate limits, link flaps) and print per-VP uptime/sample yield")
+		faultSeed = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		doTable1  = flag.Bool("table1", false, "Table 1: threshold sensitivity")
+		doTable2  = flag.Bool("table2", false, "Table 2: per-VP evolution")
+		doFigs    = flag.Bool("figs", false, "Figures 1-4")
+		doHead    = flag.Bool("headline", false, "§6.1 congested fraction")
+		doBdrmap  = flag.Bool("bdrmap", false, "§4 bdrmap validation")
+		doWaves   = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
+		doRels    = flag.Bool("asrank", false, "AS-relationship inference validation")
+		doWhatIf  = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -74,11 +82,24 @@ func main() {
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
-		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Progress: progress,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
+		Faults: *doFaults, FaultSeed: *faultSeed, Progress: progress,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
 
 	out := os.Stdout
+	if *doFaults {
+		t := &report.Table{Title: "fault plan: per-VP uptime and sample yield",
+			Header: []string{"VP", "links", "uptime", "rounds", "missed", "sample yield"}}
+		for _, y := range c.Yields() {
+			t.AddRow(y.VP, fmt.Sprint(y.Links),
+				fmt.Sprintf("%.1f%%", 100*y.Uptime),
+				fmt.Sprint(y.Rounds), fmt.Sprint(y.Missed),
+				fmt.Sprintf("%.1f%%", 100*y.SampleYield))
+		}
+		t.Render(out)
+		fmt.Fprintf(out, "%d fault episodes injected\n\n", len(c.Faults.Faults))
+	}
 	if all || *doTable1 {
 		afrixp.Table1Report(c).Render(out)
 		fmt.Fprintln(out)

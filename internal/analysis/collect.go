@@ -23,8 +23,9 @@ type Collector struct {
 	window            simclock.Interval
 
 	// farLossRounds / farRounds track round-level far loss for the
-	// "probes unsuccessful" signal.
-	farRounds, farLostRounds int
+	// "probes unsuccessful" signal; missedRounds counts rounds that
+	// never ran because the vantage point itself was down.
+	farRounds, farLostRounds, missedRounds int
 }
 
 // CollectorConfig sizes a Collector.
@@ -113,6 +114,18 @@ func (c *Collector) Series() LinkSeries {
 // configured).
 func (c *Collector) FullRes() (near, far *timeseries.Series) {
 	return c.fullNear, c.fullFar
+}
+
+// RoundMissed accounts a probing round that never ran — the vantage
+// point was offline. The grid slots stay missing (the NaN gap the
+// analysis pipeline must survive) and the round counts toward
+// sample-yield accounting, but not toward far loss: no probe was sent.
+func (c *Collector) RoundMissed() { c.missedRounds++ }
+
+// Yield reports round-level accounting: rounds attempted, rounds that
+// produced a far sample, and rounds missed entirely (VP outages).
+func (c *Collector) Yield() (attempted, farSamples, missed int) {
+	return c.farRounds, c.farRounds - c.farLostRounds, c.missedRounds
 }
 
 // FarLossFraction is the fraction of rounds whose far probe was lost.

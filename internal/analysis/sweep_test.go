@@ -140,3 +140,42 @@ func TestSweepEmptyThresholds(t *testing.T) {
 		t.Fatalf("nil thresholds produced %d verdicts", len(got))
 	}
 }
+
+// TestSweepNaNHeavyMatchesSingleShot drives the sweep over a series
+// with ≥50% of both ends missing — alternating per-round losses plus a
+// four-day outage hole, the fault-injection shapes — and requires the
+// shared-detection sweep to (a) survive without panics, (b) keep every
+// verdict number finite, and (c) match the single-shot pipeline bit
+// for bit at every threshold.
+func TestSweepNaNHeavyMatchesSingleShot(t *testing.T) {
+	ls := synth(21, diurnalFn(2, 25, 9, 17, 0.5, 30), flatFn(1, 0.3, 31))
+	missing := 0
+	holeStart, holeEnd := 7*48, 11*48 // days 7–10 fully dark
+	for i := 0; i < ls.Far.Len(); i++ {
+		if i%2 == 0 || (i >= holeStart && i < holeEnd) {
+			ls.Far.Set(i, timeseries.Missing)
+			ls.Near.Set(i, timeseries.Missing)
+			missing++
+		}
+	}
+	if 2*missing < ls.Far.Len() {
+		t.Fatalf("gap pattern too thin: %d/%d missing", missing, ls.Far.Len())
+	}
+
+	thresholds := []float64{5, 10, 15, 20}
+	cfg := DefaultConfig()
+	swept := AnalyzeLinkSweep(ls, cfg, thresholds)
+	for k, thr := range thresholds {
+		one := cfg
+		one.ThresholdMs = thr
+		want := summarizeVerdict(AnalyzeLink(ls, one))
+		if got := summarizeVerdict(swept[k]); got != want {
+			t.Errorf("NaN-heavy series @ %g ms: sweep diverges from single-shot\nsweep: %s\nsolo:  %s",
+				thr, got, want)
+		}
+		if v := swept[k]; math.IsNaN(v.AW) || math.IsNaN(v.Diurnal.Consistency) ||
+			math.IsNaN(v.Diurnal.AmplitudeMs) {
+			t.Fatalf("NaN leaked into the verdict at %g ms: %+v", thr, v)
+		}
+	}
+}

@@ -217,3 +217,53 @@ func TestFoldLeavesDecisionFalse(t *testing.T) {
 		t.Fatal("gated fold should confirm the clean diurnal")
 	}
 }
+
+// TestFoldGapNormalization pins the fold's missing-bin handling on a
+// NaN-heavy series (>50% missing): every other sample knocked out plus
+// three whole dark days, the VP-outage shape. The values are exact
+// (40 ms peak / 10 ms floor, no noise), so present-only normalization
+// must reproduce the full series' amplitude exactly — any zero-filled
+// or expected-count fold would shrink it — and fully-missing days must
+// drop out of the day count instead of dragging consistency down.
+func TestFoldGapNormalization(t *testing.T) {
+	shape := func(_ int, h float64) float64 {
+		if h >= 9 && h < 17 {
+			return 40
+		}
+		return 10
+	}
+	full := series(12, shape)
+	gappy := series(12, shape)
+	missing := 0
+	for i := 0; i < gappy.Len(); i++ {
+		day := gappy.TimeAt(i).Day()
+		if i%2 == 0 || (day >= 4 && day < 7) {
+			gappy.Set(i, timeseries.Missing)
+			missing++
+		}
+	}
+	if 2*missing < gappy.Len() {
+		t.Fatalf("gap pattern too thin: %d/%d missing", missing, gappy.Len())
+	}
+
+	v := Fold(gappy, Config{})
+	if want := Fold(full, Config{}).AmplitudeMs; v.AmplitudeMs != want {
+		t.Fatalf("amplitude %v with gaps, %v without: fold normalization leaks missing bins",
+			v.AmplitudeMs, want)
+	}
+	if v.AmplitudeMs != 30 {
+		t.Fatalf("amplitude = %v, want exactly 30", v.AmplitudeMs)
+	}
+	if v.DaysEvaluated != 9 {
+		t.Fatalf("days evaluated = %d, want 9 (12 minus 3 dark days)", v.DaysEvaluated)
+	}
+	if v.Consistency < 0.999 {
+		t.Fatalf("consistency = %v on an exact profile", v.Consistency)
+	}
+	if dec := v.Decide(Config{}); !dec.Diurnal {
+		t.Fatalf("gappy diurnal series rejected: %+v", dec)
+	}
+	if v.PeakHour < 9 || v.PeakHour >= 17 {
+		t.Fatalf("peak hour = %v", v.PeakHour)
+	}
+}

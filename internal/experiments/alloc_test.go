@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"afrixp/internal/analysis"
+	"afrixp/internal/faults"
 	"afrixp/internal/loss"
 	"afrixp/internal/prober"
 	"afrixp/internal/scenario"
@@ -25,15 +26,26 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	}
 	step := 5 * time.Minute
 
+	// Faults configured but dormant: the plan occupies early July while
+	// probing runs July 20–24, so every step still pays the outage
+	// lookup and the ICMP-silence schedules installed on the case-link
+	// routers — and none of it may allocate.
+	sched := faults.Inject(w, campaign, faults.Config{Window: simclock.Interval{
+		Start: simclock.Date(2016, time.July, 1),
+		End:   simclock.Date(2016, time.July, 10),
+	}})
+
 	// One prober on a VP with case links, probing each of them — the
 	// same per-(step, link) work the campaign's pool.run performs.
 	var pr *prober.Prober
 	var collectors []*analysis.Collector
 	var tslps []*prober.TSLP
+	var outage *faults.Outage
 	for _, vp := range w.VPs {
 		if len(vp.CaseLinks) == 0 {
 			continue
 		}
+		outage = sched.VPOutage(vp.ID)
 		pr = prober.New(w.Net, vp.Node, prober.Config{Name: vp.Monitor})
 		for _, target := range vp.CaseLinks {
 			ts, err := pr.NewTSLP(target)
@@ -59,6 +71,11 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	round := func() {
 		steps[0] = at
 		w.Net.AdvanceQueuesBatch(steps)
+		// The engine's outage gate runs on every step, dormant or not.
+		if outage.Down(at) {
+			at = at.Add(step)
+			return
+		}
 		pr.SetBatchStep(0)
 		for _, c := range collectors {
 			c.RoundFrozen(at)

@@ -20,6 +20,7 @@ import (
 	"afrixp/internal/analysis"
 	"afrixp/internal/asrel"
 	"afrixp/internal/bdrmap"
+	"afrixp/internal/faults"
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/loss"
 	"afrixp/internal/netaddr"
@@ -63,6 +64,14 @@ type Config struct {
 	// any value (see DESIGN.md §9). Default 1024; 1 degenerates to the
 	// per-step protocol.
 	BatchSteps int
+	// Faults, when non-nil, injects a deterministic fault plan — VP
+	// outages, ICMP blackouts and rate-limiting at case-link routers,
+	// link flaps — into the world before probing starts (see
+	// internal/faults). Every episode boundary is a scenario event and
+	// therefore a batch-planner barrier; faults are pure functions of
+	// virtual time, so results stay bit-identical for any Workers ×
+	// BatchSteps setting.
+	Faults *faults.Config
 	// Progress, when non-nil, receives one line per campaign phase.
 	// Writes are serialized by the engine.
 	Progress io.Writer
@@ -133,6 +142,10 @@ type VPResult struct {
 	Prober    *prober.Prober
 	Snapshots []Snapshot
 	Links     map[prober.LinkTarget]*LinkRecord
+	// RoundsScheduled counts the probing steps the engine planned for
+	// this VP; RoundsDown counts the ones an injected outage skipped.
+	// Uptime accounting for cmd/repro -faults.
+	RoundsScheduled, RoundsDown int
 	// Ordered targets for deterministic iteration.
 	order []prober.LinkTarget
 }
@@ -161,6 +174,52 @@ type Result struct {
 	World *scenario.World
 	Cfg   Config
 	VPs   []*VPResult
+	// Faults is the injected fault schedule; nil without Cfg.Faults.
+	Faults *faults.Schedule
+}
+
+// VPYield is one vantage point's measurement-health accounting under
+// fault injection: how often the VP was up and how often an attempted
+// round actually produced a far sample.
+type VPYield struct {
+	VP string
+	// Steps and DownSteps count scheduled probing steps and the ones
+	// skipped by VP outages.
+	Steps, DownSteps int
+	// Links is the number of links the VP watched.
+	Links int
+	// Rounds / Samples / Missed aggregate per-link collector
+	// accounting: rounds attempted, rounds with a far sample, rounds
+	// never run because the VP was down.
+	Rounds, Samples, Missed int
+	// Uptime is 1 − DownSteps/Steps.
+	Uptime float64
+	// SampleYield is Samples / (Rounds + Missed): the fraction of
+	// scheduled per-link rounds that yielded a far sample.
+	SampleYield float64
+}
+
+// Yields summarizes per-VP uptime and sample yield, in VP order.
+func (r *Result) Yields() []VPYield {
+	out := make([]VPYield, 0, len(r.VPs))
+	for _, vr := range r.VPs {
+		y := VPYield{VP: vr.VP.ID, Steps: vr.RoundsScheduled,
+			DownSteps: vr.RoundsDown, Links: len(vr.Links)}
+		for _, lr := range vr.SortedLinks() {
+			attempted, samples, missed := lr.Collector.Yield()
+			y.Rounds += attempted
+			y.Samples += samples
+			y.Missed += missed
+		}
+		if y.Steps > 0 {
+			y.Uptime = 1 - float64(y.DownSteps)/float64(y.Steps)
+		}
+		if tot := y.Rounds + y.Missed; tot > 0 {
+			y.SampleYield = float64(y.Samples) / float64(tot)
+		}
+		out = append(out, y)
+	}
+	return out
 }
 
 // VPByID finds a VP result by paper label.
@@ -202,6 +261,11 @@ func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	w := scenario.Paper(cfg.Opts)
 	res := &Result{World: w, Cfg: cfg}
+	if cfg.Faults != nil {
+		// Inject before the world advances: episode boundaries become
+		// scenario events, which must not predate the world clock.
+		res.Faults = faults.Inject(w, cfg.Campaign, *cfg.Faults)
+	}
 
 	var progressMu sync.Mutex
 	progress := func(format string, args ...any) {
@@ -216,6 +280,9 @@ func Run(cfg Config) *Result {
 		vr        *VPResult
 		snapshots []simclock.Time
 		snapIdx   int
+		// outage is the VP's injected downtime schedule (nil = always
+		// up); consulted every probing step, allocation-free.
+		outage *faults.Outage
 	}
 	var states []*vpState
 	for _, vp := range w.VPs {
@@ -236,7 +303,11 @@ func Run(cfg Config) *Result {
 			snaps = []simclock.Time{cfg.Campaign.Start, mid, end}
 		}
 		sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
-		states = append(states, &vpState{vr: vr, snapshots: snaps})
+		states = append(states, &vpState{vr: vr, snapshots: snaps,
+			outage: res.Faults.VPOutage(vp.ID)})
+	}
+	if res.Faults != nil {
+		progress("injected %d fault episodes", len(res.Faults.Faults))
 	}
 
 	// The RIR and IXP-directory indexes are pure functions of their
@@ -374,6 +445,20 @@ func Run(cfg Config) *Result {
 		st := states[si]
 		pr := st.vr.Prober
 		for k, t := range batch {
+			st.vr.RoundsScheduled++
+			if st.outage.Down(t) {
+				// VP offline: nothing is probed, so every link's grid
+				// slot stays missing; the skipped rounds are accounted
+				// for sample-yield reporting. Down(t) is a pure
+				// function of t, so the skip pattern — and with it the
+				// pacing-bucket and nonce streams — is identical for
+				// any worker count or batch size.
+				st.vr.RoundsDown++
+				for _, lr := range links[si] {
+					lr.Collector.RoundMissed()
+				}
+				continue
+			}
 			pr.SetBatchStep(k)
 			doLoss := (firstIdx+k)%lossEvery == 0
 			for _, lr := range links[si] {

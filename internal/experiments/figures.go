@@ -83,7 +83,8 @@ func Figures(res *Result) []Figure {
 				continue
 			}
 			start, step, n := loss.GridFor(win)
-			fig.Loss = loss.ToSeries(lr.LossBatches, start, step, n)
+			// Batches outside the figure window are dropped by design.
+			fig.Loss, _ = loss.ToSeries(lr.LossBatches, start, step, n)
 			if fig.Loss.PresentCount() == 0 {
 				continue
 			}

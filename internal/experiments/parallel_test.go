@@ -38,15 +38,17 @@ func bits(f float64) uint64 { return math.Float64bits(f) }
 func summarizeResult(res *Result) string {
 	var b bytes.Buffer
 	for _, vr := range res.VPs {
-		fmt.Fprintf(&b, "VP %s links=%d snaps=%d\n", vr.VP.ID, len(vr.Links), len(vr.Snapshots))
+		fmt.Fprintf(&b, "VP %s links=%d snaps=%d sched=%d down=%d\n",
+			vr.VP.ID, len(vr.Links), len(vr.Snapshots), vr.RoundsScheduled, vr.RoundsDown)
 		for _, s := range vr.Snapshots {
 			fmt.Fprintf(&b, " snap at=%d truth=%d cov=%x links=%d\n",
 				s.At, s.TruthNeighborCount, bits(s.Coverage), len(s.Bdrmap.Links))
 		}
 		for _, lr := range vr.SortedLinks() {
-			fmt.Fprintf(&b, " link %v as=%d ixp=%s disc=%d case=%q farloss=%x\n",
+			att, samp, miss := lr.Collector.Yield()
+			fmt.Fprintf(&b, " link %v as=%d ixp=%s disc=%d case=%q farloss=%x yield=%d/%d/%d\n",
 				lr.Target, lr.FarAS, lr.ViaIXP, lr.DiscoveredAt, lr.CaseName,
-				bits(lr.Collector.FarLossFraction()))
+				bits(lr.Collector.FarLossFraction()), att, samp, miss)
 			ls := lr.Collector.Series()
 			for _, v := range ls.Near.Values {
 				fmt.Fprintf(&b, "%x,", bits(v))

@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+func testCampaign() simclock.Interval {
+	return simclock.Interval{
+		Start: simclock.Date(2016, time.July, 1),
+		End:   simclock.Date(2016, time.July, 15),
+	}
+}
+
+// TestInjectDeterministic: two worlds at the same seed must get
+// byte-for-byte the same fault plan, and a different fault seed must
+// actually move the episodes.
+func TestInjectDeterministic(t *testing.T) {
+	build := func(fs uint64) *Schedule {
+		w := scenario.Paper(scenario.Options{Seed: 7, Scale: 0.1})
+		return Inject(w, testCampaign(), Config{Seed: fs})
+	}
+	a, b := build(0), build(0)
+	if len(a.Faults) == 0 {
+		t.Fatal("empty fault plan")
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	c := build(99)
+	same := len(a.Faults) == len(c.Faults)
+	if same {
+		for i := range a.Faults {
+			if a.Faults[i].Window != c.Faults[i].Window {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("fault seed 99 produced the seed-0 plan")
+	}
+}
+
+// TestInjectRespectsWindowAndRegistersEvents: every episode must fall
+// inside the configured window, cover every kind, and register its
+// boundaries as scenario events (the batch-planner barriers).
+func TestInjectRespectsWindowAndRegistersEvents(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 7, Scale: 0.1})
+	win := simclock.Interval{
+		Start: simclock.Date(2016, time.July, 2),
+		End:   simclock.Date(2016, time.July, 9),
+	}
+	s := Inject(w, testCampaign(), Config{Window: win})
+	kinds := map[Kind]int{}
+	for _, f := range s.Faults {
+		kinds[f.Kind]++
+		if f.Window.Start < win.Start || f.Window.End > win.End {
+			t.Fatalf("%v %s at %v escapes window %v", f.Kind, f.Target, f.Window, win)
+		}
+		if f.Window.Duration() <= 0 {
+			t.Fatalf("degenerate episode: %+v", f)
+		}
+	}
+	for _, k := range []Kind{VPOutage, ICMPBlackout, ICMPRateLimit, LinkFlap} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v episodes in the default plan", k)
+		}
+	}
+	faultEvents := 0
+	for _, e := range w.PendingEvents() {
+		if strings.HasPrefix(e.Name, "fault: ") {
+			faultEvents++
+		}
+	}
+	if want := 2 * len(s.Faults); faultEvents != want {
+		t.Fatalf("%d fault events registered, want %d (begin+end per episode)", faultEvents, want)
+	}
+	// Boundary events must be appliable no-ops; the world's own
+	// post-campaign events (upgrades, churn) legitimately stay pending.
+	w.AdvanceTo(testCampaign().End)
+	for _, e := range w.PendingEvents() {
+		if strings.HasPrefix(e.Name, "fault: ") {
+			t.Fatalf("fault event %q still pending after the campaign", e.Name)
+		}
+	}
+}
+
+// TestOutageDown pins the episode lookup, including boundaries.
+func TestOutageDown(t *testing.T) {
+	o := &Outage{ivs: []simclock.Interval{
+		{Start: 100, End: 200},
+		{Start: 500, End: 600},
+	}}
+	for _, tc := range []struct {
+		t    simclock.Time
+		want bool
+	}{
+		{0, false}, {99, false}, {100, true}, {199, true}, {200, false},
+		{400, false}, {550, true}, {600, false}, {1000, false},
+	} {
+		if got := o.Down(tc.t); got != tc.want {
+			t.Fatalf("Down(%d) = %t, want %t", tc.t, got, tc.want)
+		}
+	}
+	var nilOut *Outage
+	if nilOut.Down(150) {
+		t.Fatal("nil outage must report up")
+	}
+	if (&Schedule{}).VPOutage("VP1") != nil {
+		t.Fatal("unknown VP must have no outage")
+	}
+	var nilSched *Schedule
+	if nilSched.VPOutage("VP1") != nil {
+		t.Fatal("nil schedule must be nil-safe")
+	}
+}
+
+// TestInjectInstallsDataPlaneFaults probes a faulted case link through
+// the injected schedules: during an ICMP blackout the far end stops
+// answering, and during a flap the probe is lost in transit.
+func TestInjectInstallsDataPlaneFaults(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 7, Scale: 0.1})
+	s := Inject(w, testCampaign(), Config{})
+	var vp *scenario.VP
+	for _, cand := range w.VPs {
+		if len(cand.CaseLinks) > 0 {
+			vp = cand
+			break
+		}
+	}
+	if vp == nil {
+		t.Fatal("no VP with case links")
+	}
+	for _, f := range s.ByKind(ICMPBlackout) {
+		if !strings.HasPrefix(f.Target, vp.ID+"/") {
+			continue
+		}
+		name := strings.TrimPrefix(f.Target, vp.ID+"/")
+		far, _, ok := w.Net.OwnerOfAddr(vp.CaseLinks[name].Far)
+		if !ok || far.ICMPDown == nil {
+			t.Fatalf("%s: far end has no ICMPDown schedule", f.Target)
+		}
+		mid := f.Window.Start.Add(f.Window.Duration() / 2)
+		if !far.ICMPDown(mid) {
+			t.Fatalf("%s: far end answering mid-blackout", f.Target)
+		}
+		if far.ICMPDown(f.Window.End) {
+			t.Fatalf("%s: far end still silent after the blackout", f.Target)
+		}
+		return
+	}
+	t.Fatalf("no blackout episode for %s's case links", vp.ID)
+}

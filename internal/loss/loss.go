@@ -121,22 +121,33 @@ func Summarize(batches []Batch) Summary {
 
 // ToSeries grids batch rates onto a regular series for plotting and
 // diurnal analysis (figures 2b and 3b). step should be at least the
-// batch duration (~100 s at 1 pps).
-func ToSeries(batches []Batch, start simclock.Time, step simclock.Duration, n int) *timeseries.Series {
+// batch duration (~100 s at 1 pps). The second return value counts
+// batches whose Start fell off the grid: callers windowing a
+// sub-interval expect drops, but a grid built with GridFor over the
+// batches' own interval must report zero.
+func ToSeries(batches []Batch, start simclock.Time, step simclock.Duration, n int) (*timeseries.Series, int) {
 	s := timeseries.NewRegular(start, step, n)
+	dropped := 0
 	for _, b := range batches {
-		if i := s.Index(b.Start); i >= 0 {
-			if timeseries.IsMissing(s.Values[i]) || b.Rate() > s.Values[i] {
-				s.Values[i] = b.Rate()
-			}
+		i := s.Index(b.Start)
+		if i < 0 {
+			dropped++
+			continue
+		}
+		if timeseries.IsMissing(s.Values[i]) || b.Rate() > s.Values[i] {
+			s.Values[i] = b.Rate()
 		}
 	}
-	return s
+	return s, dropped
 }
 
 // GridFor returns (start, step, n) covering an interval with ~batch
-// resolution, for use with ToSeries.
+// resolution, for use with ToSeries. The grid extends one slot past
+// the interval end: the trailing partial batch Collector.Batches
+// deliberately keeps can start exactly at (or just past) the last
+// in-interval probe, and a grid cut at the interval end would
+// silently drop it.
 func GridFor(iv simclock.Interval) (simclock.Time, simclock.Duration, int) {
 	step := 10 * time.Minute
-	return iv.Start, step, iv.NumSteps(step)
+	return iv.Start, step, iv.NumSteps(step) + 1
 }

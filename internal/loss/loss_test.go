@@ -88,7 +88,10 @@ func TestToSeries(t *testing.T) {
 		{Start: start.Add(100 * time.Second), Sent: 100, Lost: 20},
 		{Start: start.Add(3 * time.Hour), Sent: 100, Lost: 1},
 	}
-	s := ToSeries(batches, start, 10*time.Minute, 24)
+	s, dropped := ToSeries(batches, start, 10*time.Minute, 24)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
 	// Two batches fall into slot 0: the max rate wins.
 	if s.Values[0] != 20 {
 		t.Fatalf("slot 0 = %v", s.Values[0])
@@ -104,7 +107,42 @@ func TestToSeries(t *testing.T) {
 func TestGridFor(t *testing.T) {
 	iv := simclock.Interval{Start: 0, End: simclock.Time(24 * time.Hour)}
 	start, step, n := GridFor(iv)
-	if start != 0 || step != 10*time.Minute || n != 144 {
+	// One slot past the 144 in-interval steps, for the trailing
+	// partial batch.
+	if start != 0 || step != 10*time.Minute || n != 145 {
 		t.Fatalf("grid = %v %v %d", start, step, n)
+	}
+}
+
+// TestToSeriesTrailingPartialBatch reproduces the dropped-batch bug:
+// at 1 pps over a 20-minute window the collector flushes a full batch
+// every 100 s, and the half-size trailing partial that Batches keeps
+// starts exactly at the interval end. A grid cut at the end (the old
+// GridFor) indexed it at −1 and silently discarded it.
+func TestToSeriesTrailingPartialBatch(t *testing.T) {
+	iv := simclock.Interval{Start: 0, End: simclock.Time(20 * time.Minute)}
+	var c Collector
+	for i := 0; i < 1250; i++ {
+		c.Record(simclock.Time(time.Duration(i)*time.Second), i%5 == 0)
+	}
+	batches := c.Batches()
+	if len(batches) != 13 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	last := batches[len(batches)-1]
+	if last.Start != simclock.Time(20*time.Minute) || last.Sent != 50 {
+		t.Fatalf("trailing batch: %+v", last)
+	}
+	start, step, n := GridFor(iv)
+	s, dropped := ToSeries(batches, start, step, n)
+	if dropped != 0 {
+		t.Fatalf("trailing partial batch dropped (%d)", dropped)
+	}
+	if timeseries.IsMissing(s.At(last.Start)) {
+		t.Fatal("trailing partial batch missing from the grid")
+	}
+	// A deliberately short grid reports the drop instead of hiding it.
+	if _, dropped := ToSeries(batches, start, step, n-1); dropped != 1 {
+		t.Fatalf("short grid: dropped = %d, want 1", dropped)
 	}
 }

@@ -30,9 +30,13 @@ func NewFleet(cfg Config) *Fleet {
 }
 
 // Watch adds a link (idempotent). The TSLP session drives the probes;
-// the fleet owns the per-link monitor.
+// the fleet owns the per-link monitor. Re-watching a target after a
+// rediscovery replaces the probing session — its freshly resolved
+// paths — while keeping the monitor's accumulated state, so topology
+// churn neither strands a stale session nor resets alert history.
 func (f *Fleet) Watch(ts *prober.TSLP) {
-	if _, ok := f.sessions[ts.Target]; ok {
+	if e, ok := f.sessions[ts.Target]; ok {
+		e.tslp = ts
 		return
 	}
 	f.sessions[ts.Target] = &fleetEntry{tslp: ts, mon: New(ts.Target, f.cfg)}

@@ -67,3 +67,58 @@ func TestFleetWatchesWholeVP(t *testing.T) {
 		t.Fatal("no onset alert in history")
 	}
 }
+
+// TestFleetRewatchReplacesSession drives the rediscovery pattern: a
+// topology churn invalidates resolved paths, discovery re-runs and
+// hands the fleet a fresh TSLP session for an already-watched target.
+// The fleet must adopt the new session (not silently keep probing
+// with the stale one) while preserving the monitor's state.
+func TestFleetRewatchReplacesSession(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 41, Scale: 0.1})
+	vp, _ := w.VPByID("VP4")
+	p := prober.New(w.Net, vp.Node, prober.Config{Name: vp.Monitor})
+	target := vp.CaseLinks["QCELL-NETPAGE"]
+	ts1, err := p.NewTSLP(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(Config{})
+	fleet.Watch(ts1)
+
+	at := simclock.Date(2016, time.March, 1)
+	w.AdvanceTo(at)
+	for i := 0; i < 12; i++ {
+		fleet.Round(at)
+		at = at.Add(5 * time.Minute)
+	}
+	mon := fleet.sessions[target].mon
+
+	// Topology churn: resolved paths go stale, rediscovery builds a
+	// fresh session for the same target.
+	w.Net.InvalidateRoutes()
+	ts2, err := p.NewTSLP(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Watch(ts2)
+
+	e := fleet.sessions[target]
+	if e.tslp != ts2 {
+		t.Fatal("re-watch kept the stale TSLP session")
+	}
+	if e.mon != mon {
+		t.Fatal("re-watch discarded the monitor state")
+	}
+	if fleet.Size() != 1 || len(fleet.order) != 1 {
+		t.Fatalf("re-watch duplicated the target: size=%d order=%d",
+			fleet.Size(), len(fleet.order))
+	}
+	// And the fleet keeps measuring through the new session.
+	for i := 0; i < 3; i++ {
+		fleet.Round(at)
+		at = at.Add(5 * time.Minute)
+	}
+	if got := e.mon.Congested(); got {
+		t.Log("link congested early; state machine still live") // non-fatal sanity
+	}
+}

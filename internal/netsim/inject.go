@@ -84,6 +84,11 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (Response, Ou
 				return Response{}, Unreachable, fmt.Errorf("netsim: non-ICMP payload at %s: %w", cur.Name, err)
 			}
 			if icmp.Type == packet.ICMPEcho {
+				// An injected ICMP blackout (or deterministic rate
+				// limit) silences the responder entirely.
+				if cur.ICMPDown != nil && cur.ICMPDown(t) {
+					return Response{}, Lost, nil
+				}
 				// Control-plane policing: a router out of ICMP budget
 				// silently drops the request.
 				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
@@ -120,6 +125,9 @@ func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (Response, Ou
 		// TTL check applies when forwarding somebody else's packet.
 		if !originated {
 			if ip.TTL <= 1 {
+				if cur.ICMPDown != nil && cur.ICMPDown(t) {
+					return Response{}, Lost, nil
+				}
 				if cur.ICMPRateLimit != nil && !cur.ICMPRateLimit.Allow(t) {
 					return Response{}, Lost, nil
 				}

@@ -47,6 +47,14 @@ type Node struct {
 	// Real routers police control-plane traffic exactly like this —
 	// the reason the paper kept its probing to 100 packets per second.
 	ICMPRateLimit *queue.TokenBucket
+	// ICMPDown, when non-nil, silences the node's ICMP generation
+	// while it returns true: no echo replies, no time-exceeded errors
+	// — the probe is simply never answered (the paper's unresponsive-
+	// router losses). Unlike ICMPRateLimit it must be a pure function
+	// of the probe's arrival time: fault injection relies on that to
+	// keep the frozen sampling path stateless and bit-identical at any
+	// worker count.
+	ICMPDown func(simclock.Time) bool
 
 	fib        map[asrel.ASN]fibEntry
 	fibVersion int64
@@ -194,6 +202,30 @@ func (nw *Network) OwnerOfAddr(addr netaddr.Addr) (*Node, *Iface, bool) {
 	}
 	ifc := nw.ifaces[id]
 	return nw.nodes[ifc.Node], ifc, true
+}
+
+// PipesAt returns the directional pipes attached at the interface
+// owning addr: in carries traffic arriving at the interface's node,
+// out carries traffic leaving it (toward the link peer or the LAN
+// fabric). ok is false for unknown addresses and loopbacks. Fault
+// injection uses it to flap a specific port.
+func (nw *Network) PipesAt(addr netaddr.Addr) (in, out *Pipe, ok bool) {
+	id, found := nw.byAddr[addr]
+	if !found {
+		return nil, nil, false
+	}
+	ifc := nw.ifaces[id]
+	if l := ifc.link; l != nil {
+		if l.A == ifc.ID {
+			return l.Pipes[1], l.Pipes[0], true
+		}
+		return l.Pipes[0], l.Pipes[1], true
+	}
+	if ifc.lan != nil {
+		att := ifc.lan.Attachments[ifc.lanSlot]
+		return att.FromFabric, att.ToFabric, true
+	}
+	return nil, nil, false
 }
 
 // LinkSpec configures ConnectLink. Zero-valued fields get defaults: a

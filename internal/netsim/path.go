@@ -105,6 +105,9 @@ func (pp *ProbePath) Sample(t simclock.Time) (simclock.Duration, bool) {
 		}
 		t = exit
 	}
+	if pp.Responder.ICMPDown != nil && pp.Responder.ICMPDown(t) {
+		return 0, false
+	}
 	if pp.Responder.ICMPRateLimit != nil && !pp.Responder.ICMPRateLimit.Allow(t) {
 		return 0, false
 	}
@@ -184,6 +187,9 @@ func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duratio
 			return 0, false
 		}
 		t = exit
+	}
+	if pp.Responder.ICMPDown != nil && pp.Responder.ICMPDown(t) {
+		return 0, false
 	}
 	if rl := pp.Responder.ICMPRateLimit; rl != nil {
 		pp.nw.rlMu.Lock()

@@ -91,11 +91,18 @@ type Event struct {
 	Apply func(*World)
 }
 
-// AddEvent registers a mutation; events must be added before the
-// first AdvanceTo past their timestamp.
+// AddEvent registers a mutation. Events may be added mid-campaign —
+// fault injection, late operator actions — as long as they are not in
+// the past. Only the unapplied tail is kept sorted: re-sorting the
+// whole slice would shift the applied prefix under the w.applied
+// cursor, silently re-applying an old event or skipping the new one.
 func (w *World) AddEvent(e Event) {
+	if e.At < w.now {
+		panic(fmt.Sprintf("scenario: AddEvent(%q) at %v is before the world clock %v", e.Name, e.At, w.now))
+	}
 	w.events = append(w.events, e)
-	sort.SliceStable(w.events, func(i, j int) bool { return w.events[i].At < w.events[j].At })
+	tail := w.events[w.applied:]
+	sort.SliceStable(tail, func(i, j int) bool { return tail[i].At < tail[j].At })
 }
 
 // AdvanceTo applies all events with At ≤ t. Time never rewinds.

@@ -217,3 +217,50 @@ func TestSlowICMPMembersExist(t *testing.T) {
 		t.Fatalf("slow-ICMP population = %d, want dozens even at small scale", n)
 	}
 }
+
+// TestAddEventMidCampaign pins that events inserted after the world
+// has already applied part of its schedule land in order, without
+// disturbing the applied prefix.
+func TestAddEventMidCampaign(t *testing.T) {
+	w := &World{}
+	var log []string
+	ev := func(name string, at simclock.Time) Event {
+		return Event{At: at, Name: name, Apply: func(*World) { log = append(log, name) }}
+	}
+	w.AddEvent(ev("a", simclock.Time(10)))
+	w.AddEvent(ev("c", simclock.Time(30)))
+	w.AdvanceTo(simclock.Time(20)) // applies a
+	// Mid-campaign inserts: one between the clock and the pending
+	// event, one exactly at the clock (allowed boundary).
+	w.AddEvent(ev("b", simclock.Time(25)))
+	w.AddEvent(ev("d", simclock.Time(20)))
+	w.AdvanceTo(simclock.Time(40))
+	want := []string{"a", "d", "b", "c"}
+	if len(log) != len(want) {
+		t.Fatalf("applied %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("applied %v, want %v", log, want)
+		}
+	}
+	if n := len(w.PendingEvents()); n != 0 {
+		t.Fatalf("%d events still pending", n)
+	}
+}
+
+// TestAddEventInPastPanics is the regression test for the ordering
+// bug: the old full-slice re-sort let a past-dated event slide before
+// the applied prefix, re-applying an already-applied event and never
+// running the new one. Such inserts must refuse loudly instead.
+func TestAddEventInPastPanics(t *testing.T) {
+	w := &World{}
+	w.AddEvent(Event{At: simclock.Time(10), Name: "a", Apply: func(*World) {}})
+	w.AdvanceTo(simclock.Time(100))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.AddEvent(Event{At: simclock.Time(50), Name: "late", Apply: func(*World) {}})
+}

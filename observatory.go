@@ -7,6 +7,7 @@ import (
 	"afrixp/internal/analysis"
 	"afrixp/internal/bdrmap"
 	"afrixp/internal/experiments"
+	"afrixp/internal/faults"
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/levelshift"
 	"afrixp/internal/monitor"
@@ -41,6 +42,15 @@ type CampaignConfig struct {
 	// worker per dispatch between barrier events; results are
 	// bit-identical for any value. Default 1024.
 	BatchSteps int
+	// Faults enables the deterministic fault plan: VP outages, ICMP
+	// blackouts and rate-limit duty cycles on case-link routers, and
+	// link flaps, all drawn from the world seed (see internal/faults).
+	// Fault boundaries become batch barriers, so results remain
+	// bit-identical for any Workers / BatchSteps.
+	Faults bool
+	// FaultSeed perturbs the fault plan independently of Seed (only
+	// read when Faults is set).
+	FaultSeed uint64
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 }
@@ -58,6 +68,13 @@ type Verdict = analysis.Verdict
 // Figure is one reproduced paper figure.
 type Figure = experiments.Figure
 
+// VPYield is one vantage point's uptime and sample-yield accounting
+// (meaningful when the campaign ran with Faults enabled).
+type VPYield = experiments.VPYield
+
+// FaultSchedule is the injected fault plan attached to a campaign.
+type FaultSchedule = faults.Schedule
+
 // Table re-exports the report table for rendering.
 type Table = report.Table
 
@@ -70,6 +87,9 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Workers:     cfg.Workers,
 		BatchSteps:  cfg.BatchSteps,
 		Progress:    cfg.Progress,
+	}
+	if cfg.Faults {
+		ecfg.Faults = &faults.Config{Seed: cfg.FaultSeed}
 	}
 	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)
 	if cfg.Days > 0 {

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Records the campaign-engine benchmarks into BENCH_campaign.json:
-# the end-to-end campaign, the TSLP sampling hot loop, the analysis
+# the end-to-end campaign (with and without the fault plan), the TSLP
+# sampling hot loop, the analysis
 # threshold sweep (detect-once vs per-threshold detection), and the
 # parallel-engine sub-benchmarks. The parallel benches run under
 # GOMAXPROCS>1 explicitly so workers=N is a real fan-out even on a
@@ -17,7 +18,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 GOMAXPROCS="$PROCS" go test -run '^$' \

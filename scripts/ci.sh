@@ -30,6 +30,12 @@ echo "== go test -race, forced multi-proc (batched worker pool) =="
 # determinism tests double as a genuine concurrent exerciser.
 GOMAXPROCS=4 go test -race -count=1 ./internal/experiments/ ./internal/netsim/
 
+echo "== fault determinism smoke (workers 1 vs 8 under race) =="
+# The fault-injected campaign must stay bit-identical across worker
+# counts and batch sizes; run its equivalence test with real
+# parallelism so the outage gate and ICMP-silence schedules race.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestFaultCampaign' ./internal/experiments/
+
 echo "== bench smoke (1 iteration each) =="
 SMOKE="$(mktemp)"
 trap 'rm -f "$SMOKE"' EXIT
