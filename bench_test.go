@@ -64,6 +64,18 @@ func BenchmarkFaultCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryCampaign is BenchmarkFullCampaign with a telemetry
+// root attached; the delta between the two is the entire observability
+// bill — per-probe plain counting, barrier-time republication into the
+// atomic mirrors, span/event recording, worker busy accounting. The
+// design target is within 5% of BenchmarkFullCampaign.
+func BenchmarkTelemetryCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+			StartOffsetDays: 14, DisableLoss: true, Telemetry: NewTelemetry()})
+	}
+}
+
 // BenchmarkCampaignParallel measures the same one-week campaign as
 // BenchmarkFullCampaign under the sequential engine (workers=1) and the
 // parallel one (workers=GOMAXPROCS); the two sub-benchmarks produce

@@ -4,6 +4,12 @@
 // figure CSVs, and raw measurement files into an output directory.
 //
 //	observatory -out ./obs-run -days 90 -scale 0.25
+//
+// A long run can be watched live: -metrics-addr serves the campaign
+// telemetry snapshot at /metrics (and expvar at /debug/vars) while
+// probing progresses; -metrics writes the final snapshot as JSON and
+// the report gains a telemetry section. -metrics-linger keeps the
+// endpoint up after the run so scrapers can collect the final state.
 package main
 
 import (
@@ -22,25 +28,38 @@ import (
 	"afrixp/internal/warts"
 )
 
+// main delegates to run so that deferred flushes — CPU/heap profiles,
+// the telemetry snapshot, the lingering metrics server — execute on
+// error paths too; the old fatal()/os.Exit pattern skipped them.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		out       = flag.String("out", "observatory-out", "output directory")
-		days      = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
-		scale     = flag.Float64("scale", 1.0, "world scale")
-		seed      = flag.Uint64("seed", 0, "world seed")
-		noLoss    = flag.Bool("no-loss", false, "skip loss campaigns")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
-		batch     = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
-		doFaults  = flag.Bool("faults", false, "inject the deterministic fault plan and report per-VP uptime/sample yield")
-		faultSeed = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		out           = flag.String("out", "observatory-out", "output directory")
+		days          = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
+		scale         = flag.Float64("scale", 1.0, "world scale")
+		seed          = flag.Uint64("seed", 0, "world seed")
+		noLoss        = flag.Bool("no-loss", false, "skip loss campaigns")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch         = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
+		doFaults      = flag.Bool("faults", false, "inject the deterministic fault plan and report per-VP uptime/sample yield")
+		faultSeed     = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf       = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsOut    = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
+		metricsAddr   = flag.String("metrics-addr", "", "serve live telemetry at http://ADDR/metrics during the run")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run completes")
 	)
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -48,14 +67,46 @@ func main() {
 		}
 	}()
 
+	var tele *afrixp.Telemetry
+	if *metricsOut != "" || *metricsAddr != "" {
+		tele = afrixp.NewTelemetry()
+		if *metricsOut != "" {
+			defer func() {
+				if err := tele.WriteJSONFile(*metricsOut); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", *metricsOut)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			srv, err := tele.Serve(*metricsAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/metrics\n", srv.Addr())
+			if *metricsLinger > 0 {
+				// Linger before the deferred Close so a scraper (or the
+				// CI smoke test) can read the post-run state.
+				defer func() {
+					fmt.Fprintf(os.Stderr, "telemetry: lingering %v on http://%s/metrics\n",
+						*metricsLinger, srv.Addr())
+					time.Sleep(*metricsLinger)
+				}()
+			}
+		}
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal("mkdir: %v", err)
+		return fmt.Errorf("mkdir: %w", err)
 	}
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days,
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
 		Faults: *doFaults, FaultSeed: *faultSeed, Progress: os.Stderr,
+		Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 
@@ -63,8 +114,9 @@ func main() {
 	reportPath := filepath.Join(*out, "report.txt")
 	rf, err := os.Create(reportPath)
 	if err != nil {
-		fatal("create report: %v", err)
+		return fmt.Errorf("create report: %w", err)
 	}
+	defer rf.Close()
 	afrixp.Table1Report(c).Render(rf)
 	fmt.Fprintln(rf)
 	afrixp.Table2Report(c).Render(rf)
@@ -85,31 +137,36 @@ func main() {
 				y.VP, 100*y.Uptime, 100*y.SampleYield, y.Rounds, y.Missed, y.Links)
 		}
 	}
-	rf.Close()
+	if tele != nil {
+		fmt.Fprintln(rf)
+		tele.WriteReport(rf)
+	}
 
 	// Figures: ASCII into the report dir, CSVs alongside.
 	for _, fig := range afrixp.Figures(c) {
 		csvPath := filepath.Join(*out, fig.ID+".csv")
 		cf, err := os.Create(csvPath)
 		if err != nil {
-			fatal("create %s: %v", csvPath, err)
+			return fmt.Errorf("create %s: %w", csvPath, err)
 		}
 		if err := fig.WriteCSV(cf); err != nil {
-			fatal("write %s: %v", csvPath, err)
+			cf.Close()
+			return fmt.Errorf("write %s: %w", csvPath, err)
 		}
 		cf.Close()
 		pf, err := os.Create(filepath.Join(*out, fig.ID+".txt"))
 		if err != nil {
-			fatal("create plot: %v", err)
+			return fmt.Errorf("create plot: %w", err)
 		}
 		fig.Render(pf, 120, 16)
 		pf.Close()
 		sf, err := os.Create(filepath.Join(*out, fig.ID+".svg"))
 		if err != nil {
-			fatal("create svg: %v", err)
+			return fmt.Errorf("create svg: %w", err)
 		}
 		if err := fig.WriteSVG(sf, 960, 380); err != nil {
-			fatal("write svg: %v", err)
+			sf.Close()
+			return fmt.Errorf("write svg: %w", err)
 		}
 		sf.Close()
 	}
@@ -120,18 +177,19 @@ func main() {
 	archive := filepath.Join(*out, "measurements.warts")
 	af, err := os.Create(archive)
 	if err != nil {
-		fatal("create archive: %v", err)
+		return fmt.Errorf("create archive: %w", err)
 	}
+	defer af.Close()
 	wr, err := warts.NewWriter(af)
 	if err != nil {
-		fatal("warts: %v", err)
+		return fmt.Errorf("warts: %w", err)
 	}
 	records := 0
 	for _, vr := range c.VPs {
 		for _, lr := range vr.SortedLinks() {
 			ls := lr.Collector.Series()
 			emit := func(s []float64, at func(int) simclock.Time,
-				responder netaddr.Addr, respType uint8) {
+				responder netaddr.Addr, respType uint8) error {
 				for i, v := range s {
 					rec := &warts.Record{
 						Type: warts.TypeTSLP, VP: vr.VP.Monitor,
@@ -144,19 +202,23 @@ func main() {
 						rec.RTT = time.Duration(v * float64(time.Millisecond))
 					}
 					if err := wr.Write(rec); err != nil {
-						fatal("warts write: %v", err)
+						return fmt.Errorf("warts write: %w", err)
 					}
 					records++
 				}
+				return nil
 			}
-			emit(ls.Near.Values, ls.Near.TimeAt, lr.Target.Near, 11 /* time exceeded */)
-			emit(ls.Far.Values, ls.Far.TimeAt, lr.Target.Far, 0 /* echo reply */)
+			if err := emit(ls.Near.Values, ls.Near.TimeAt, lr.Target.Near, 11 /* time exceeded */); err != nil {
+				return err
+			}
+			if err := emit(ls.Far.Values, ls.Far.TimeAt, lr.Target.Far, 0 /* echo reply */); err != nil {
+				return err
+			}
 		}
 	}
 	if err := wr.Flush(); err != nil {
-		fatal("warts flush: %v", err)
+		return fmt.Errorf("warts flush: %w", err)
 	}
-	af.Close()
 
 	// Summary table to stdout.
 	t := &report.Table{Title: "observatory run complete",
@@ -165,9 +227,5 @@ func main() {
 	t.AddRow("warts archive", fmt.Sprintf("%s (%d records)", archive, records))
 	t.AddRow("figure CSVs", filepath.Join(*out, "fig*.csv"))
 	t.Render(os.Stdout)
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -8,11 +8,17 @@
 //	      [-faults] [-fault-seed N]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
 //	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-metrics FILE] [-metrics-addr HOST:PORT]
 //
 // -faults injects the deterministic fault plan (VP outages, ICMP
 // blackouts and rate limiting, link flaps) and prints each VP's
 // uptime and sample yield; results remain bit-identical for any
 // -workers / -batch.
+//
+// -metrics writes a campaign telemetry snapshot (JSON) at exit;
+// -metrics-addr serves the same snapshot live at /metrics (plus the
+// standard expvar surface at /debug/vars) while the run progresses.
+// Telemetry is strictly read-side: results are unchanged by it.
 //
 // With no selection flags, everything is produced. The default run
 // covers the paper's full 13-month campaign at scale 1.0; use -days
@@ -35,42 +41,78 @@ import (
 	"afrixp/internal/scenario"
 )
 
+// main delegates to run so that every deferred flush — CPU/heap
+// profiles, the telemetry snapshot — executes on error paths too;
+// an os.Exit in the body would skip them (the gap the profiling
+// package used to document).
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		days      = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
-		startOff  = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
-		scale     = flag.Float64("scale", 1.0, "synthetic population scale")
-		seed      = flag.Uint64("seed", 0, "world seed (0 = default)")
-		csvDir    = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		noLoss    = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
-		batch     = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
-		doFaults  = flag.Bool("faults", false, "inject the deterministic fault plan (VP outages, ICMP blackouts/rate limits, link flaps) and print per-VP uptime/sample yield")
-		faultSeed = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
-		doTable1  = flag.Bool("table1", false, "Table 1: threshold sensitivity")
-		doTable2  = flag.Bool("table2", false, "Table 2: per-VP evolution")
-		doFigs    = flag.Bool("figs", false, "Figures 1-4")
-		doHead    = flag.Bool("headline", false, "§6.1 congested fraction")
-		doBdrmap  = flag.Bool("bdrmap", false, "§4 bdrmap validation")
-		doWaves   = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
-		doRels    = flag.Bool("asrank", false, "AS-relationship inference validation")
-		doWhatIf  = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		days        = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
+		startOff    = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
+		scale       = flag.Float64("scale", 1.0, "synthetic population scale")
+		seed        = flag.Uint64("seed", 0, "world seed (0 = default)")
+		csvDir      = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		noLoss      = flag.Bool("no-loss", false, "skip the 1 pps loss campaigns")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
+		batch       = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
+		doFaults    = flag.Bool("faults", false, "inject the deterministic fault plan (VP outages, ICMP blackouts/rate limits, link flaps) and print per-VP uptime/sample yield")
+		faultSeed   = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		doTable1    = flag.Bool("table1", false, "Table 1: threshold sensitivity")
+		doTable2    = flag.Bool("table2", false, "Table 2: per-VP evolution")
+		doFigs      = flag.Bool("figs", false, "Figures 1-4")
+		doHead      = flag.Bool("headline", false, "§6.1 congested fraction")
+		doBdrmap    = flag.Bool("bdrmap", false, "§4 bdrmap validation")
+		doWaves     = flag.Bool("waveforms", false, "§5.2 A_w / Δt_UD")
+		doRels      = flag.Bool("asrank", false, "AS-relationship inference validation")
+		doWhatIf    = flag.Bool("whatif", false, "NETPAGE upgrade capacity-planning sweep")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsOut  = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry at http://ADDR/metrics during the run")
 	)
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}()
+
+	var tele *afrixp.Telemetry
+	if *metricsOut != "" || *metricsAddr != "" {
+		tele = afrixp.NewTelemetry()
+		if *metricsOut != "" {
+			// Deferred so the snapshot lands even when a later stage
+			// fails: whatever was counted up to the failure is kept.
+			defer func() {
+				if err := tele.WriteJSONFile(*metricsOut); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", *metricsOut)
+				}
+			}()
+		}
+		if *metricsAddr != "" {
+			srv, err := tele.Serve(*metricsAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/metrics\n", srv.Addr())
+		}
+	}
 
 	all := !(*doTable1 || *doTable2 || *doFigs || *doHead || *doBdrmap || *doWaves || *doRels || *doWhatIf)
 
@@ -84,6 +126,7 @@ func main() {
 		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
 		Faults: *doFaults, FaultSeed: *faultSeed, Progress: progress,
+		Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
 
@@ -185,6 +228,7 @@ func main() {
 			}
 		}
 	}
+	return nil
 }
 
 func table1Comparisons(c *afrixp.Campaign) []report.PaperComparison {

@@ -125,8 +125,21 @@ func AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []float64) []Verdict
 // worker and feed it links; results are bit-identical to fresh
 // per-call detectors. Not safe for concurrent use.
 type Sweeper struct {
-	det *cusum.Detector
+	det   *cusum.Detector
+	stats SweeperStats
 }
+
+// SweeperStats counts a sweeper's work: link sweeps run, diurnal
+// day-folds computed, and folds served from the per-link event-window
+// cache. Plain counters — a Sweeper is single-goroutine by contract;
+// campaign engines sum per-worker stats after an analysis pass and
+// republish them into atomic telemetry counters.
+type SweeperStats struct {
+	Sweeps, FoldsComputed, FoldsReused uint64
+}
+
+// Stats returns the sweeper's accumulated accounting.
+func (sw *Sweeper) Stats() SweeperStats { return sw.stats }
 
 // NewSweeper builds a reusable analysis worker state.
 func NewSweeper() *Sweeper {
@@ -136,6 +149,7 @@ func NewSweeper() *Sweeper {
 // AnalyzeLinkSweep is the package-level AnalyzeLinkSweep reusing the
 // sweeper's detector scratch across calls.
 func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []float64) []Verdict {
+	sw.stats.Sweeps++
 	// Detection phase, once per end: candidates, baseline, and the
 	// aggregated series are all independent of the magnitude threshold.
 	lcfg := cfg.LevelShift
@@ -193,6 +207,9 @@ func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []floa
 			}
 			fold = diurnal.Fold(diurnalInput, dcfg)
 			folds[win] = fold
+			sw.stats.FoldsComputed++
+		} else {
+			sw.stats.FoldsReused++
 		}
 		v.Diurnal = fold.Decide(dcfg)
 

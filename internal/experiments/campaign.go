@@ -24,11 +24,13 @@ import (
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/loss"
 	"afrixp/internal/netaddr"
+	"afrixp/internal/netsim"
 	"afrixp/internal/prober"
 	"afrixp/internal/registry"
 	"afrixp/internal/rrcheck"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
+	"afrixp/internal/telemetry"
 )
 
 // Config drives one campaign.
@@ -73,8 +75,19 @@ type Config struct {
 	// BatchSteps setting.
 	Faults *faults.Config
 	// Progress, when non-nil, receives one line per campaign phase.
-	// Writes are serialized by the engine.
+	// Writes are serialized by the engine. With Telemetry attached the
+	// lines are routed through the telemetry event log and stamped
+	// with virtual + wall time; without it the plain format is kept.
 	Progress io.Writer
+	// Telemetry, when non-nil, receives campaign instrumentation:
+	// engine/probe/analysis/fault counters, per-worker utilization,
+	// and the phase span/event log. Strictly read-side — nothing it
+	// records feeds back into the simulation, so results are
+	// bit-identical with telemetry on or off at any Workers ×
+	// BatchSteps setting (TestTelemetryCampaignBitIdentical pins it),
+	// and the steady-state probing step stays allocation-free with
+	// collection enabled (DESIGN.md §11).
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -259,20 +272,46 @@ var lossWindows = map[string]simclock.Interval{
 // Run executes the campaign and the per-link analysis.
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	tele := cfg.Telemetry
+	buildRef := tele.BeginSpan("build-world", "", cfg.Campaign.Start)
 	w := scenario.Paper(cfg.Opts)
+	tele.EndSpan(buildRef, cfg.Campaign.Start)
 	res := &Result{World: w, Cfg: cfg}
 	if cfg.Faults != nil {
 		// Inject before the world advances: episode boundaries become
 		// scenario events, which must not predate the world clock.
 		res.Faults = faults.Inject(w, cfg.Campaign, *cfg.Faults)
+		if tele != nil {
+			tele.Faults.Planned.Store(uint64(len(res.Faults.Faults)))
+			// Episode windows are fixed at injection time; record each
+			// as a closed span so the virtual fault timeline is in the
+			// export alongside the live entered/exited counters.
+			for _, f := range res.Faults.Faults {
+				tele.AddSpan("fault-episode", f.Target+" "+f.Kind.String(),
+					f.Window.Start, f.Window.End)
+			}
+		}
 	}
 
+	// progress only runs on the coordinator goroutine (the mutex
+	// guards against future callers, not the engine), so reading the
+	// world clock for the virtual-time stamp is safe.
 	var progressMu sync.Mutex
 	progress := func(format string, args ...any) {
-		if cfg.Progress != nil {
-			progressMu.Lock()
+		if cfg.Progress == nil && tele == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if tele == nil {
 			fmt.Fprintf(cfg.Progress, format+"\n", args...)
-			progressMu.Unlock()
+			return
+		}
+		v := w.Now()
+		elapsed := tele.Eventf("progress", v, format, args...)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "[v %v | w +%v] "+format+"\n",
+				append([]any{v, elapsed.Round(time.Millisecond)}, args...)...)
 		}
 	}
 
@@ -340,6 +379,8 @@ func Run(cfg Config) *Result {
 	}
 
 	discover := func(st *vpState, t simclock.Time, record bool) {
+		ref := tele.BeginSpan("discovery", st.vr.VP.ID, t)
+		defer tele.EndSpan(ref, t)
 		vr := st.vr
 		bres, err := bdrmap.Run(vr.Prober, bcfg(vr.VP), t)
 		if err != nil {
@@ -399,8 +440,10 @@ func Run(cfg Config) *Result {
 	// Initial discovery.
 	w.AdvanceTo(cfg.Campaign.Start)
 	for _, st := range states {
+		ws := time.Now()
 		discover(st, cfg.Campaign.Start, false)
-		progress("%s: initial discovery found %d links", st.vr.VP.ID, len(st.vr.Links))
+		progress("%s: initial discovery found %d links (took %v)",
+			st.vr.VP.ID, len(st.vr.Links), time.Since(ws).Round(time.Millisecond))
 	}
 
 	// Main probing loop — step-batched. A *barrier step* is any step
@@ -440,7 +483,11 @@ func Run(cfg Config) *Result {
 	// rounds; the pool's channel handoff publishes it to workers.
 	var batch []simclock.Time
 	firstIdx := 0
-	pool := newProbePool(effectiveWorkers(len(states), cfg.Workers))
+	var teleEng *telemetry.EngineStats
+	if tele != nil {
+		teleEng = &tele.Engine
+	}
+	pool := newProbePool(effectiveWorkers(len(states), cfg.Workers), teleEng)
 	pool.run = func(si int) {
 		st := states[si]
 		pr := st.vr.Prober
@@ -475,7 +522,49 @@ func Run(cfg Config) *Result {
 		pr.SetBatchStep(-1)
 	}
 
+	// publish republishes the hot-path plain counters (per-VP probe
+	// contexts, the network's inject accounting, fault episode edges)
+	// into the atomic telemetry counters. Only called at barriers —
+	// when the worker pool is provably idle (the channel handoff of
+	// the previous round happens-before this read) — and after the
+	// campaign, so the reads are race-free and the /metrics endpoint
+	// sees totals at most one batch stale during the run. Accounting
+	// only: nothing flows back into the simulation. Allocation-free
+	// (the zero-alloc steady-state test runs it every round).
+	publish := func() {
+		if tele == nil {
+			return
+		}
+		var agg netsim.ProbeStats
+		for _, st := range states {
+			agg.Merge(st.vr.Prober.ProbeStats())
+		}
+		p := &tele.Probe
+		p.Probes.Store(agg.Probes)
+		p.Delivered.Store(agg.Delivered)
+		p.PipeDrops.Store(agg.PipeDrops)
+		p.ICMPSilenced.Store(agg.ICMPSilenced)
+		p.RateLimited.Store(agg.RateLimited)
+		p.QueueFrozenObs.Store(agg.QueueFrozenObs)
+		for i := 0; i < len(agg.RTTBuckets) && i < p.RTT.NumBuckets(); i++ {
+			p.RTT.StoreBucket(i, agg.RTTBuckets[i])
+		}
+		is := w.Net.InjectStats()
+		p.InjectWalks.Store(is.Walks)
+		p.InjectDelivered.Store(is.Delivered)
+		p.InjectLost.Store(is.Lost)
+		p.InjectUnreachable.Store(is.Unreachable)
+		if res.Faults != nil {
+			tele.Faults.Entered.Store(res.Faults.Entered())
+			tele.Faults.Exited.Store(res.Faults.Exited())
+		}
+	}
+
 	open := func(t simclock.Time) {
+		if tele != nil {
+			tele.Engine.BatchesOpened.Inc()
+			publish()
+		}
 		w.AdvanceTo(t)
 		if t >= nextRefresh {
 			for _, st := range states {
@@ -526,17 +615,35 @@ func Run(cfg Config) *Result {
 		w.AdvanceTo(steps[len(steps)-1]) // no events in range, by quiescence
 		w.Net.AdvanceQueuesBatch(steps)
 		firstIdx, batch = first, steps
+		ref := telemetry.SpanNone
+		if tele != nil {
+			ref = tele.BeginSpan("probe-batch", "", steps[0])
+			tele.Engine.Flushes.Inc()
+			tele.Engine.QuiescentSteps.Add(uint64(len(steps) - 1))
+			tele.Engine.RoundsDispatched.Add(uint64(len(steps) * len(states)))
+			tele.Engine.BatchLen.Observe(float64(len(steps)))
+		}
 		pool.do(len(states))
+		tele.EndSpan(ref, steps[len(steps)-1])
 	}
+	probeRef := tele.BeginSpan("probing", "", cfg.Campaign.Start)
+	probeWall := time.Now()
 	cfg.Campaign.StepBatches(cfg.Step, cfg.BatchSteps, open, quiescent, flush)
 	pool.close()
+	tele.EndSpan(probeRef, cfg.Campaign.End)
+	publish()
 
 	// Per-link analysis across the threshold sweep.
-	progress("campaign done; analyzing %s of series", cfg.Campaign.Duration())
+	progress("campaign done; analyzing %s of series (probing took %v)",
+		cfg.Campaign.Duration(), time.Since(probeWall).Round(time.Millisecond))
+	anaRef := tele.BeginSpan("analysis", "", cfg.Campaign.End)
+	anaWall := time.Now()
 	res.Reanalyze(cfg.Workers)
+	tele.EndSpan(anaRef, cfg.Campaign.End)
 	for _, vr := range res.VPs {
 		progress("%s: %d links analyzed", vr.VP.ID, len(vr.Links))
 	}
+	progress("analysis done (took %v)", time.Since(anaWall).Round(time.Millisecond))
 	return res
 }
 
@@ -585,6 +692,21 @@ func (r *Result) Reanalyze(workers int) {
 			lr.LossBatches = lr.lossCol.Batches()
 		}
 	})
+	if tele := r.Cfg.Telemetry; tele != nil {
+		// Sweeper stats are plain per-worker counters; parallelWorkers
+		// has joined, so summing them here is race-free. Add (not
+		// Store): Reanalyze may run several times per campaign.
+		var s analysis.SweeperStats
+		for _, sw := range sweepers {
+			st := sw.Stats()
+			s.Sweeps += st.Sweeps
+			s.FoldsComputed += st.FoldsComputed
+			s.FoldsReused += st.FoldsReused
+		}
+		tele.Analysis.Sweeps.Add(s.Sweeps)
+		tele.Analysis.FoldsComputed.Add(s.FoldsComputed)
+		tele.Analysis.FoldsReused.Add(s.FoldsReused)
+	}
 }
 
 // effectiveWorkers is the worker count parallelWorkers actually uses:

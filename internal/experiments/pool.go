@@ -1,6 +1,11 @@
 package experiments
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"afrixp/internal/telemetry"
+)
 
 // probePool is the campaign's persistent probing crew: long-lived
 // worker goroutines fed task indexes over a channel, replacing the
@@ -23,13 +28,20 @@ type probePool struct {
 	// run is the task body. It must be set before the first do call
 	// and must only touch per-task state (one VP's prober, collectors).
 	run func(task int)
+	// eng, when non-nil, accumulates per-worker busy time for
+	// utilization reporting. Each worker writes only its own slot, so
+	// the timing is pure accounting and never orders the work.
+	eng *telemetry.EngineStats
 }
 
 // newProbePool starts workers goroutines. workers <= 1 starts none:
 // the sequential engine is the pool with inline dispatch, not a
-// separate code path.
-func newProbePool(workers int) *probePool {
-	p := &probePool{workers: workers}
+// separate code path. eng may be nil (telemetry off).
+func newProbePool(workers int, eng *telemetry.EngineStats) *probePool {
+	p := &probePool{workers: workers, eng: eng}
+	if eng != nil {
+		eng.SetWorkers(workers)
+	}
 	if workers <= 1 {
 		return p
 	}
@@ -37,22 +49,34 @@ func newProbePool(workers int) *probePool {
 	p.done = make(chan struct{}, workers)
 	p.wg.Add(workers)
 	for k := 0; k < workers; k++ {
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for i := range p.tasks {
-				p.run(i)
+				p.exec(worker, i)
 				p.done <- struct{}{}
 			}
-		}()
+		}(k)
 	}
 	return p
+}
+
+// exec runs one task, crediting its wall time to the worker when
+// telemetry is attached.
+func (p *probePool) exec(worker, task int) {
+	if p.eng == nil {
+		p.run(task)
+		return
+	}
+	t0 := time.Now()
+	p.run(task)
+	p.eng.AddWorkerBusy(worker, time.Since(t0))
 }
 
 // do runs run(0..n-1) across the pool and returns when all complete.
 func (p *probePool) do(n int) {
 	if p.workers <= 1 {
 		for i := 0; i < n; i++ {
-			p.run(i)
+			p.exec(0, i)
 		}
 		return
 	}

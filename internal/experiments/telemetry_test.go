@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"afrixp/internal/faults"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+	"afrixp/internal/telemetry"
+)
+
+// runTelemetryCampaign is runFaultCampaign with a telemetry root
+// attached; it returns both so tests can check results and metrics.
+func runTelemetryCampaign(workers, batchSteps int) (*Result, *telemetry.Telemetry) {
+	tele := telemetry.New()
+	res := Run(Config{
+		Opts: scenario.Options{Seed: 5, Scale: 0.1},
+		Campaign: simclock.Interval{
+			Start: simclock.Date(2016, time.July, 20),
+			End:   simclock.Date(2016, time.July, 24),
+		},
+		Workers:    workers,
+		BatchSteps: batchSteps,
+		Faults:     &faults.Config{},
+		Telemetry:  tele,
+	})
+	return res, tele
+}
+
+// TestTelemetryCampaignBitIdentical pins the read-side contract:
+// attaching telemetry must not change a single campaign number, at any
+// worker count or batch size, with the fault plan active. Telemetry
+// only reads simulation state (counters republished at barriers, spans
+// stamped from the engine's own schedule), so the instrumented runs
+// must summarize identically to the uninstrumented per-step baseline.
+func TestTelemetryCampaignBitIdentical(t *testing.T) {
+	want := summarizeResult(runFaultCampaign(1, 1))
+
+	for _, tc := range []struct{ workers, batch int }{
+		{1, 1},
+		{8, 4096},
+	} {
+		res, tele := runTelemetryCampaign(tc.workers, tc.batch)
+		if got := summarizeResult(res); got != want {
+			t.Errorf("telemetry perturbed the campaign at workers=%d batch=%d: %s",
+				tc.workers, tc.batch, firstDiff(got, want))
+		}
+
+		// Non-vacuity: the claim is empty unless the telemetry actually
+		// collected across every instrumented layer.
+		if n := tele.Probe.Probes.Load(); n == 0 {
+			t.Errorf("workers=%d batch=%d: no probes counted", tc.workers, tc.batch)
+		}
+		if tele.Probe.Delivered.Load() == 0 || tele.Probe.QueueFrozenObs.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: probe outcome counters untouched", tc.workers, tc.batch)
+		}
+		if tele.Probe.InjectWalks.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: no discovery inject walks counted", tc.workers, tc.batch)
+		}
+		if tele.Engine.BatchesOpened.Load() == 0 || tele.Engine.Flushes.Load() == 0 ||
+			tele.Engine.RoundsDispatched.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: engine counters untouched", tc.workers, tc.batch)
+		}
+		if tele.Analysis.Sweeps.Load() == 0 || tele.Analysis.FoldsComputed.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: analysis counters untouched", tc.workers, tc.batch)
+		}
+		if tele.Faults.Planned.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: no fault episodes planned", tc.workers, tc.batch)
+		}
+		if tele.Faults.Entered.Load() == 0 || tele.Faults.Exited.Load() == 0 {
+			t.Errorf("workers=%d batch=%d: fault boundary counters untouched (entered=%d exited=%d)",
+				tc.workers, tc.batch, tele.Faults.Entered.Load(), tele.Faults.Exited.Load())
+		}
+
+		phases := map[string]int{}
+		for _, sp := range tele.Spans() {
+			phases[sp.Phase]++
+		}
+		for _, phase := range []string{"build-world", "discovery", "probing", "probe-batch", "analysis", "fault-episode"} {
+			if phases[phase] == 0 {
+				t.Errorf("workers=%d batch=%d: no %q span recorded (phases: %v)",
+					tc.workers, tc.batch, phase, phases)
+			}
+		}
+		if len(tele.Events()) == 0 {
+			t.Errorf("workers=%d batch=%d: no progress events recorded", tc.workers, tc.batch)
+		}
+	}
+}
+
+// TestTelemetryCountersConsistent cross-checks counters that must
+// agree by construction, independent of batch geometry.
+func TestTelemetryCountersConsistent(t *testing.T) {
+	_, tele := runTelemetryCampaign(4, 64)
+
+	probes := tele.Probe.Probes.Load()
+	outcomes := tele.Probe.Delivered.Load() + tele.Probe.PipeDrops.Load() +
+		tele.Probe.ICMPSilenced.Load() + tele.Probe.RateLimited.Load()
+	if probes != outcomes {
+		t.Errorf("probe outcomes do not partition: %d probes vs %d outcome total", probes, outcomes)
+	}
+	iw := tele.Probe.InjectWalks.Load()
+	io := tele.Probe.InjectDelivered.Load() + tele.Probe.InjectLost.Load() +
+		tele.Probe.InjectUnreachable.Load()
+	if iw != io {
+		t.Errorf("inject outcomes do not partition: %d walks vs %d outcome total", iw, io)
+	}
+	s := tele.Snapshot()
+	if fl := s.Engine.Flushes; fl == 0 || fl > s.Engine.BatchesOpened {
+		t.Errorf("flushes (%d) out of range vs batches opened (%d)", fl, s.Engine.BatchesOpened)
+	}
+	if s.Engine.BatchLen.Total != s.Engine.Flushes {
+		t.Errorf("batch-length histogram total (%d) != flushes (%d)",
+			s.Engine.BatchLen.Total, s.Engine.Flushes)
+	}
+	if s.Probe.RTTMicros.Total != s.Probe.Delivered {
+		t.Errorf("RTT histogram total (%d) != delivered probes (%d)",
+			s.Probe.RTTMicros.Total, s.Probe.Delivered)
+	}
+	if s.Faults.Entered != s.Faults.Exited {
+		t.Errorf("fault episodes unbalanced after campaign end: entered=%d exited=%d",
+			s.Faults.Entered, s.Faults.Exited)
+	}
+}

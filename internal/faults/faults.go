@@ -6,7 +6,8 @@
 //
 // Every fault is a pure function of virtual time, placed by SplitMix64
 // draws seeded from the world seed, and every episode boundary is
-// registered as a (no-op) scenario event. The campaign engine's batch
+// registered as a scenario event whose only action is counting itself
+// for telemetry. The campaign engine's batch
 // planner treats pending events as barriers, so fault boundaries
 // split probing batches exactly like membership churn does — and
 // because nothing here keeps mutable state on the sampling path,
@@ -17,6 +18,7 @@ package faults
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"afrixp/internal/netsim"
@@ -162,6 +164,29 @@ type Schedule struct {
 	Faults []Fault
 
 	vpOut map[string]*Outage
+
+	// entered / exited count episode boundary events the world clock
+	// has crossed. Atomic because the /metrics endpoint reads them
+	// while the coordinator applies events; the counters are pure
+	// accounting and feed nothing back into the schedule.
+	entered, exited atomic.Uint64
+}
+
+// Entered returns how many episode begin-events have applied.
+// Nil-safe (zero).
+func (s *Schedule) Entered() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.entered.Load()
+}
+
+// Exited returns how many episode end-events have applied. Nil-safe.
+func (s *Schedule) Exited() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.exited.Load()
 }
 
 // VPOutage returns the outage schedule for a VP ID, nil (always up)
@@ -204,13 +229,18 @@ func Inject(w *scenario.World, campaign simclock.Interval, cfg Config) *Schedule
 	seed := w.Seed ^ cfg.Seed ^ 0xFA017CAFE
 	s := &Schedule{vpOut: make(map[string]*Outage)}
 
+	// The boundary events mark episode edges so the batch planner
+	// barriers on them; their only action is counting themselves for
+	// telemetry, which touches no simulation state.
 	record := func(k Kind, target string, ivs []simclock.Interval) {
 		for _, iv := range ivs {
 			s.Faults = append(s.Faults, Fault{Kind: k, Target: target, Window: iv})
-			w.AddEvent(scenario.Event{At: iv.Start, Apply: noop,
-				Name: fmt.Sprintf("fault: %s %s begins", target, k)})
-			w.AddEvent(scenario.Event{At: iv.End, Apply: noop,
-				Name: fmt.Sprintf("fault: %s %s ends", target, k)})
+			w.AddEvent(scenario.Event{At: iv.Start,
+				Apply: func(*scenario.World) { s.entered.Add(1) },
+				Name:  fmt.Sprintf("fault: %s %s begins", target, k)})
+			w.AddEvent(scenario.Event{At: iv.End,
+				Apply: func(*scenario.World) { s.exited.Add(1) },
+				Name:  fmt.Sprintf("fault: %s %s ends", target, k)})
 		}
 	}
 
@@ -255,8 +285,6 @@ func Inject(w *scenario.World, campaign simclock.Interval, cfg Config) *Schedule
 	}
 	return s
 }
-
-func noop(*scenario.World) {}
 
 // episodes places count non-overlapping fault windows inside win by
 // splitting it into count equal segments and drawing one episode per

@@ -161,3 +161,52 @@ func TestInjectInstallsDataPlaneFaults(t *testing.T) {
 	}
 	t.Fatalf("no blackout episode for %s's case links", vp.ID)
 }
+
+// TestEpisodeBoundaryCounters: the Apply closures behind each
+// episode's start/end events feed the telemetry counters — advancing
+// the world clock across fault boundaries must tick Entered/Exited in
+// lockstep with the plan, and a fully-elapsed window must leave them
+// balanced at the episode count.
+func TestEpisodeBoundaryCounters(t *testing.T) {
+	w := scenario.Paper(scenario.Options{Seed: 7, Scale: 0.1})
+	campaign := testCampaign()
+	s := Inject(w, campaign, Config{})
+	if len(s.Faults) == 0 {
+		t.Fatal("empty fault plan")
+	}
+	if s.Entered() != 0 || s.Exited() != 0 {
+		t.Fatalf("counters advanced before the clock: entered=%d exited=%d",
+			s.Entered(), s.Exited())
+	}
+
+	// Cross the first boundary only: find the earliest window start and
+	// advance just past it.
+	first := s.Faults[0].Window.Start
+	for _, f := range s.Faults {
+		if f.Window.Start < first {
+			first = f.Window.Start
+		}
+	}
+	w.AdvanceTo(first.Add(time.Second))
+	if s.Entered() == 0 {
+		t.Error("no episode entered after crossing the first window start")
+	}
+	if s.Exited() > s.Entered() {
+		t.Errorf("more exits than entries mid-window: entered=%d exited=%d",
+			s.Entered(), s.Exited())
+	}
+
+	// Past the campaign end every episode has both entered and exited.
+	w.AdvanceTo(campaign.End.Add(time.Hour))
+	want := uint64(len(s.Faults))
+	if s.Entered() != want || s.Exited() != want {
+		t.Errorf("after window end: entered=%d exited=%d, want both %d",
+			s.Entered(), s.Exited(), want)
+	}
+
+	// The nil schedule (campaign without faults) must read as zero.
+	var nilSched *Schedule
+	if nilSched.Entered() != 0 || nilSched.Exited() != 0 {
+		t.Error("nil schedule counters not zero")
+	}
+}

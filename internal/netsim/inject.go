@@ -58,6 +58,26 @@ const maxWalkHops = 128
 // caller's wire buffer is never written; rewritten wires live in the
 // network's double-buffered scratch (see Response.Wire).
 func (nw *Network) Inject(src *Node, wire []byte, t simclock.Time) (Response, Outcome, error) {
+	resp, out, err := nw.injectWalk(src, wire, t)
+	// Accounting only — the walk's result is untouched, so telemetry
+	// cannot perturb it. Plain counters: Inject is single-goroutine by
+	// contract (the shared wire scratch already forbids concurrency).
+	nw.injStats.Walks++
+	switch {
+	case err != nil:
+		nw.injStats.Unreachable++
+	case out == Delivered:
+		nw.injStats.Delivered++
+	case out == Lost:
+		nw.injStats.Lost++
+	default:
+		nw.injStats.Unreachable++
+	}
+	return resp, out, err
+}
+
+// injectWalk is the uninstrumented packet walk behind Inject.
+func (nw *Network) injectWalk(src *Node, wire []byte, t simclock.Time) (Response, Outcome, error) {
 	cur := src
 	var arrival *Iface
 	originated := true // the current node created the current wire

@@ -144,6 +144,10 @@ type Network struct {
 	// single-goroutine by contract.
 	injWire [2][]byte
 	pkt     packet.Scratch
+
+	// injStats counts injection walks by outcome; same single-
+	// goroutine contract as injWire (see InjectStats).
+	injStats InjectStats
 }
 
 // New creates an empty network over the given BGP control plane.

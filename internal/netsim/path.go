@@ -140,6 +140,10 @@ type ProbeCtx struct {
 	// step is the batch-step index plus one; zero observes the live
 	// queue frontier (the non-batched protocol). See SetStep.
 	step int
+	// stats counts sampling outcomes. Plain counters: the single-owner
+	// contract makes them free and race-free; the engine republishes
+	// them into atomic telemetry counters at batch barriers (Stats).
+	stats ProbeStats
 }
 
 // SetStep points subsequent samples at batch step i of the most recent
@@ -180,15 +184,22 @@ func (c *ProbeCtx) nonce() uint64 {
 // containing batch via Network.AdvanceQueuesBatch and pointed the
 // context at the step being replayed with SetStep.
 func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duration, bool) {
+	st := &ctx.stats
+	st.Probes++
 	start := t
 	for _, p := range pp.FwdPipes {
+		if p.Queue != nil {
+			st.QueueFrozenObs++
+		}
 		exit, ok := p.TraverseFrozenStep(ctx.step-1, t, ctx.nonce())
 		if !ok {
+			st.PipeDrops++
 			return 0, false
 		}
 		t = exit
 	}
 	if pp.Responder.ICMPDown != nil && pp.Responder.ICMPDown(t) {
+		st.ICMPSilenced++
 		return 0, false
 	}
 	if rl := pp.Responder.ICMPRateLimit; rl != nil {
@@ -196,6 +207,7 @@ func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duratio
 		ok := rl.Allow(t)
 		pp.nw.rlMu.Unlock()
 		if !ok {
+			st.RateLimited++
 			return 0, false
 		}
 	}
@@ -203,13 +215,20 @@ func (pp *ProbePath) SampleCtx(ctx *ProbeCtx, t simclock.Time) (simclock.Duratio
 		t = t.Add(pp.Responder.ICMPDelay(t))
 	}
 	for _, p := range pp.RevPipes {
+		if p.Queue != nil {
+			st.QueueFrozenObs++
+		}
 		exit, ok := p.TraverseFrozenStep(ctx.step-1, t, ctx.nonce())
 		if !ok {
+			st.PipeDrops++
 			return 0, false
 		}
 		t = exit
 	}
-	return t.Sub(start), true
+	st.Delivered++
+	rtt := t.Sub(start)
+	st.observeRTT(rtt)
+	return rtt, true
 }
 
 // SampleDelayOnly returns the RTT at t ignoring loss — used by

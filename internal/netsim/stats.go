@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"math/bits"
+
+	"afrixp/internal/simclock"
+)
+
+// RTTBucketCount is the number of power-of-two-microsecond RTT
+// buckets in ProbeStats: bucket i holds RTTs whose microsecond count
+// has bit length i, i.e. [2^(i-1), 2^i) µs; the last bucket absorbs
+// everything ≥ ~65 ms. internal/telemetry mirrors the same layout.
+const RTTBucketCount = 18
+
+// ProbeStats is hot-path measurement accounting. The fields are plain
+// (non-atomic) uint64s on purpose: each ProbeCtx is owned by a single
+// goroutine (one vantage point), so counting is free — no contention,
+// no allocation, no effect on determinism. The campaign engine reads
+// the totals at batch barriers (when workers are provably idle) and
+// republishes them into atomic telemetry counters for concurrent
+// readers. A ProbeStats must not be read while its owner is sampling.
+type ProbeStats struct {
+	// Probes counts SampleCtx calls; Delivered the ones that returned
+	// an RTT. The three loss causes partition Probes - Delivered:
+	// PipeDrops (queue/gate drops inside a pipe), ICMPSilenced (the
+	// responder's control plane was down or blacked out), and
+	// RateLimited (deterministic ICMP policing suppressed the reply).
+	Probes, Delivered, PipeDrops, ICMPSilenced, RateLimited uint64
+	// QueueFrozenObs counts pipe traversals that consulted a fluid
+	// queue's recorded (frozen) frontier.
+	QueueFrozenObs uint64
+	// RTTBuckets is the delivered-probe RTT histogram (see
+	// RTTBucketCount for the bucket layout).
+	RTTBuckets [RTTBucketCount]uint64
+}
+
+// observeRTT banks one delivered RTT into its power-of-two bucket.
+func (s *ProbeStats) observeRTT(d simclock.Duration) {
+	us := uint64(d) / 1000 // ns → µs
+	b := bits.Len64(us)
+	if b >= RTTBucketCount {
+		b = RTTBucketCount - 1
+	}
+	s.RTTBuckets[b]++
+}
+
+// Merge adds o's counts into s — how the engine folds per-VP stats
+// into one campaign-wide total at a barrier.
+func (s *ProbeStats) Merge(o *ProbeStats) {
+	s.Probes += o.Probes
+	s.Delivered += o.Delivered
+	s.PipeDrops += o.PipeDrops
+	s.ICMPSilenced += o.ICMPSilenced
+	s.RateLimited += o.RateLimited
+	s.QueueFrozenObs += o.QueueFrozenObs
+	for i := range s.RTTBuckets {
+		s.RTTBuckets[i] += o.RTTBuckets[i]
+	}
+}
+
+// Stats exposes the context's accounting for barrier-time aggregation.
+// The same single-goroutine contract as the ProbeCtx applies.
+func (c *ProbeCtx) Stats() *ProbeStats { return &c.stats }
+
+// InjectStats counts packet-level injection walks — the discovery
+// plane's traffic (traceroutes, pings, record-route probes). Plain
+// counters under the same single-goroutine contract as Inject itself
+// (the double-buffered wire scratch already forbids concurrent
+// injection); the engine republishes them at barriers.
+type InjectStats struct {
+	// Walks counts Inject calls; the other three split them by outcome
+	// (walks that returned an error count as Unreachable).
+	Walks, Delivered, Lost, Unreachable uint64
+}
+
+// InjectStats returns a copy of the network's injection accounting.
+func (nw *Network) InjectStats() InjectStats { return nw.injStats }

@@ -88,6 +88,11 @@ func (p *Prober) VP() *netsim.Node { return p.vp }
 // are untouched — only the queue state a sample reads changes.
 func (p *Prober) SetBatchStep(i int) { p.ctx.SetStep(i) }
 
+// ProbeStats exposes this prober's hot-path sampling accounting (see
+// netsim.ProbeStats). Same single-goroutine contract as the probe
+// context: the campaign engine reads it only at batch barriers.
+func (p *Prober) ProbeStats() *netsim.ProbeStats { return p.ctx.Stats() }
+
 // Name returns the monitor name.
 func (p *Prober) Name() string { return p.cfg.Name }
 

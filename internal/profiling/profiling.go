@@ -15,9 +15,11 @@ import (
 
 // Start begins a CPU profile when cpuPath is non-empty. The returned
 // stop function ends the CPU profile and, when memPath is non-empty,
-// writes a heap profile; call it exactly once on the way out (it is
-// skipped by os.Exit, so error paths lose the profile — same trade the
-// testing package makes).
+// writes a heap profile; call it exactly once on the way out. Defer it
+// inside a run() error function (as cmd/repro and cmd/observatory do)
+// rather than alongside os.Exit calls: an os.Exit skips deferred
+// stops, losing the profile on exactly the failing runs one most
+// wants to profile.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// The expvar registry is process-global and expvar.Publish panics on
+// duplicate names, so the package publishes a single "afrixp" var
+// once and points it at whichever telemetry most recently started a
+// server. Tests that spin up several servers therefore never trip
+// the duplicate-name panic.
+var (
+	published    atomic.Pointer[Telemetry]
+	publishState atomic.Bool
+)
+
+func publishExpvar(t *Telemetry) {
+	published.Store(t)
+	if publishState.CompareAndSwap(false, true) {
+		if expvar.Get("afrixp") == nil {
+			expvar.Publish("afrixp", expvar.Func(func() any {
+				if cur := published.Load(); cur != nil {
+					return cur.Snapshot()
+				}
+				return nil
+			}))
+		}
+	}
+}
+
+// Server is a live metrics endpoint: GET /metrics returns the JSON
+// snapshot, GET /debug/vars is the standard expvar surface (with the
+// snapshot published under the "afrixp" key).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the metrics server on addr (host:port; port 0 picks a
+// free one). The listener is bound synchronously — a returned *Server
+// is already accepting — and requests are handled on background
+// goroutines, which is safe because every read path is atomic or
+// mutex-guarded and never perturbs the campaign.
+func (t *Telemetry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	publishExpvar(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close is expected
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -15,6 +15,7 @@ import (
 	"afrixp/internal/report"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
+	"afrixp/internal/telemetry"
 )
 
 // CampaignConfig configures a full measurement campaign: bdrmap
@@ -53,7 +54,23 @@ type CampaignConfig struct {
 	FaultSeed uint64
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
+	// Telemetry, when non-nil, instruments the campaign: counters,
+	// per-worker utilization, and the phase span/event log, readable
+	// live (Telemetry.Serve) or exported afterwards (WriteJSON).
+	// Strictly read-side: results are bit-identical with or without it.
+	Telemetry *Telemetry
 }
+
+// Telemetry is the campaign instrumentation root (see
+// internal/telemetry): lock-free counters and histograms plus a
+// span/event log with virtual- and wall-clock stamps.
+type Telemetry = telemetry.Telemetry
+
+// TelemetrySnapshot is the frozen JSON export of a Telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry builds a telemetry root ready to attach to a campaign.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Campaign is the result of a full run: per-VP discovery snapshots,
 // per-link verdicts, and case-study series.
@@ -87,6 +104,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Workers:     cfg.Workers,
 		BatchSteps:  cfg.BatchSteps,
 		Progress:    cfg.Progress,
+		Telemetry:   cfg.Telemetry,
 	}
 	if cfg.Faults {
 		ecfg.Faults = &faults.Config{Seed: cfg.FaultSeed}

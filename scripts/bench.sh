@@ -18,7 +18,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 GOMAXPROCS="$PROCS" go test -run '^$' \

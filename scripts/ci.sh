@@ -34,7 +34,42 @@ echo "== fault determinism smoke (workers 1 vs 8 under race) =="
 # The fault-injected campaign must stay bit-identical across worker
 # counts and batch sizes; run its equivalence test with real
 # parallelism so the outage gate and ICMP-silence schedules race.
-GOMAXPROCS=4 go test -race -count=1 -run 'TestFaultCampaign' ./internal/experiments/
+# The telemetry equivalence test rides along: its counters are read
+# concurrently by design, so the race detector must see a telemetry-on
+# campaign at Workers>1.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestFaultCampaign|TestTelemetryCampaign' ./internal/experiments/
+
+echo "== /metrics endpoint smoke =="
+# Start a short observatory run with the live telemetry endpoint and a
+# linger window, poll until /metrics answers, and assert the snapshot
+# carries the instrumented keys end to end (engine counters, probe
+# counters, schema tag). Exercises the full wiring: flag parsing, the
+# HTTP server, the barrier republication, and the deferred shutdown.
+METRICS_ADDR="127.0.0.1:18573"
+OBS_OUT="$(mktemp -d)"
+go run ./cmd/observatory -out "$OBS_OUT" -days 2 -scale 0.05 -no-loss \
+  -metrics-addr "$METRICS_ADDR" -metrics-linger 30s >/dev/null 2>&1 &
+OBS_PID=$!
+# Scoped cleanup: the bench section below installs its own EXIT trap
+# once this block has already torn everything down inline.
+trap 'kill "$OBS_PID" 2>/dev/null || true; rm -rf "$OBS_OUT"' EXIT
+METRICS_JSON=""
+for _ in $(seq 1 60); do
+  if METRICS_JSON="$(curl -fsS "http://$METRICS_ADDR/metrics" 2>/dev/null)" \
+     && [ -n "$METRICS_JSON" ]; then
+    break
+  fi
+  sleep 1
+done
+[ -n "$METRICS_JSON" ] || { echo "FAIL: /metrics never answered"; exit 1; }
+for key in '"schema": "afrixp-telemetry/1"' '"probes"' '"batches_opened"' '"sweeps"'; do
+  echo "$METRICS_JSON" | grep -qF "$key" \
+    || { echo "FAIL: /metrics snapshot missing $key"; exit 1; }
+done
+kill "$OBS_PID" 2>/dev/null || true
+wait "$OBS_PID" 2>/dev/null || true
+rm -rf "$OBS_OUT"
+echo "metrics endpoint OK"
 
 echo "== bench smoke (1 iteration each) =="
 SMOKE="$(mktemp)"
