@@ -171,6 +171,53 @@ func BenchmarkAnalysisSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkChunkCompression measures the columnar store on the shared
+// campaign's collected series: ns/op is one full decode sweep over
+// every chunk-backed link series (the block-streaming read path the
+// analysis pays), and the compression_x metric is the raw-grid bytes
+// (8 B/slot) over the XOR-encoded arena bytes — the resident-memory
+// ratio the ledger records for the ROADMAP's 10^5–10^6-link target.
+func BenchmarkChunkCompression(b *testing.B) {
+	res := benchCampaign(b)
+	var series []*timeseries.Series
+	raw, encoded := 0, 0
+	for _, vr := range res.VPs {
+		for _, lr := range vr.SortedLinks() {
+			ls := lr.Collector.Series()
+			for _, s := range []*timeseries.Series{ls.Near, ls.Far} {
+				if !s.Chunked() {
+					b.Fatal("collector series not chunk-backed; compression bench is vacuous")
+				}
+				series = append(series, s)
+				raw += s.Chunk().RawSize()
+				encoded += s.Chunk().EncodedSize()
+			}
+		}
+	}
+	if len(series) == 0 || encoded == 0 {
+		b.Fatal("no chunked series collected")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, s := range series {
+			s.Each(func(_ int, vals []float64) {
+				for _, v := range vals {
+					if !timeseries.IsMissing(v) {
+						sink++
+					}
+				}
+			})
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("decode sweep saw no present samples")
+	}
+	b.ReportMetric(float64(raw)/float64(encoded), "compression_x")
+}
+
 func BenchmarkTable1Sensitivity(b *testing.B) {
 	res := benchCampaign(b)
 	b.ResetTimer()

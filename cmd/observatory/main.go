@@ -25,6 +25,7 @@ import (
 	"afrixp/internal/profiling"
 	"afrixp/internal/report"
 	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
 	"afrixp/internal/warts"
 )
 
@@ -188,30 +189,40 @@ func run() error {
 	for _, vr := range c.VPs {
 		for _, lr := range vr.SortedLinks() {
 			ls := lr.Collector.Series()
-			emit := func(s []float64, at func(int) simclock.Time,
+			// Each streams block-wise through the chunked backing
+			// (collector series are XOR-compressed by default) and
+			// degrades to one whole-slice visit on flat series.
+			emit := func(s *timeseries.Series, at func(int) simclock.Time,
 				responder netaddr.Addr, respType uint8) error {
-				for i, v := range s {
-					rec := &warts.Record{
-						Type: warts.TypeTSLP, VP: vr.VP.Monitor,
-						At: at(i), Target: lr.Target.Far,
-						Responder: responder, RespType: respType,
+				var werr error
+				s.Each(func(base int, vals []float64) {
+					if werr != nil {
+						return
 					}
-					if v != v { // NaN: lost/not taken
-						rec.Lost = true
-					} else {
-						rec.RTT = time.Duration(v * float64(time.Millisecond))
+					for i, v := range vals {
+						rec := &warts.Record{
+							Type: warts.TypeTSLP, VP: vr.VP.Monitor,
+							At: at(base + i), Target: lr.Target.Far,
+							Responder: responder, RespType: respType,
+						}
+						if v != v { // NaN: lost/not taken
+							rec.Lost = true
+						} else {
+							rec.RTT = time.Duration(v * float64(time.Millisecond))
+						}
+						if err := wr.Write(rec); err != nil {
+							werr = fmt.Errorf("warts write: %w", err)
+							return
+						}
+						records++
 					}
-					if err := wr.Write(rec); err != nil {
-						return fmt.Errorf("warts write: %w", err)
-					}
-					records++
-				}
-				return nil
+				})
+				return werr
 			}
-			if err := emit(ls.Near.Values, ls.Near.TimeAt, lr.Target.Near, 11 /* time exceeded */); err != nil {
+			if err := emit(ls.Near, ls.Near.TimeAt, lr.Target.Near, 11 /* time exceeded */); err != nil {
 				return err
 			}
-			if err := emit(ls.Far.Values, ls.Far.TimeAt, lr.Target.Far, 0 /* echo reply */); err != nil {
+			if err := emit(ls.Far, ls.Far.TimeAt, lr.Target.Far, 0 /* echo reply */); err != nil {
 				return err
 			}
 		}

@@ -71,17 +71,21 @@ func main() {
 }
 
 // splitByDayType partitions present samples into weekday/weekend sets.
+// Each works for both backings: collector series are XOR-compressed
+// chunks by default, sliced figure windows stay flat.
 func splitByDayType(s *timeseries.Series) (weekday, weekend []float64) {
-	for i, v := range s.Values {
-		if timeseries.IsMissing(v) {
-			continue
+	s.Each(func(base int, vals []float64) {
+		for i, v := range vals {
+			if timeseries.IsMissing(v) {
+				continue
+			}
+			if s.TimeAt(base + i).IsWeekend() {
+				weekend = append(weekend, v)
+			} else {
+				weekday = append(weekday, v)
+			}
 		}
-		if s.TimeAt(i).IsWeekend() {
-			weekend = append(weekend, v)
-		} else {
-			weekday = append(weekday, v)
-		}
-	}
+	})
 	return
 }
 

@@ -125,8 +125,19 @@ func AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []float64) []Verdict
 // worker and feed it links; results are bit-identical to fresh
 // per-call detectors. Not safe for concurrent use.
 type Sweeper struct {
-	det   *cusum.Detector
-	stats SweeperStats
+	det     *cusum.Detector
+	farScr  levelshift.Scratch
+	nearScr levelshift.Scratch
+	diurScr diurnal.Scratch
+	folds   map[foldWindow]diurnal.Verdict
+	stats   SweeperStats
+}
+
+// foldWindow keys the per-link diurnal fold cache: thresholds whose
+// flagged events span the same window share one fold.
+type foldWindow struct {
+	whole    bool
+	from, to simclock.Time
 }
 
 // SweeperStats counts a sweeper's work: link sweeps run, diurnal
@@ -153,17 +164,18 @@ func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []floa
 	// Detection phase, once per end: candidates, baseline, and the
 	// aggregated series are all independent of the magnitude threshold.
 	lcfg := cfg.LevelShift
-	farDet := levelshift.DetectWith(sw.det, ls.Far, lcfg)
-	nearDet := levelshift.DetectWith(sw.det, ls.Near, lcfg)
+	farDet := levelshift.DetectScratch(sw.det, ls.Far, lcfg, &sw.farScr)
+	nearDet := levelshift.DetectScratch(sw.det, ls.Near, lcfg, &sw.nearScr)
 
 	// The diurnal day-folded profile depends on the threshold only
 	// through the event window it is computed over; thresholds that
-	// flag the same window share one fold.
-	type window struct {
-		whole    bool
-		from, to simclock.Time
+	// flag the same window share one fold. The cache map itself is
+	// reused across links.
+	if sw.folds == nil {
+		sw.folds = make(map[foldWindow]diurnal.Verdict, 1)
 	}
-	folds := make(map[window]diurnal.Verdict, 1)
+	clear(sw.folds)
+	folds := sw.folds
 
 	out := make([]Verdict, 0, len(thresholds))
 	for _, thr := range thresholds {
@@ -191,10 +203,10 @@ func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []floa
 		// (with margin); links whose events scatter across the campaign
 		// (slow-ICMP regimes) still see a near-full window and fail on
 		// consistency.
-		win := window{whole: true}
+		win := foldWindow{whole: true}
 		if len(v.Far.Events) > 0 {
 			margin := simclock.Duration(48 * time.Hour)
-			win = window{
+			win = foldWindow{
 				from: v.Far.Events[0].Start.Add(-margin),
 				to:   v.Far.Events[len(v.Far.Events)-1].End.Add(margin),
 			}
@@ -203,9 +215,10 @@ func (sw *Sweeper) AnalyzeLinkSweep(ls LinkSeries, cfg Config, thresholds []floa
 		if !ok {
 			diurnalInput := ls.Far
 			if !win.whole {
-				diurnalInput = ls.Far.Slice(win.from, win.to)
+				w := ls.Far.Window(win.from, win.to)
+				diurnalInput = &w
 			}
-			fold = diurnal.Fold(diurnalInput, dcfg)
+			fold = diurnal.FoldWith(diurnalInput, dcfg, &sw.diurScr)
 			folds[win] = fold
 			sw.stats.FoldsComputed++
 		} else {
@@ -240,11 +253,8 @@ func classify(events []levelshift.Event, far *timeseries.Series, cfg Config) Cla
 	}
 	last := events[len(events)-1]
 	end := far.TimeAt(far.Len())
-	for i := far.Len() - 1; i >= 0; i-- {
-		if !timeseries.IsMissing(far.Values[i]) {
-			end = far.TimeAt(i + 1)
-			break
-		}
+	if idx := far.LastPresentIndex(); idx >= 0 {
+		end = far.TimeAt(idx + 1)
 	}
 	tail := cfg.SustainedTail
 	if tail <= 0 {

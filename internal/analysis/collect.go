@@ -7,17 +7,29 @@ import (
 	"afrixp/internal/prober"
 	"afrixp/internal/simclock"
 	"afrixp/internal/timeseries"
+	"afrixp/internal/tschunk"
 )
 
 // Collector streams one link's TSLP rounds into RTT series. To keep a
 // year-long multi-VP campaign in memory, samples land directly in
 // min-filtered bins of AggStep (default 30 minutes, the resolution the
-// level-shift detector runs at); an optional full-resolution window
-// retains 5-minute samples for the case-study figures.
+// level-shift detector runs at), and by default the bins live in
+// XOR-compressed tschunk builders — probing writes march strictly
+// forward in virtual time, so each 256-bin block compresses exactly
+// once as the frontier passes it (DESIGN.md §12). An optional
+// full-resolution window retains flat 5-minute samples for the
+// case-study figures.
 type Collector struct {
 	TSLP *prober.TSLP
 
+	// Flat backing (CollectorConfig.Flat) …
 	near, far *timeseries.Series
+	// … or the default chunked backing.
+	nearB, farB *tschunk.Builder
+	aggStart    simclock.Time
+	aggStep     simclock.Duration
+	nAgg        int
+	nearS, farS *timeseries.Series // sealed views, cached by Series
 	// fullNear/fullFar retain native-resolution samples inside Window.
 	fullNear, fullFar *timeseries.Series
 	window            simclock.Interval
@@ -39,6 +51,11 @@ type CollectorConfig struct {
 	// FullResWindow, when non-degenerate, retains native-resolution
 	// series over the given sub-interval (for figures).
 	FullResWindow simclock.Interval
+	// Flat opts out of the compressed chunked backing and stores the
+	// aggregated series as plain []float64 — the pre-tschunk layout,
+	// kept for the backing-equivalence tests and for callers that want
+	// to mutate collected series.
+	Flat bool
 }
 
 func (c CollectorConfig) withDefaults() CollectorConfig {
@@ -51,15 +68,25 @@ func (c CollectorConfig) withDefaults() CollectorConfig {
 	return c
 }
 
-// NewCollector builds a collector for one TSLP session.
+// NewCollector builds a collector for one TSLP session. The chunked
+// builders pre-reserve their compression arenas here, at campaign
+// start, so the steady-state probe step never allocates.
 func NewCollector(ts *prober.TSLP, cfg CollectorConfig) *Collector {
 	cfg = cfg.withDefaults()
 	nAgg := cfg.Campaign.NumSteps(cfg.AggStep)
 	c := &Collector{
-		TSLP:   ts,
-		near:   timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg),
-		far:    timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg),
-		window: cfg.FullResWindow,
+		TSLP:     ts,
+		aggStart: cfg.Campaign.Start,
+		aggStep:  cfg.AggStep,
+		nAgg:     nAgg,
+		window:   cfg.FullResWindow,
+	}
+	if cfg.Flat {
+		c.near = timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg)
+		c.far = timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg)
+	} else {
+		c.nearB = tschunk.NewBuilder(nAgg)
+		c.farB = tschunk.NewBuilder(nAgg)
 	}
 	if cfg.FullResWindow.Duration() > 0 {
 		n := cfg.FullResWindow.NumSteps(cfg.Step)
@@ -67,6 +94,19 @@ func NewCollector(ts *prober.TSLP, cfg CollectorConfig) *Collector {
 		c.fullFar = timeseries.NewRegular(cfg.FullResWindow.Start, cfg.Step, n)
 	}
 	return c
+}
+
+// aggIndex maps t onto the aggregated grid, or -1 off-grid — the same
+// clamping Series.Index applies.
+func (c *Collector) aggIndex(t simclock.Time) int {
+	if t < c.aggStart {
+		return -1
+	}
+	i := int(t.Sub(c.aggStart) / c.aggStep)
+	if i >= c.nAgg {
+		return -1
+	}
+	return i
 }
 
 // Round probes the link once and records the result.
@@ -86,17 +126,19 @@ func (c *Collector) recordSample(t simclock.Time, s prober.Sample) {
 	if s.FarLost {
 		c.farLostRounds++
 	}
-	c.record(c.near, c.fullNear, t, s.NearLost, s.NearRTT)
-	c.record(c.far, c.fullFar, t, s.FarLost, s.FarRTT)
+	c.record(c.near, c.nearB, c.fullNear, t, s.NearLost, s.NearRTT)
+	c.record(c.far, c.farB, c.fullFar, t, s.FarLost, s.FarRTT)
 }
 
-func (c *Collector) record(agg, full *timeseries.Series, t simclock.Time, lost bool, rtt simclock.Duration) {
+func (c *Collector) record(agg *timeseries.Series, aggB *tschunk.Builder, full *timeseries.Series, t simclock.Time, lost bool, rtt simclock.Duration) {
 	if lost {
 		return
 	}
 	ms := float64(rtt) / float64(time.Millisecond)
-	if i := agg.Index(t); i >= 0 {
-		if timeseries.IsMissing(agg.Values[i]) || ms < agg.Values[i] {
+	if i := c.aggIndex(t); i >= 0 {
+		if aggB != nil {
+			aggB.MergeMin(i, ms) // streaming min filter, compressed backing
+		} else if timeseries.IsMissing(agg.Values[i]) || ms < agg.Values[i] {
 			agg.Values[i] = ms // streaming min filter
 		}
 	}
@@ -105,8 +147,18 @@ func (c *Collector) record(agg, full *timeseries.Series, t simclock.Time, lost b
 	}
 }
 
-// Series returns the aggregated link series for analysis.
+// Series returns the aggregated link series for analysis. Chunked
+// collectors seal their builders on first call (the campaign engine
+// analyzes only after probing ends); the sealed views are cached, so
+// repeated calls return the same series.
 func (c *Collector) Series() LinkSeries {
+	if c.nearB != nil && c.nearS == nil {
+		c.nearS = timeseries.FromChunk(c.aggStart, c.aggStep, c.nearB.Seal())
+		c.farS = timeseries.FromChunk(c.aggStart, c.aggStep, c.farB.Seal())
+	}
+	if c.nearS != nil {
+		return LinkSeries{Target: c.TSLP.Target, Near: c.nearS, Far: c.farS}
+	}
 	return LinkSeries{Target: c.TSLP.Target, Near: c.near, Far: c.far}
 }
 

@@ -146,6 +146,14 @@ func (d *Detector) Detect(xs []float64, seed int64) []ChangePoint {
 // over one shared candidate list. The returned slice is freshly
 // allocated (safe to retain across further Candidates calls).
 func (d *Detector) Candidates(xs []float64, seed int64) []Candidate {
+	return d.AppendCandidates(nil, xs, seed)
+}
+
+// AppendCandidates is Candidates appending into dst — the arena
+// variant for sweep callers that batch every detection window's
+// candidates into one reusable buffer instead of one allocation per
+// window.
+func (d *Detector) AppendCandidates(dst []Candidate, xs []float64, seed int64) []Candidate {
 	work := xs
 	if d.cfg.UseRanks {
 		work = d.ranksInto(xs)
@@ -161,11 +169,10 @@ func (d *Detector) Candidates(xs []float64, seed int64) []Candidate {
 	}
 	sort.Slice(d.order, func(a, b int) bool { return d.cps[d.order[a]] < d.cps[d.order[b]] })
 
-	out := make([]Candidate, 0, len(d.order))
 	for _, oi := range d.order {
-		out = append(out, Candidate{Index: d.cps[oi], Confidence: d.confs[oi]})
+		dst = append(dst, Candidate{Index: d.cps[oi], Confidence: d.confs[oi]})
 	}
-	return out
+	return dst
 }
 
 // ApplyMagnitude is the cheap per-threshold phase: it removes, weakest
@@ -176,9 +183,20 @@ func (d *Detector) Candidates(xs []float64, seed int64) []Candidate {
 // filtered at any number of thresholds. cands must be sorted by Index
 // (as Candidates returns them).
 func ApplyMagnitude(xs []float64, cands []Candidate, minMag float64) []ChangePoint {
-	kept := make([]int, len(cands))
-	for i, c := range cands {
-		kept[i] = c.Index
+	out, _ := ApplyMagnitudeInto(nil, nil, xs, cands, minMag)
+	return out
+}
+
+// ApplyMagnitudeInto is ApplyMagnitude appending survivors into dst,
+// with keptBuf as reusable index scratch. It returns the appended
+// slice and the (possibly grown) scratch for the next call. The sweep
+// analyzer filters the same candidates at several thresholds per link;
+// threading one dst/keptBuf pair through removes two allocations per
+// (window, threshold) pair.
+func ApplyMagnitudeInto(dst []ChangePoint, keptBuf []int, xs []float64, cands []Candidate, minMag float64) ([]ChangePoint, []int) {
+	kept := keptBuf[:0]
+	for _, c := range cands {
+		kept = append(kept, c.Index)
 	}
 	if minMag > 0 {
 		for len(kept) > 0 {
@@ -205,14 +223,13 @@ func ApplyMagnitude(xs []float64, cands []Candidate, minMag float64) []ChangePoi
 		}
 	}
 
-	out := make([]ChangePoint, 0, len(kept))
 	prev := 0
 	for k, idx := range kept {
 		next := len(xs)
 		if k+1 < len(kept) {
 			next = kept[k+1]
 		}
-		out = append(out, ChangePoint{
+		dst = append(dst, ChangePoint{
 			Index:      idx,
 			Confidence: confAt(cands, idx),
 			Before:     mean(xs[prev:idx]),
@@ -220,7 +237,7 @@ func ApplyMagnitude(xs []float64, cands []Candidate, minMag float64) []ChangePoi
 		})
 		prev = idx
 	}
-	return out
+	return dst, kept
 }
 
 // confAt looks up the bootstrap confidence recorded for index idx in

@@ -78,22 +78,45 @@ func Detect(s *timeseries.Series, cfg Config) Verdict {
 // the only input that varies across a Table-1 threshold sweep, so one
 // Fold serves every threshold via Decide.
 func Fold(s *timeseries.Series, cfg Config) Verdict {
+	var scr Scratch
+	return FoldWith(s, cfg, &scr)
+}
+
+// Scratch is reusable working memory for FoldWith: the fold buffers
+// for the overall and per-day profiles, the quantile buffer, and the
+// correlation pair buffers. One scratch per sweep worker removes the
+// per-(link, window) fold allocations; nothing in a Verdict aliases
+// it.
+type Scratch struct {
+	fold    timeseries.FoldScratch
+	dayFold timeseries.FoldScratch
+	present []float64
+	xs, ys  []float64
+}
+
+// FoldWith is Fold through caller-owned scratch; results are
+// bit-identical to Fold.
+func FoldWith(s *timeseries.Series, cfg Config, scr *Scratch) Verdict {
 	cfg = cfg.withDefaults()
 	var v Verdict
 	if s.Len() == 0 {
 		return v
 	}
-	profile := s.FoldDaily(cfg.BinWidth, timeseries.Mean)
-	present := make([]float64, 0, len(profile))
+	profile := s.FoldDailyInto(&scr.fold, cfg.BinWidth, timeseries.Mean)
+	present := scr.present[:0]
 	for _, p := range profile {
 		if !timeseries.IsMissing(p) {
 			present = append(present, p)
 		}
 	}
+	scr.present = present[:0]
 	if len(present) < len(profile)/2 {
 		return v
 	}
-	v.AmplitudeMs = timeseries.Quantile(present, 0.95) - timeseries.Quantile(present, 0.05)
+	// One in-place sort serves both quantiles — bit-identical to two
+	// independent clone+sort Quantile calls on the unsorted values.
+	sort.Float64s(present)
+	v.AmplitudeMs = timeseries.QuantileSorted(present, 0.95) - timeseries.QuantileSorted(present, 0.05)
 
 	// Peak hour.
 	peakBin, peakVal := 0, math.Inf(-1)
@@ -107,21 +130,26 @@ func Fold(s *timeseries.Series, cfg Config) Verdict {
 	// Day-to-day consistency. Days are visited in calendar order: map
 	// iteration order would vary the float summation order run to run,
 	// perturbing Consistency by an ulp — enough to break the campaign
-	// engine's bit-identical reproducibility guarantee.
+	// engine's bit-identical reproducibility guarantee. The walk runs
+	// over ascending day ranges directly (the order SplitDays' sorted
+	// keys used to produce) so no per-day map or sub-series allocation
+	// survives; days with no present samples contribute nothing either
+	// way, because correlate rejects their all-missing profiles.
 	nBins := len(profile)
-	days := s.SplitDays()
-	dayKeys := make([]int, 0, len(days))
-	for k := range days {
-		dayKeys = append(dayKeys, k)
-	}
-	sort.Ints(dayKeys)
 	var corrSum float64
-	for _, k := range dayKeys {
-		dayProf := days[k].FoldDaily(cfg.BinWidth, timeseries.Mean)
-		if r, ok := correlate(dayProf, profile, nBins/2); ok {
+	for i := 0; i < s.Len(); {
+		day := s.TimeAt(i).Day()
+		j := i
+		for j < s.Len() && s.TimeAt(j).Day() == day {
+			j++
+		}
+		sub := s.Window(s.TimeAt(i), s.TimeAt(j))
+		dayProf := sub.FoldDailyInto(&scr.dayFold, cfg.BinWidth, timeseries.Mean)
+		if r, ok := correlateWith(dayProf, profile, nBins/2, scr); ok {
 			corrSum += r
 			v.DaysEvaluated++
 		}
+		i = j
 	}
 	if v.DaysEvaluated > 0 {
 		v.Consistency = corrSum / float64(v.DaysEvaluated)
@@ -143,8 +171,14 @@ func (v Verdict) Decide(cfg Config) Verdict {
 // correlate computes the Pearson correlation between two profiles over
 // bins present in both, requiring at least minBins shared bins.
 func correlate(a, b []float64, minBins int) (float64, bool) {
-	xs := make([]float64, 0, len(a))
-	ys := make([]float64, 0, len(a))
+	var scr Scratch
+	return correlateWith(a, b, minBins, &scr)
+}
+
+// correlateWith is correlate through scratch pair buffers.
+func correlateWith(a, b []float64, minBins int, scr *Scratch) (float64, bool) {
+	xs, ys := scr.xs[:0], scr.ys[:0]
+	defer func() { scr.xs, scr.ys = xs[:0], ys[:0] }()
 	for i := range a {
 		if i < len(b) && !timeseries.IsMissing(a[i]) && !timeseries.IsMissing(b[i]) {
 			xs = append(xs, a[i])

@@ -31,6 +31,7 @@ import (
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
 	"afrixp/internal/telemetry"
+	"afrixp/internal/timeseries"
 )
 
 // Config drives one campaign.
@@ -52,6 +53,13 @@ type Config struct {
 	LossBatchEvery simclock.Duration
 	// DisableLoss skips the loss campaigns.
 	DisableLoss bool
+	// FlatSeries opts the RTT collectors out of the XOR-compressed
+	// chunked backing and stores aggregated series as plain []float64
+	// — the pre-tschunk layout. Results are bit-identical either way
+	// (TestChunkedCampaignBitIdentical); the flag exists for the
+	// backing-equivalence tests and for callers that mutate collected
+	// series in place.
+	FlatSeries bool
 	// Workers fans the probing loop out across per-VP goroutines and
 	// the analysis phase across per-link goroutines. Results are
 	// bit-identical for any value: probing always samples against the
@@ -147,6 +155,18 @@ type LinkRecord struct {
 	tslp    *prober.TSLP
 	lossCol *loss.Collector
 	lossIv  simclock.Interval
+}
+
+// LossGrid returns the streamed, XOR-compressed loss-rate grid for a
+// case link — bit-identical to gridding LossBatches with loss.ToSeries
+// over loss.GridFor(the link's loss window), but built incrementally
+// during probing so the rate series never exists flat. Nil for links
+// without a loss campaign. The first call seals the grid.
+func (lr *LinkRecord) LossGrid() *timeseries.Series {
+	if lr.lossCol == nil {
+		return nil
+	}
+	return lr.lossCol.GridSeries()
 }
 
 // VPResult is one vantage point's campaign output.
@@ -398,7 +418,7 @@ func Run(cfg Config) *Result {
 			}
 			lr := &LinkRecord{Target: target, FarAS: l.FarAS, ViaIXP: l.ViaIXP,
 				DiscoveredAt: t, tslp: ts, Verdicts: make(map[float64]analysis.Verdict)}
-			ccfg := analysis.CollectorConfig{Campaign: cfg.Campaign, Step: cfg.Step}
+			ccfg := analysis.CollectorConfig{Campaign: cfg.Campaign, Step: cfg.Step, Flat: cfg.FlatSeries}
 			for name, cl := range vr.VP.CaseLinks {
 				if cl == target {
 					lr.CaseName = name
@@ -410,6 +430,10 @@ func Run(cfg Config) *Result {
 						lr.lossCol = &loss.Collector{}
 						// One batch per loss round over the window.
 						lr.lossCol.Reserve(lr.lossIv.NumSteps(cfg.LossBatchEvery) + 1)
+						// Stream completed batch rates into a compressed
+						// grid alongside the batch store; LossGrid exposes
+						// it after the campaign.
+						lr.lossCol.BindGrid(loss.GridFor(lr.lossIv))
 					}
 				}
 			}

@@ -110,9 +110,9 @@ func TestFaultCampaignOutageGapsFlow(t *testing.T) {
 				at := far.TimeAt(i)
 				// Interior bins only: edge bins can mix up/down steps.
 				if at.Add(far.Step) <= f.Window.End && at >= f.Window.Start {
-					if !timeseries.IsMissing(far.Values[i]) {
+					if !timeseries.IsMissing(far.ValueAt(i)) {
 						t.Fatalf("%s %v: sample %v at %v inside outage %v",
-							f.Target, lr.Target, far.Values[i], at, f.Window)
+							f.Target, lr.Target, far.ValueAt(i), at, f.Window)
 					}
 					gapped++
 				}

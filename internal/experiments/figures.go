@@ -138,11 +138,20 @@ func (f Figure) WriteSVG(w io.Writer, width, height int) error {
 
 // Stats summarizes the plotted series for paper-vs-measured rows.
 func (f Figure) Stats() timeseries.Stats {
+	var sc timeseries.StatsScratch
+	return f.StatsWith(&sc)
+}
+
+// StatsWith is Stats through a caller-owned quantile scratch, so a
+// loop summarizing every figure (or every link) sorts in one reused
+// buffer instead of three clones per call. Results are bit-identical
+// to Stats.
+func (f Figure) StatsWith(sc *timeseries.StatsScratch) timeseries.Stats {
 	switch {
 	case f.Loss != nil:
-		return f.Loss.Summarize()
+		return f.Loss.SummarizeInto(sc)
 	case f.Far != nil:
-		return f.Far.Summarize()
+		return f.Far.SummarizeInto(sc)
 	default:
 		return timeseries.Stats{}
 	}

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"afrixp/internal/levelshift"
+	"afrixp/internal/loss"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
 )
 
 // runShortCampaign runs a 4-day mid-2016 campaign that exercises every
@@ -19,17 +21,38 @@ import (
 // 2016-07-19 + 2 days), so snapshot discovery, TSLP rounds, and loss
 // batches all run.
 func runShortCampaign(workers int) *Result {
+	return runShortCampaignCfg(workers, 0, false)
+}
+
+// runShortCampaignCfg is runShortCampaign with the batch-planner cap
+// and the series backing pinned too — the axes the chunked-backing
+// equivalence matrix sweeps.
+func runShortCampaignCfg(workers, batchSteps int, flat bool) *Result {
 	return Run(Config{
 		Opts: scenario.Options{Seed: 5, Scale: 0.1},
 		Campaign: simclock.Interval{
 			Start: simclock.Date(2016, time.July, 20),
 			End:   simclock.Date(2016, time.July, 24),
 		},
-		Workers: workers,
+		Workers:    workers,
+		BatchSteps: batchSteps,
+		FlatSeries: flat,
 	})
 }
 
 func bits(f float64) uint64 { return math.Float64bits(f) }
+
+// dumpSeries renders a series' grid values as raw IEEE bits through the
+// backing-agnostic block iterator, so flat and chunked series with the
+// same values render identically.
+func dumpSeries(b *bytes.Buffer, s *timeseries.Series) {
+	s.Each(func(_ int, vals []float64) {
+		for _, v := range vals {
+			fmt.Fprintf(b, "%x,", bits(v))
+		}
+	})
+	b.WriteByte('\n')
+}
 
 // summarizeResult renders every campaign observable — series values,
 // verdict scalars, shifts, events, loss batches — with floats as raw
@@ -50,14 +73,8 @@ func summarizeResult(res *Result) string {
 				lr.Target, lr.FarAS, lr.ViaIXP, lr.DiscoveredAt, lr.CaseName,
 				bits(lr.Collector.FarLossFraction()), att, samp, miss)
 			ls := lr.Collector.Series()
-			for _, v := range ls.Near.Values {
-				fmt.Fprintf(&b, "%x,", bits(v))
-			}
-			b.WriteByte('\n')
-			for _, v := range ls.Far.Values {
-				fmt.Fprintf(&b, "%x,", bits(v))
-			}
-			b.WriteByte('\n')
+			dumpSeries(&b, ls.Near)
+			dumpSeries(&b, ls.Far)
 			for _, thr := range res.Cfg.Thresholds {
 				v := lr.Verdicts[thr]
 				fmt.Fprintf(&b, "  thr=%g flag=%t nearflat=%t sym=%t cong=%t class=%d aw=%x dt=%d diur=%t amp=%x cons=%x peak=%x days=%d\n",
@@ -81,6 +98,10 @@ func summarizeResult(res *Result) string {
 				fmt.Fprintf(&b, " (%d,%d,%d)", lb.Start, lb.Sent, lb.Lost)
 			}
 			b.WriteByte('\n')
+			if g := lr.LossGrid(); g != nil {
+				b.WriteString("  lossgrid=")
+				dumpSeries(&b, g)
+			}
 		}
 	}
 	return b.String()
@@ -137,6 +158,102 @@ func TestParallelCampaignBitIdentical(t *testing.T) {
 	}
 	if a, b := renderReports(t, seq), renderReports(t, par); a != b {
 		t.Errorf("rendered reports differ between workers=1 and workers=8\n%s", firstDiff(a, b))
+	}
+}
+
+// TestChunkedCampaignBitIdentical is the tschunk retrofit's guarantee:
+// a campaign collected into XOR-compressed chunked series produces
+// exactly the same numbers — every series value, verdict scalar,
+// shift, event, loss batch, loss grid, and rendered report — as the
+// flat-slice backing, across the full Workers × BatchSteps matrix. The
+// flat workers=1 batch=1 run is the reference; every other cell of
+// {flat, chunked} × {1, 8 workers} × {1, 4096 batch steps} must match
+// it at the bit level.
+func TestChunkedCampaignBitIdentical(t *testing.T) {
+	ref := runShortCampaignCfg(1, 1, true)
+	links := 0
+	for _, vr := range ref.VPs {
+		links += len(vr.Links)
+	}
+	if links == 0 {
+		t.Fatal("campaign discovered no links; equivalence check is vacuous")
+	}
+	refSum, refRep := summarizeResult(ref), renderReports(t, ref)
+
+	for _, flat := range []bool{true, false} {
+		for _, workers := range []int{1, 8} {
+			for _, batch := range []int{1, 4096} {
+				if flat && workers == 1 && batch == 1 {
+					continue // the reference itself
+				}
+				res := runShortCampaignCfg(workers, batch, flat)
+				checkBacking(t, res, flat)
+				if got := summarizeResult(res); got != refSum {
+					t.Errorf("flat=%t workers=%d batch=%d: results differ from flat reference\n%s",
+						flat, workers, batch, firstDiff(refSum, got))
+				}
+				if got := renderReports(t, res); got != refRep {
+					t.Errorf("flat=%t workers=%d batch=%d: reports differ from flat reference\n%s",
+						flat, workers, batch, firstDiff(refRep, got))
+				}
+				if !flat && workers == 1 && batch == 1 {
+					checkLossGrids(t, res)
+				}
+			}
+		}
+	}
+}
+
+// checkBacking asserts every collected series actually uses the
+// backing under test — otherwise the equivalence matrix could pass by
+// comparing flat against flat.
+func checkBacking(t *testing.T, res *Result, flat bool) {
+	t.Helper()
+	for _, vr := range res.VPs {
+		for _, lr := range vr.SortedLinks() {
+			ls := lr.Collector.Series()
+			if ls.Near.Chunked() == flat || ls.Far.Chunked() == flat {
+				t.Fatalf("link %v: Chunked()=%t with FlatSeries=%t", lr.Target, ls.Near.Chunked(), flat)
+			}
+		}
+	}
+}
+
+// checkLossGrids pins the streaming loss grid against the offline
+// construction: gridding the completed batches with loss.ToSeries over
+// the same GridFor layout must reproduce LossGrid bit for bit, with no
+// batch falling off the grid.
+func checkLossGrids(t *testing.T, res *Result) {
+	t.Helper()
+	grids := 0
+	for _, vr := range res.VPs {
+		for _, lr := range vr.SortedLinks() {
+			g := lr.LossGrid()
+			if g == nil {
+				continue
+			}
+			grids++
+			if !g.Chunked() {
+				t.Errorf("link %v: loss grid is not chunk-backed", lr.Target)
+			}
+			gridStart, gridStep, gridN := loss.GridFor(lr.lossIv)
+			want, dropped := loss.ToSeries(lr.LossBatches, gridStart, gridStep, gridN)
+			if dropped != 0 {
+				t.Errorf("link %v: ToSeries dropped %d batches off its own grid", lr.Target, dropped)
+			}
+			if g.Len() != want.Len() {
+				t.Fatalf("link %v: grid len %d, ToSeries len %d", lr.Target, g.Len(), want.Len())
+			}
+			for i := 0; i < g.Len(); i++ {
+				if bits(g.ValueAt(i)) != bits(want.ValueAt(i)) {
+					t.Fatalf("link %v: loss grid slot %d = %x, ToSeries = %x",
+						lr.Target, i, bits(g.ValueAt(i)), bits(want.ValueAt(i)))
+				}
+			}
+		}
+	}
+	if grids == 0 {
+		t.Fatal("no loss grids collected; grid equivalence check is vacuous")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"afrixp/internal/prober"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
 )
 
 // WhatIfPoint is one row of the capacity-planning sweep: had NETPAGE
@@ -34,6 +35,7 @@ func RunUpgradeWhatIf(base scenario.Options, capacities []float64) ([]WhatIfPoin
 	window := simclock.Interval{Start: upgrade, End: upgrade.Add(42 * 24 * time.Hour)}
 
 	var out []WhatIfPoint
+	var statsScr timeseries.StatsScratch // one sort buffer across the sweep
 	for _, capBps := range capacities {
 		opts := base
 		opts.NetpageUpgradeBps = capBps
@@ -52,7 +54,7 @@ func RunUpgradeWhatIf(base scenario.Options, capacities []float64) ([]WhatIfPoin
 		})
 		ls := col.Series()
 		v := analysis.AnalyzeLink(ls, analysis.DefaultConfig())
-		st := ls.Far.Summarize()
+		st := ls.Far.SummarizeInto(&statsScr)
 		out = append(out, WhatIfPoint{
 			UpgradeBps:     capBps,
 			CongestedAfter: v.Congested,

@@ -9,6 +9,7 @@
 package levelshift
 
 import (
+	"sort"
 	"time"
 
 	"afrixp/internal/cusum"
@@ -147,11 +148,36 @@ type Detection struct {
 	// percentile of the compacted samples.
 	Baseline float64
 
-	cfg   Config              // captured analysis config (ThresholdMs unused)
-	vals  []float64           // present samples, NaNs compacted away
-	slots []int               // vals[i] came from Series grid slot slots[i]
-	win   int                 // detection window length in samples
-	cands [][]cusum.Candidate // per-window pre-filter change points
+	cfg Config   // captured analysis config (ThresholdMs unused)
+	scr *Scratch // compacted samples, candidate arena, work buffers
+	win int      // detection window length in samples
+}
+
+// Scratch is the reusable working memory behind a Detection: the
+// NaN-compacted samples, the per-window candidate arena, and the
+// buffers AtThreshold churns through per magnitude threshold. A sweep
+// worker threads one Scratch per series role across every link it
+// analyzes; nothing retained by Result aliases it. A Detection is only
+// valid until its Scratch is reused by a later DetectScratch call.
+type Scratch struct {
+	vals      []float64 // present samples, NaNs compacted away
+	slots     []int     // vals[i] came from the analyzed series' grid slot slots[i]
+	cands     []cusum.Candidate
+	candOff   []int // window w's candidates = cands[candOff[w]:candOff[w+1]]
+	elevation []float64
+	bounds    []int
+	sortBuf   []float64
+	cpBuf     []cusum.ChangePoint
+	keptBuf   []int
+}
+
+// median computes the median of vs through the scratch sort buffer —
+// bit-identical to timeseries.Median (same sort, same interpolation),
+// without the per-call clone.
+func (scr *Scratch) median(vs []float64) float64 {
+	scr.sortBuf = append(scr.sortBuf[:0], vs...)
+	sort.Float64s(scr.sortBuf)
+	return timeseries.QuantileSorted(scr.sortBuf, 0.5)
 }
 
 // Detect runs the detection phase on a series; cfg.ThresholdMs is
@@ -180,26 +206,42 @@ func Detect(s *timeseries.Series, cfg Config) *Detection {
 // its prior configuration does not matter; results are bit-identical
 // to Detect.
 func DetectWith(det *cusum.Detector, s *timeseries.Series, cfg Config) *Detection {
+	return DetectScratch(det, s, cfg, &Scratch{})
+}
+
+// DetectScratch is DetectWith with caller-owned working memory: the
+// compaction buffers and the per-window candidate arena come from scr
+// instead of fresh allocations. The returned Detection reads through
+// scr and is invalidated by the next DetectScratch call with the same
+// scratch. Results are bit-identical to Detect.
+func DetectScratch(det *cusum.Detector, s *timeseries.Series, cfg Config, scr *Scratch) *Detection {
 	work := s
 	if cfg.AggregateTo > 0 && cfg.AggregateTo > s.Step {
 		factor := int(cfg.AggregateTo / s.Step)
 		work = s.Aggregate(factor, timeseries.Min)
 	}
 	// The CUSUM detector cannot carry NaNs; compact the present
-	// samples and keep the index mapping back to grid slots.
-	vals := make([]float64, 0, work.Len())
-	slots := make([]int, 0, work.Len())
-	for i, v := range work.Values {
-		if !timeseries.IsMissing(v) {
-			vals = append(vals, v)
-			slots = append(slots, i)
+	// samples and keep the index mapping back to grid slots. Each
+	// streams chunk-backed series one decoded block at a time — the
+	// analysis never materializes the full grid.
+	scr.vals = scr.vals[:0]
+	scr.slots = scr.slots[:0]
+	work.Each(func(base int, vs []float64) {
+		for k, v := range vs {
+			if !timeseries.IsMissing(v) {
+				scr.vals = append(scr.vals, v)
+				scr.slots = append(scr.slots, base+k)
+			}
 		}
-	}
-	d := &Detection{Series: work, cfg: cfg, vals: vals, slots: slots}
+	})
+	vals := scr.vals
+	d := &Detection{Series: work, cfg: cfg, scr: scr}
 	if len(vals) < 4 {
 		return d
 	}
-	d.Baseline = timeseries.Quantile(vals, 0.10)
+	scr.sortBuf = append(scr.sortBuf[:0], vals...)
+	sort.Float64s(scr.sortBuf)
+	d.Baseline = timeseries.QuantileSorted(scr.sortBuf, 0.10)
 
 	d.win = 48
 	if work.Step > 0 {
@@ -210,13 +252,15 @@ func DetectWith(det *cusum.Detector, s *timeseries.Series, cfg Config) *Detectio
 	ccfg := cfg.Cusum
 	ccfg.UseRanks = true
 	det.Reconfigure(ccfg)
-	d.cands = make([][]cusum.Candidate, 0, (len(vals)+d.win-1)/d.win)
+	scr.cands = scr.cands[:0]
+	scr.candOff = append(scr.candOff[:0], 0)
 	for lo := 0; lo < len(vals); lo += d.win {
 		hi := lo + d.win
 		if hi > len(vals) {
 			hi = len(vals)
 		}
-		d.cands = append(d.cands, det.Candidates(vals[lo:hi], ccfg.Seed+int64(lo)))
+		scr.cands = det.AppendCandidates(scr.cands, vals[lo:hi], ccfg.Seed+int64(lo))
+		scr.candOff = append(scr.candOff, len(scr.cands))
 	}
 	return d
 }
@@ -228,36 +272,50 @@ func DetectWith(det *cusum.Detector, s *timeseries.Series, cfg Config) *Detectio
 // cfg.ThresholdMs = thresholdMs.
 func (d *Detection) AtThreshold(thresholdMs float64) Result {
 	res := Result{Series: d.Series}
-	if len(d.vals) < 4 {
+	scr := d.scr
+	if len(scr.vals) < 4 {
 		return res
 	}
 	res.Baseline = d.Baseline
 	base := d.Baseline
-	vals := d.vals
+	vals := scr.vals
 	minMag := thresholdMs / 2 // sub-noise wiggles die here
 
 	// elevation[i] > 0 marks compacted sample i as part of a shifted
 	// segment, carrying the segment's elevation above baseline.
-	elevation := make([]float64, len(vals))
+	if cap(scr.elevation) < len(vals) {
+		scr.elevation = make([]float64, len(vals))
+	}
+	elevation := scr.elevation[:len(vals)]
+	for i := range elevation {
+		elevation[i] = 0
+	}
 	for w, lo := 0, 0; lo < len(vals); w, lo = w+1, lo+d.win {
 		hi := lo + d.win
 		if hi > len(vals) {
 			hi = len(vals)
 		}
 		win := vals[lo:hi]
-		cps := cusum.ApplyMagnitude(win, d.cands[w], minMag)
-		res.Shifts = append(res.Shifts, offsetShifts(cps, lo)...)
-		bounds := []int{0}
+		var cps []cusum.ChangePoint
+		scr.cpBuf, scr.keptBuf = cusum.ApplyMagnitudeInto(
+			scr.cpBuf[:0], scr.keptBuf, win, scr.cands[scr.candOff[w]:scr.candOff[w+1]], minMag)
+		cps = scr.cpBuf
+		for _, cp := range cps {
+			cp.Index += lo
+			res.Shifts = append(res.Shifts, cp)
+		}
+		bounds := append(scr.bounds[:0], 0)
 		for _, cp := range cps {
 			bounds = append(bounds, cp.Index)
 		}
 		bounds = append(bounds, len(win))
+		scr.bounds = bounds
 		for k := 0; k+1 < len(bounds); k++ {
 			a, b := bounds[k], bounds[k+1]
 			if b <= a {
 				continue
 			}
-			level := timeseries.Median(win[a:b])
+			level := scr.median(win[a:b])
 			if level-base >= thresholdMs {
 				for i := lo + a; i < lo+b; i++ {
 					elevation[i] = level - base
@@ -308,8 +366,8 @@ func (d *Detection) AtThreshold(thresholdMs float64) Result {
 			j++
 		}
 		events = append(events, Event{
-			Start:     d.Series.TimeAt(d.slots[i]),
-			End:       d.Series.TimeAt(d.slots[j-1] + 1),
+			Start:     d.Series.TimeAt(scr.slots[i]),
+			End:       d.Series.TimeAt(scr.slots[j-1] + 1),
 			Magnitude: sum / float64(j-i),
 			OpenEnded: j == len(elevation),
 		})
@@ -320,7 +378,9 @@ func (d *Detection) AtThreshold(thresholdMs float64) Result {
 }
 
 // offsetShifts rebases change-point indices from window space into the
-// compacted series.
+// compacted series. AtThreshold inlines this into its scratch loop;
+// the helper remains as the reference the two-phase equivalence test
+// rebuilds the single-shot pipeline from.
 func offsetShifts(cps []cusum.ChangePoint, off int) []cusum.ChangePoint {
 	out := make([]cusum.ChangePoint, len(cps))
 	for i, cp := range cps {

@@ -10,6 +10,7 @@ import (
 
 	"afrixp/internal/simclock"
 	"afrixp/internal/timeseries"
+	"afrixp/internal/tschunk"
 )
 
 // BatchSize is the paper's batch: 100 probes.
@@ -31,11 +32,63 @@ func (b Batch) Rate() float64 {
 	return 100 * float64(b.Lost) / float64(b.Sent)
 }
 
-// Collector accumulates per-probe outcomes into batches.
+// Collector accumulates per-probe outcomes into batches. With BindGrid
+// it additionally streams completed batch rates into a compressed
+// tschunk grid — the same columnar backing the RTT collectors use — so
+// a long loss campaign's rate series never exists as a flat slice.
 type Collector struct {
 	batches []Batch
 	cur     Batch
 	open    bool
+
+	grid      *tschunk.Builder
+	gridStart simclock.Time
+	gridStep  simclock.Duration
+	gridS     *timeseries.Series // sealed view, cached by GridSeries
+}
+
+// BindGrid attaches a compressed rate grid covering n slots of step
+// width from start (use GridFor's layout). Every batch completed after
+// the bind max-merges its rate into the covering slot — the same
+// merge ToSeries applies — so GridSeries matches ToSeries over the
+// same grid bit for bit. Call before recording begins.
+func (c *Collector) BindGrid(start simclock.Time, step simclock.Duration, n int) {
+	if step <= 0 {
+		panic("loss: non-positive grid step")
+	}
+	c.grid = tschunk.NewBuilder(n)
+	c.gridStart = start
+	c.gridStep = step
+	c.gridS = nil
+}
+
+// mergeGrid folds one completed batch into the bound grid.
+func (c *Collector) mergeGrid(b Batch) {
+	if c.grid == nil || b.Start < c.gridStart {
+		return
+	}
+	i := int(b.Start.Sub(c.gridStart) / c.gridStep)
+	if i >= c.grid.Len() {
+		return
+	}
+	c.grid.MergeMax(i, b.Rate())
+}
+
+// GridSeries seals and returns the bound rate grid as a chunk-backed
+// series, folding in the trailing partial batch exactly when Batches
+// would keep it. Nil when no grid is bound. The first call finalizes
+// the grid; recording after it panics.
+func (c *Collector) GridSeries() *timeseries.Series {
+	if c.grid == nil {
+		return nil
+	}
+	if c.gridS == nil {
+		if c.open && c.cur.Sent >= BatchSize/2 {
+			c.mergeGrid(c.cur)
+		}
+		c.gridS = timeseries.FromChunk(c.gridStart, c.gridStep, c.grid.Seal())
+	}
+	return c.gridS
 }
 
 // Reserve pre-sizes the batch store for n completed batches, so a
@@ -61,6 +114,7 @@ func (c *Collector) Record(t simclock.Time, lost bool) {
 	}
 	if c.cur.Sent >= BatchSize {
 		c.batches = append(c.batches, c.cur)
+		c.mergeGrid(c.cur)
 		c.open = false
 	}
 }

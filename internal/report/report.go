@@ -102,8 +102,8 @@ func WriteSeriesCSV(w io.Writer, names []string, series ...*timeseries.Series) e
 		cells := make([]string, 0, len(series)+1)
 		cells = append(cells, series[0].TimeAt(i).Wall().Format("2006-01-02T15:04:05"))
 		for _, s := range series {
-			if i < s.Len() && !timeseries.IsMissing(s.Values[i]) {
-				cells = append(cells, fmt.Sprintf("%.3f", s.Values[i]))
+			if i < s.Len() && !timeseries.IsMissing(s.ValueAt(i)) {
+				cells = append(cells, fmt.Sprintf("%.3f", s.ValueAt(i)))
 			} else {
 				cells = append(cells, "")
 			}
@@ -125,20 +125,23 @@ func ASCIIPlot(w io.Writer, names []string, markers []rune, width, height int, s
 	if len(markers) < len(series) || len(names) < len(series) {
 		return fmt.Errorf("report: need a name and marker per series")
 	}
-	// Global scale.
+	// Global scale. Each streams chunk-backed series block by block
+	// and visits flat ones in a single run.
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, s := range series {
-		for _, v := range s.Values {
-			if timeseries.IsMissing(v) {
-				continue
+		s.Each(func(_ int, vals []float64) {
+			for _, v := range vals {
+				if timeseries.IsMissing(v) {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
 			}
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
+		})
 	}
 	if math.IsInf(lo, 1) {
 		return fmt.Errorf("report: nothing to plot")
@@ -163,7 +166,7 @@ func ASCIIPlot(w io.Writer, names []string, markers []rune, width, height int, s
 			}
 			vmax := math.Inf(-1)
 			for i := a; i < b && i < s.Len(); i++ {
-				if v := s.Values[i]; !timeseries.IsMissing(v) && v > vmax {
+				if v := s.ValueAt(i); !timeseries.IsMissing(v) && v > vmax {
 					vmax = v
 				}
 			}

@@ -44,24 +44,26 @@ func WriteSVG(w io.Writer, title, yLabel string, width, height int, series ...SV
 	lo, hi := math.Inf(1), math.Inf(-1)
 	var tMin, tMax int64 = math.MaxInt64, math.MinInt64
 	for _, s := range series {
-		for i, v := range s.Series.Values {
-			if timeseries.IsMissing(v) {
-				continue
+		s.Series.Each(func(base int, vals []float64) {
+			for i, v := range vals {
+				if timeseries.IsMissing(v) {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				at := int64(s.Series.TimeAt(base + i))
+				if at < tMin {
+					tMin = at
+				}
+				if at > tMax {
+					tMax = at
+				}
 			}
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-			at := int64(s.Series.TimeAt(i))
-			if at < tMin {
-				tMin = at
-			}
-			if at > tMax {
-				tMax = at
-			}
-		}
+		})
 	}
 	if math.IsInf(lo, 1) {
 		return fmt.Errorf("report: nothing to plot")
@@ -124,13 +126,15 @@ func WriteSVG(w io.Writer, title, yLabel string, width, height int, series ...SV
 			color = defaultColors[si%len(defaultColors)]
 		}
 		if s.Scatter {
-			for i, v := range s.Series.Values {
-				if timeseries.IsMissing(v) {
-					continue
+			s.Series.Each(func(base int, vals []float64) {
+				for i, v := range vals {
+					if timeseries.IsMissing(v) {
+						continue
+					}
+					fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`+"\n",
+						x(int64(s.Series.TimeAt(base+i))), y(v), color)
 				}
-				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`+"\n",
-					x(int64(s.Series.TimeAt(i))), y(v), color)
-			}
+			})
 		} else {
 			var pts []string
 			flush := func() {
@@ -142,13 +146,15 @@ func WriteSVG(w io.Writer, title, yLabel string, width, height int, series ...SV
 				}
 				pts = pts[:0]
 			}
-			for i, v := range s.Series.Values {
-				if timeseries.IsMissing(v) {
-					flush() // gaps break the line, as they should
-					continue
+			s.Series.Each(func(base int, vals []float64) {
+				for i, v := range vals {
+					if timeseries.IsMissing(v) {
+						flush() // gaps break the line, as they should
+						continue
+					}
+					pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(int64(s.Series.TimeAt(base+i))), y(v)))
 				}
-				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(int64(s.Series.TimeAt(i))), y(v)))
-			}
+			})
 			flush()
 		}
 		// Legend.

@@ -1,0 +1,495 @@
+// Package tschunk is the columnar, compressed backing store for the
+// regular-grid time series the campaign engine collects. A series is a
+// fixed grid of float64 samples (NaN marks missing); tschunk splits the
+// grid into fixed-size immutable blocks and XOR-packs each block
+// Gorilla-style (Pelkonen et al., "Gorilla: A Fast, Scalable, In-Memory
+// Time Series Database"). Timestamps are never stored: the grid is
+// regular, so the delta-of-delta stream every Gorilla implementation
+// carries degenerates to a constant and the slot index *is* the
+// timestamp (see DESIGN.md §12).
+//
+// The write path is an append-only Builder: samples land in a raw
+// in-place block (the campaign's streaming min/max filters re-touch the
+// current bin many times), and a block is compressed exactly once, when
+// the write frontier passes it. Sealing into a pre-reserved arena keeps
+// the steady-state probing step allocation-free. The read path decodes
+// one block at a time into caller-owned buffers, so an analysis pass
+// streams a year-long series through a few kilobytes of scratch instead
+// of materializing it.
+package tschunk
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// BlockLen is the number of grid slots per block. 256 slots cover ~2h
+// of native 5-minute samples per few blocks while keeping the decode
+// scratch (2 KiB) comfortably stack-sized; larger blocks amortize the
+// 8-byte raw first value better but make point reads dearer.
+const BlockLen = 256
+
+// Missing is the in-band missing marker (IEEE NaN). Any NaN bit
+// pattern round-trips through the codec unchanged; this is the
+// canonical one the grid is initialized with.
+var Missing = math.NaN()
+
+// blockRef locates one sealed block inside the arena. Blocks can share
+// arena ranges: every all-missing block of full length points at the
+// same few bytes.
+type blockRef struct {
+	off, size int // arena byte range
+	count     int // values encoded (BlockLen except the tail)
+}
+
+// Chunk is a sealed, immutable compressed series: every block
+// XOR-packed into one arena. Chunks are safe for concurrent readers.
+type Chunk struct {
+	n      int
+	arena  []byte
+	blocks []blockRef
+}
+
+// Len returns the number of grid slots.
+func (c *Chunk) Len() int { return c.n }
+
+// NumBlocks returns the number of blocks.
+func (c *Chunk) NumBlocks() int { return len(c.blocks) }
+
+// BlockBase returns the grid slot of block b's first value.
+func (c *Chunk) BlockBase(b int) int { return b * BlockLen }
+
+// EncodedSize returns the compressed payload size in bytes. Shared
+// all-missing blocks are counted once, matching resident memory.
+func (c *Chunk) EncodedSize() int { return len(c.arena) }
+
+// RawSize returns the size the same grid occupies as flat []float64.
+func (c *Chunk) RawSize() int { return 8 * c.n }
+
+// DecodeBlock decodes block b into dst (sliced to the block's value
+// count) and returns it. dst must have capacity ≥ BlockLen; pass the
+// same buffer across calls for allocation-free streaming.
+func (c *Chunk) DecodeBlock(b int, dst []float64) []float64 {
+	ref := c.blocks[b]
+	dst = dst[:ref.count]
+	decodeBlock(c.arena[ref.off:ref.off+ref.size], dst)
+	return dst
+}
+
+// At returns the value at grid slot i. Each call decodes the covering
+// block's prefix — O(BlockLen); use a Cursor or DecodeBlock for
+// anything denser than point reads.
+func (c *Chunk) At(i int) float64 {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("tschunk: slot %d out of range [0,%d)", i, c.n))
+	}
+	var buf [BlockLen]float64
+	vals := c.DecodeBlock(i/BlockLen, buf[:0])
+	return vals[i%BlockLen]
+}
+
+// Cursor is a random-access reader that caches the last decoded block,
+// making runs of nearby reads cheap. Not safe for concurrent use.
+type Cursor struct {
+	c    *Chunk
+	blk  int
+	vals []float64
+	buf  [BlockLen]float64
+}
+
+// NewCursor builds a cursor over c.
+func NewCursor(c *Chunk) *Cursor { return &Cursor{c: c, blk: -1} }
+
+// At returns the value at grid slot i.
+func (cu *Cursor) At(i int) float64 {
+	if i < 0 || i >= cu.c.n {
+		panic(fmt.Sprintf("tschunk: slot %d out of range [0,%d)", i, cu.c.n))
+	}
+	if b := i / BlockLen; b != cu.blk {
+		cu.vals = cu.c.DecodeBlock(b, cu.buf[:0])
+		cu.blk = b
+	}
+	return cu.vals[i%BlockLen]
+}
+
+// Iter streams a chunk's values in grid order, one block decode at a
+// time. Not safe for concurrent use.
+type Iter struct {
+	cu  *Cursor
+	idx int
+}
+
+// NewIter builds an iterator positioned before slot 0.
+func NewIter(c *Chunk) *Iter { return &Iter{cu: NewCursor(c)} }
+
+// Next returns the next value; ok is false once the grid is exhausted.
+func (it *Iter) Next() (v float64, ok bool) {
+	if it.idx >= it.cu.c.n {
+		return 0, false
+	}
+	v = it.cu.At(it.idx)
+	it.idx++
+	return v, true
+}
+
+// Builder accumulates a fixed-length grid and compresses it block by
+// block as the write frontier advances. Writes must be grid-ordered at
+// block granularity: once a later block is touched, earlier blocks are
+// sealed and immutable (the campaign's collectors write strictly
+// forward in virtual time). Within the current block, slots may be
+// set, min-merged, and max-merged freely — the streaming filters
+// re-touch a bin once per probing round.
+//
+// A Builder pre-reserves its arena at construction, so the per-sample
+// write path never allocates; sealing allocates only if compression
+// outruns the reserve (the arena then doubles). Not safe for
+// concurrent use.
+type Builder struct {
+	n       int
+	blocks  []blockRef
+	arena   []byte
+	cur     []float64 // raw current block, NaN-initialized
+	curBlk  int       // block index cur covers
+	scratch []byte    // per-block encode buffer (worst case sized)
+	nanRef  blockRef  // shared encoding of a full all-missing block
+	hasNaN  bool
+	dirty   bool // cur has at least one non-missing write
+	sealed  *Chunk
+}
+
+// worstBlockBytes bounds one encoded block: 8 raw bytes for the first
+// value, then ≤ 2+5+6+64 bits per value, plus byte-alignment slack.
+const worstBlockBytes = 8 + (BlockLen*77)/8 + 2
+
+// NewBuilder sizes a builder for an n-slot grid, reserving arena
+// capacity for ~4 bytes per slot — comfortably above what min-filtered
+// RTT grids encode to (long missing runs cost one bit per slot,
+// repeated floors one bit, moving values a few bytes). Use Reserve to
+// override before the first seal.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("tschunk: negative grid length")
+	}
+	b := &Builder{
+		n:       n,
+		blocks:  make([]blockRef, 0, (n+BlockLen-1)/BlockLen),
+		arena:   make([]byte, 0, 4*n+16),
+		scratch: make([]byte, 0, worstBlockBytes),
+	}
+	b.resetCur(0)
+	return b
+}
+
+// Len returns the grid length.
+func (b *Builder) Len() int { return b.n }
+
+// Reserve grows the arena capacity to at least bytes. Call before
+// probing starts to guarantee allocation-free sealing.
+func (b *Builder) Reserve(bytes int) {
+	if bytes > cap(b.arena) {
+		grown := make([]byte, len(b.arena), bytes)
+		copy(grown, b.arena)
+		b.arena = grown
+	}
+}
+
+func (b *Builder) resetCur(blk int) {
+	b.curBlk = blk
+	lo := blk * BlockLen
+	count := b.n - lo
+	if count > BlockLen {
+		count = BlockLen
+	}
+	if count < 0 {
+		count = 0
+	}
+	if b.cur == nil {
+		b.cur = make([]float64, BlockLen)
+	}
+	b.cur = b.cur[:count]
+	for i := range b.cur {
+		b.cur[i] = Missing
+	}
+	b.dirty = false
+}
+
+// advanceTo seals blocks until the current block covers slot i.
+func (b *Builder) advanceTo(i int) {
+	if b.sealed != nil {
+		panic("tschunk: write after Seal")
+	}
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("tschunk: slot %d out of range [0,%d)", i, b.n))
+	}
+	blk := i / BlockLen
+	if blk < b.curBlk {
+		panic(fmt.Sprintf("tschunk: out-of-order write: slot %d is in sealed block %d (current %d)",
+			i, blk, b.curBlk))
+	}
+	for blk > b.curBlk {
+		b.sealCur()
+		b.resetCur(b.curBlk + 1)
+	}
+}
+
+// sealCur compresses the current block into the arena. Full-length
+// all-missing blocks (pre-discovery gaps, VP outages spanning blocks)
+// are encoded once and shared.
+func (b *Builder) sealCur() {
+	if !b.dirty && len(b.cur) == BlockLen {
+		if !b.hasNaN {
+			b.nanRef = b.appendEncoded(b.cur)
+			b.hasNaN = true
+		}
+		ref := b.nanRef
+		b.blocks = append(b.blocks, ref)
+		return
+	}
+	b.blocks = append(b.blocks, b.appendEncoded(b.cur))
+}
+
+func (b *Builder) appendEncoded(vals []float64) blockRef {
+	enc := encodeBlock(vals, b.scratch[:0])
+	off := len(b.arena)
+	b.arena = append(b.arena, enc...)
+	return blockRef{off: off, size: len(enc), count: len(vals)}
+}
+
+// Set overwrites slot i.
+func (b *Builder) Set(i int, v float64) {
+	b.advanceTo(i)
+	b.cur[i-b.curBlk*BlockLen] = v
+	b.dirty = true
+}
+
+// MergeMin sets slot i to v if the slot is missing or v is smaller —
+// the TSLP streaming minimum filter.
+func (b *Builder) MergeMin(i int, v float64) {
+	b.advanceTo(i)
+	slot := &b.cur[i-b.curBlk*BlockLen]
+	if math.IsNaN(*slot) || v < *slot {
+		*slot = v
+		b.dirty = true
+	}
+}
+
+// MergeMax sets slot i to v if the slot is missing or v is larger —
+// the loss-grid merge (worst batch rate per slot).
+func (b *Builder) MergeMax(i int, v float64) {
+	b.advanceTo(i)
+	slot := &b.cur[i-b.curBlk*BlockLen]
+	if math.IsNaN(*slot) || v > *slot {
+		*slot = v
+		b.dirty = true
+	}
+}
+
+// At reads slot i back: from the raw current block when still open,
+// otherwise by decoding the sealed block (O(BlockLen)).
+func (b *Builder) At(i int) float64 {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("tschunk: slot %d out of range [0,%d)", i, b.n))
+	}
+	if b.sealed != nil {
+		return b.sealed.At(i)
+	}
+	blk := i / BlockLen
+	if blk == b.curBlk {
+		return b.cur[i-b.curBlk*BlockLen]
+	}
+	if blk > b.curBlk {
+		return Missing
+	}
+	ref := b.blocks[blk]
+	var buf [BlockLen]float64
+	dst := buf[:ref.count]
+	decodeBlock(b.arena[ref.off:ref.off+ref.size], dst)
+	return dst[i%BlockLen]
+}
+
+// Seal compresses the remaining blocks and returns the immutable
+// chunk. Idempotent; writes after Seal panic.
+func (b *Builder) Seal() *Chunk {
+	if b.sealed != nil {
+		return b.sealed
+	}
+	if b.n > 0 {
+		last := (b.n - 1) / BlockLen
+		for {
+			b.sealCur()
+			if b.curBlk == last {
+				break
+			}
+			b.resetCur(b.curBlk + 1)
+		}
+	}
+	b.sealed = &Chunk{n: b.n, arena: b.arena, blocks: b.blocks}
+	return b.sealed
+}
+
+// ---------------------------------------------------------------
+// Codec: Gorilla XOR float packing, one independent stream per block.
+// ---------------------------------------------------------------
+//
+// The first value is stored raw (64 bits). Each subsequent value is
+// XORed with its predecessor's bit pattern:
+//
+//	xor == 0            → '0'
+//	fits prior window   → '10' + meaningful bits (window width)
+//	new window          → '11' + 5b leading zeros (clamped to 31)
+//	                           + 6b (significant bits − 1)
+//	                           + significant bits
+//
+// Operating on bit patterns makes the codec exactly lossless: every
+// NaN payload, ±Inf, negative zero, and denormal round-trips
+// bit-identically, which the missing-marker encoding and the repo's
+// bit-identity invariant both depend on.
+
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // bits pending in acc (MSB-aligned count)
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		free := 64 - w.nacc
+		take := n
+		if take > free {
+			take = free
+		}
+		w.acc |= (v >> (n - take)) << (free - take)
+		w.nacc += take
+		n -= take
+		if w.nacc == 64 {
+			w.flushAcc()
+		}
+	}
+}
+
+func (w *bitWriter) flushAcc() {
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+		w.nacc -= 8
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	w.flushAcc()
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.buf
+}
+
+type bitReader struct {
+	buf  []byte
+	pos  int // next byte
+	acc  uint64
+	nacc uint // valid low bits in acc (≤ 8)
+}
+
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.nacc == 0 {
+			var next byte
+			if r.pos < len(r.buf) {
+				next = r.buf[r.pos]
+				r.pos++
+			}
+			r.acc = uint64(next)
+			r.nacc = 8
+		}
+		take := n
+		if take > r.nacc {
+			take = r.nacc
+		}
+		v = (v << take) | ((r.acc >> (r.nacc - take)) & onesMask(take))
+		r.nacc -= take
+		n -= take
+	}
+	return v
+}
+
+func onesMask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}
+
+// encodeBlock packs vals into dst (appended) and returns it.
+func encodeBlock(vals []float64, dst []byte) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	w := bitWriter{buf: dst}
+	prev := math.Float64bits(vals[0])
+	w.writeBits(prev, 64)
+	leading, trailing := uint(65), uint(0) // 65: no window established
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.writeBits(0, 1)
+			continue
+		}
+		lz := uint(bits.LeadingZeros64(xor))
+		if lz > 31 {
+			lz = 31
+		}
+		tz := uint(bits.TrailingZeros64(xor))
+		if leading <= 64 && lz >= leading && tz >= trailing {
+			// Meaningful bits fit the established window.
+			w.writeBits(0b10, 2)
+			w.writeBits(xor>>trailing, 64-leading-trailing)
+			continue
+		}
+		sig := 64 - lz - tz
+		w.writeBits(0b11, 2)
+		w.writeBits(uint64(lz), 5)
+		w.writeBits(uint64(sig-1), 6)
+		w.writeBits(xor>>tz, sig)
+		leading, trailing = lz, tz
+	}
+	return w.finish()
+}
+
+// decodeBlock unpacks exactly len(dst) values from data.
+func decodeBlock(data []byte, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	r := bitReader{buf: data}
+	prev := r.readBits(64)
+	dst[0] = math.Float64frombits(prev)
+	leading, trailing := uint(65), uint(0)
+	for i := 1; i < len(dst); i++ {
+		if r.readBits(1) == 0 {
+			dst[i] = math.Float64frombits(prev)
+			continue
+		}
+		var xor uint64
+		if r.readBits(1) == 0 {
+			xor = r.readBits(64-leading-trailing) << trailing
+		} else {
+			lz := uint(r.readBits(5))
+			sig := uint(r.readBits(6)) + 1
+			xor = r.readBits(sig) << (64 - lz - sig)
+			leading, trailing = lz, 64-lz-sig
+		}
+		prev ^= xor
+		dst[i] = math.Float64frombits(prev)
+	}
+}

@@ -1,0 +1,274 @@
+package tschunk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildChunk round-trips vals through a Builder using Set.
+func buildChunk(t testing.TB, vals []float64) *Chunk {
+	t.Helper()
+	b := NewBuilder(len(vals))
+	for i, v := range vals {
+		if !math.IsNaN(v) {
+			b.Set(i, v)
+		}
+	}
+	return b.Seal()
+}
+
+// assertRoundTrip checks bit-exact recovery through every read path.
+func assertRoundTrip(t *testing.T, vals []float64, c *Chunk) {
+	t.Helper()
+	if c.Len() != len(vals) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(vals))
+	}
+	var buf [BlockLen]float64
+	for blk := 0; blk < c.NumBlocks(); blk++ {
+		got := c.DecodeBlock(blk, buf[:0])
+		base := c.BlockBase(blk)
+		for k, v := range got {
+			want := vals[base+k]
+			if math.Float64bits(v) != math.Float64bits(want) {
+				t.Fatalf("slot %d: got bits %016x, want %016x",
+					base+k, math.Float64bits(v), math.Float64bits(want))
+			}
+		}
+	}
+	cu := NewCursor(c)
+	it := NewIter(c)
+	for i, want := range vals {
+		if got := cu.At(i); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Cursor.At(%d) = %v bits, want %v", i, got, want)
+		}
+		got, ok := it.Next()
+		if !ok {
+			t.Fatalf("Iter exhausted at %d of %d", i, len(vals))
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Iter at %d = %v bits, want %v", i, got, want)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatalf("Iter yielded past the end")
+	}
+}
+
+func TestChunkRoundTripBasic(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":       {},
+		"single":      {3.25},
+		"repeat":      {7.5, 7.5, 7.5, 7.5},
+		"all-missing": {math.NaN(), math.NaN(), math.NaN()},
+		"specials": {
+			0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+			math.NaN(), math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+			math.MaxFloat64, -math.MaxFloat64, 1e-310, // denormal
+		},
+		"mixed": {1.5, math.NaN(), 2.9371052631578947, 2.9371052631578947,
+			math.NaN(), math.NaN(), 88.125, -3},
+	}
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) {
+			assertRoundTrip(t, vals, buildChunk(t, vals))
+		})
+	}
+}
+
+func TestChunkMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 3*BlockLen + 57 // three full blocks plus a tail
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(4) {
+		case 0:
+			vals[i] = math.NaN()
+		case 1:
+			vals[i] = 2.9371052631578947 // repeated floor
+		default:
+			vals[i] = 5 + rng.Float64()*100
+		}
+	}
+	assertRoundTrip(t, vals, buildChunk(t, vals))
+}
+
+func TestBuilderMergeSemantics(t *testing.T) {
+	b := NewBuilder(4)
+	b.MergeMin(0, 5)
+	b.MergeMin(0, 7) // larger: ignored
+	b.MergeMin(0, 3) // smaller: wins
+	b.MergeMax(1, 5)
+	b.MergeMax(1, 3) // smaller: ignored
+	b.MergeMax(1, 7) // larger: wins
+	b.Set(2, 9)
+	b.Set(2, 1) // Set overwrites
+	c := b.Seal()
+	want := []float64{3, 7, 1, math.NaN()}
+	for i, w := range want {
+		if got := c.At(i); math.Float64bits(got) != math.Float64bits(w) {
+			t.Fatalf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBuilderAtBeforeSeal(t *testing.T) {
+	n := BlockLen + 10
+	b := NewBuilder(n)
+	b.Set(3, 42)         // current block
+	b.Set(BlockLen+1, 7) // advances: block 0 sealed
+	if got := b.At(3); got != 42 {
+		t.Fatalf("At(3) from sealed block = %v, want 42", got)
+	}
+	if got := b.At(BlockLen + 1); got != 7 {
+		t.Fatalf("At in current block = %v, want 7", got)
+	}
+	if got := b.At(BlockLen + 5); !math.IsNaN(got) {
+		t.Fatalf("unwritten slot = %v, want NaN", got)
+	}
+}
+
+func TestBuilderOutOfOrderPanics(t *testing.T) {
+	b := NewBuilder(3 * BlockLen)
+	b.Set(BlockLen+1, 1) // seals block 0
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("write into sealed block did not panic")
+		}
+	}()
+	b.Set(0, 2)
+}
+
+func TestBuilderSealIdempotentAndWriteAfterSealPanics(t *testing.T) {
+	b := NewBuilder(8)
+	b.Set(0, 1)
+	c1 := b.Seal()
+	c2 := b.Seal()
+	if c1 != c2 {
+		t.Fatalf("Seal not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("write after Seal did not panic")
+		}
+	}()
+	b.Set(1, 2)
+}
+
+// TestSharedMissingBlocks checks that long pre-discovery gaps cost a
+// few bytes total: full all-missing blocks share one arena range.
+func TestSharedMissingBlocks(t *testing.T) {
+	n := 40 * BlockLen
+	b := NewBuilder(n)
+	b.Set(n-1, 3.5) // 39 all-missing blocks seal on the way
+	c := b.Seal()
+	if c.EncodedSize() > 256 {
+		t.Fatalf("40-block sparse grid encoded to %d bytes; missing-block sharing broken", c.EncodedSize())
+	}
+	for i := 0; i < n-1; i += BlockLen / 3 {
+		if !math.IsNaN(c.At(i)) {
+			t.Fatalf("slot %d should be missing", i)
+		}
+	}
+	if got := c.At(n - 1); got != 3.5 {
+		t.Fatalf("At(n-1) = %v, want 3.5", got)
+	}
+}
+
+// TestBuilderNoAllocSteadyState pins the per-sample write path and the
+// pre-reserved seal path at zero allocations — the campaign's
+// quiescent probe step depends on it.
+func TestBuilderNoAllocSteadyState(t *testing.T) {
+	n := 4 * BlockLen
+	b := NewBuilder(n)
+	i := 0
+	allocs := testing.AllocsPerRun(n, func() {
+		if i < n {
+			b.MergeMin(i, 5.25+float64(i%7))
+			i++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state MergeMin allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestCompressionOnTypicalGrid(t *testing.T) {
+	// A plausible collector series: long missing prefix, then a stable
+	// floor with diurnal excursions.
+	n := 4 * BlockLen
+	vals := make([]float64, n)
+	for i := range vals {
+		switch {
+		case i < n/4:
+			vals[i] = math.NaN()
+		case (i/48)%2 == 0:
+			vals[i] = 2.9371052631578947
+		default:
+			vals[i] = 2.9371052631578947 + float64(i%48)*0.25
+		}
+	}
+	c := buildChunk(t, vals)
+	if ratio := float64(c.RawSize()) / float64(c.EncodedSize()); ratio < 2 {
+		t.Fatalf("compression ratio %.2f on a typical grid, want ≥ 2", ratio)
+	}
+	assertRoundTrip(t, vals, c)
+}
+
+// FuzzChunkRoundTrip feeds arbitrary byte strings reinterpreted as
+// float64 bit patterns — every NaN payload, infinity, denormal, and
+// signed zero included — and requires bit-identical recovery.
+func FuzzChunkRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	seed := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, 1e-310, 2.9371,
+	}
+	var sb []byte
+	for _, v := range seed {
+		bits := math.Float64bits(v)
+		for s := 56; s >= 0; s -= 8 {
+			sb = append(sb, byte(bits>>uint(s)))
+		}
+	}
+	f.Add(sb)
+	// A quiet-NaN with a payload must survive even though the grid
+	// treats every NaN as missing.
+	f.Add([]byte{0x7f, 0xf8, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x40, 0x45, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 4*BlockLen {
+			n = 4 * BlockLen
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			var bits uint64
+			for k := 0; k < 8; k++ {
+				bits = bits<<8 | uint64(data[i*8+k])
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		// Set unconditionally: arbitrary NaN payloads must round-trip
+		// through the codec even though they read back as missing.
+		b := NewBuilder(n)
+		for i, v := range vals {
+			b.Set(i, v)
+		}
+		c := b.Seal()
+		var buf [BlockLen]float64
+		for blk := 0; blk < c.NumBlocks(); blk++ {
+			got := c.DecodeBlock(blk, buf[:0])
+			base := c.BlockBase(blk)
+			for k, v := range got {
+				if math.Float64bits(v) != math.Float64bits(vals[base+k]) {
+					t.Fatalf("slot %d: got %016x, want %016x",
+						base+k, math.Float64bits(v), math.Float64bits(vals[base+k]))
+				}
+			}
+		}
+		if raw := c.RawSize(); raw != 8*n {
+			t.Fatalf("RawSize = %d, want %d", raw, 8*n)
+		}
+	})
+}

@@ -36,6 +36,11 @@ type CampaignConfig struct {
 	Thresholds []float64
 	// DisableLoss skips the 1 pps loss campaigns.
 	DisableLoss bool
+	// FlatSeries stores collected RTT series as plain []float64
+	// instead of the default XOR-compressed chunked backing. Results
+	// are bit-identical either way; the flag exists for callers that
+	// mutate collected series in place.
+	FlatSeries bool
 	// Workers fans probing and analysis across goroutines; results are
 	// bit-identical for any value. Default runtime.GOMAXPROCS(0).
 	Workers int
@@ -101,6 +106,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Opts:        scenario.Options{Seed: cfg.Seed, Scale: cfg.Scale},
 		Thresholds:  cfg.Thresholds,
 		DisableLoss: cfg.DisableLoss,
+		FlatSeries:  cfg.FlatSeries,
 		Workers:     cfg.Workers,
 		BatchSteps:  cfg.BatchSteps,
 		Progress:    cfg.Progress,

@@ -17,13 +17,18 @@ OUT="BENCH_campaign.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# Effective core count of this runner, stamped into the ledger row so
+# the "workers=N at parity on a starved runner" caveat is data, not
+# folklore. nproc reflects the cgroup/affinity limit where available.
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 GOMAXPROCS="$PROCS" go test -run '^$' \
   -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout|BenchmarkProbeStepBatch' \
   -benchmem -count "$COUNT" . | tee -a "$RAW"
 
-go run ./scripts/benchjson -raw "$RAW" -prev "$OUT" -out "$OUT"
+go run ./scripts/benchjson -raw "$RAW" -prev "$OUT" -out "$OUT" -cores "$CORES"
 echo "wrote $OUT"

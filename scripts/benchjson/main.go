@@ -40,13 +40,26 @@ type Benchmark struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+	// Metrics carries custom b.ReportMetric units (e.g. the chunk
+	// store's "compression_x") keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one recording session.
 type Run struct {
-	Date       string      `json:"date"`
-	Go         string      `json:"go"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Date string `json:"date"`
+	Go   string `json:"go"`
+	// Cores is the runner's effective core count (-cores flag; 0 in
+	// rows recorded before the field existed). It makes the "workers=4
+	// measures at parity with workers=1 on a single-core runner"
+	// caveat machine-readable: consumers can tell a genuine scaling
+	// regression from a starved runner.
+	Cores int `json:"cores,omitempty"`
+	// CompressionRatio is the columnar store's raw/encoded byte ratio,
+	// lifted from the compression_x metric when the run includes
+	// BenchmarkChunkCompression.
+	CompressionRatio float64     `json:"compression_ratio,omitempty"`
+	Benchmarks       []Benchmark `json:"benchmarks"`
 }
 
 // Ledger is the committed file: the latest run plus prior runs.
@@ -64,6 +77,7 @@ func main() {
 		out       = flag.String("out", "", "ledger file to write (record mode)")
 		guard     = flag.Bool("guard", false, "compare -raw against -prev and warn on ns/op regressions")
 		tolerance = flag.Float64("tolerance", 25, "guard: allowed ns/op regression in percent")
+		cores     = flag.Int("cores", 0, "record: effective core count of the runner, stamped into the ledger row")
 	)
 	flag.Parse()
 
@@ -87,9 +101,11 @@ func main() {
 		fatal("benchjson: record mode needs -out")
 	}
 	ledger := Ledger{Run: Run{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		Go:         runtime.Version(),
-		Benchmarks: benches,
+		Date:             time.Now().UTC().Format(time.RFC3339),
+		Go:               runtime.Version(),
+		Cores:            *cores,
+		CompressionRatio: compressionRatio(benches),
+		Benchmarks:       benches,
 	}}
 	if *prev != "" {
 		if old, err := readLedger(*prev); err == nil {
@@ -137,7 +153,7 @@ func parseRaw(path string) ([]Benchmark, error) {
 			if err != nil {
 				break
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				b.NsPerOp = v
 			case "B/op":
@@ -146,6 +162,14 @@ func parseRaw(path string) ([]Benchmark, error) {
 			case "allocs/op":
 				v := v
 				b.AllocsPerOp = &v
+			case "MB/s":
+				// go test throughput; derivable from ns/op, not kept.
+			default:
+				// Custom b.ReportMetric units (compression_x, …).
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64, 1)
+				}
+				b.Metrics[unit] = v
 			}
 		}
 		out = append(out, b)
@@ -157,6 +181,20 @@ func parseRaw(path string) ([]Benchmark, error) {
 		return nil, fmt.Errorf("%s: no benchmark lines found", path)
 	}
 	return out, nil
+}
+
+// compressionRatio lifts the columnar store's raw/encoded ratio out of
+// the parsed benchmarks: the highest compression_x metric seen (several
+// sub-benchmarks may report one; they measure the same store). Zero
+// when the run didn't include a compression benchmark.
+func compressionRatio(benches []Benchmark) float64 {
+	ratio := 0.0
+	for _, b := range benches {
+		if r, ok := b.Metrics["compression_x"]; ok && r > ratio {
+			ratio = r
+		}
+	}
+	return ratio
 }
 
 // normalize backfills fields older ledger rows lack. Rows written
@@ -225,14 +263,25 @@ func runGuard(benches []Benchmark, prevPath string, tol float64) int {
 					b.Name, b.Procs, change, base.NsPerOp, b.NsPerOp, tol)
 			}
 		}
-		// allocs/op is deterministic where ns/op is noisy, so the same
-		// tolerance catches real allocation creep without false alarms.
+		// allocs/op and bytes/op are deterministic where ns/op is
+		// noisy, so the same tolerance catches real allocation creep
+		// without false alarms. bytes/op is the one the columnar-store
+		// work drove down 4×+ — creeping back up is a regression even
+		// when ns/op holds.
 		if base.AllocsPerOp != nil && b.AllocsPerOp != nil && *base.AllocsPerOp > 0 {
 			change := 100 * (*b.AllocsPerOp - *base.AllocsPerOp) / *base.AllocsPerOp
 			if change > tol {
 				regressions++
 				fmt.Printf("WARNING: %s (procs=%d) allocs/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
 					b.Name, b.Procs, change, *base.AllocsPerOp, *b.AllocsPerOp, tol)
+			}
+		}
+		if base.BytesPerOp != nil && b.BytesPerOp != nil && *base.BytesPerOp > 0 {
+			change := 100 * (*b.BytesPerOp - *base.BytesPerOp) / *base.BytesPerOp
+			if change > tol {
+				regressions++
+				fmt.Printf("WARNING: %s (procs=%d) bytes/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+					b.Name, b.Procs, change, *base.BytesPerOp, *b.BytesPerOp, tol)
 			}
 		}
 	}

@@ -13,6 +13,7 @@ BenchmarkFullCampaign                  3         424646477 ns/op        45747189
 BenchmarkCampaignParallel/workers=1-4  3         408039389 ns/op        45747178 B/op     929197 allocs/op
 BenchmarkCampaignParallel/workers=4-4  3         108039389 ns/op        45747178 B/op     929197 allocs/op
 BenchmarkTSLPSamplingThroughput        4319487   283.9 ns/op            0 B/op            0 allocs/op
+BenchmarkChunkCompression              38        30169853 ns/op         5.265 compression_x  425984 B/op  208 allocs/op
 PASS
 ok      afrixp  12.3s
 `
@@ -31,8 +32,8 @@ func TestParseRaw(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(benches) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
 	}
 	b := benches[1]
 	if b.Name != "BenchmarkCampaignParallel/workers=1" || b.Procs != 4 {
@@ -46,6 +47,43 @@ func TestParseRaw(t *testing.T) {
 	}
 	if benches[3].NsPerOp != 283.9 {
 		t.Fatalf("fractional ns/op misparsed: %+v", benches[3])
+	}
+	if benches[4].Metrics["compression_x"] != 5.265 {
+		t.Fatalf("custom metric unit misparsed: %+v", benches[4])
+	}
+	if benches[4].BytesPerOp == nil || *benches[4].BytesPerOp != 425984 {
+		t.Fatalf("standard units after a custom metric misparsed: %+v", benches[4])
+	}
+}
+
+func TestCompressionRatioLifted(t *testing.T) {
+	benches, err := parseRaw(writeTemp(t, "raw.txt", sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := compressionRatio(benches); r != 5.265 {
+		t.Fatalf("compressionRatio = %v, want 5.265", r)
+	}
+	if r := compressionRatio(benches[:4]); r != 0 {
+		t.Fatalf("compressionRatio without the bench = %v, want 0", r)
+	}
+}
+
+func TestGuardWarnsOnBytesRegression(t *testing.T) {
+	// ns/op and allocs/op are flat but bytes/op is ~9x the baseline:
+	// exactly one warning, from the bytes guard.
+	baseline := `{
+  "date": "2026-01-01T00:00:00Z", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkFullCampaign", "procs": 1, "iterations": 3, "ns_per_op": 424646477, "bytes_per_op": 5000000, "allocs_per_op": 929197}
+  ]
+}`
+	benches, err := parseRaw(writeTemp(t, "raw.txt", sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runGuard(benches, writeTemp(t, "base.json", baseline), 25); got != 1 {
+		t.Fatalf("runGuard warned %d times, want 1 (bytes/op regression)", got)
 	}
 }
 

@@ -39,6 +39,12 @@ echo "== fault determinism smoke (workers 1 vs 8 under race) =="
 # campaign at Workers>1.
 GOMAXPROCS=4 go test -race -count=1 -run 'TestFaultCampaign|TestTelemetryCampaign' ./internal/experiments/
 
+echo "== chunked-backing determinism smoke (flat vs compressed under race) =="
+# The columnar tschunk backing must be invisible to the numbers: the
+# {flat, chunked} x workers x batch-size matrix runs raced at real
+# parallelism so block sealing and the streamed loss grid race too.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestChunkedCampaign' ./internal/experiments/
+
 echo "== /metrics endpoint smoke =="
 # Start a short observatory run with the live telemetry endpoint and a
 # linger window, poll until /metrics answers, and assert the snapshot
@@ -80,5 +86,6 @@ echo "== bench regression guard (warn-only) =="
 # Single-iteration timings are noisy, so a regression here warns but
 # never fails CI; scripts/bench.sh records the authoritative numbers.
 go run ./scripts/benchjson -guard -raw "$SMOKE" -prev BENCH_campaign.json -tolerance 25 || true
+echo "runner cores: $(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 echo "CI OK"
