@@ -64,6 +64,35 @@ func BenchmarkFaultCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkBudgetCampaign measures the one-week campaign under the
+// probe-budget scheduler at 100/50/25/10% budgets. ns/op deltas are
+// the net effect of probing less (fewer TSLP rounds) plus the
+// scheduler's own bill (per-step skip gate, streaming CUSUM taps,
+// barrier recomputes); the probes_sent metric records the per-link
+// rounds actually sent so the ledger can verify the spend reduction
+// (budget=50 must send at most ~55% of budget=100's probes — see
+// scripts/benchjson).
+func BenchmarkBudgetCampaign(b *testing.B) {
+	for _, pct := range []int{100, 50, 25, 10} {
+		b.Run(fmt.Sprintf("budget=%d", pct), func(b *testing.B) {
+			sent := 0
+			for i := 0; i < b.N; i++ {
+				res := RunCampaign(CampaignConfig{Seed: uint64(i + 1), Scale: 0.08, Days: 7,
+					StartOffsetDays: 14, DisableLoss: true,
+					Budget: float64(pct) / 100, BudgetSeed: 1})
+				sent = 0
+				for _, y := range res.Yields() {
+					sent += y.Rounds
+				}
+			}
+			if sent == 0 {
+				b.Fatal("campaign sent no probe rounds")
+			}
+			b.ReportMetric(float64(sent), "probes_sent")
+		})
+	}
+}
+
 // BenchmarkTelemetryCampaign is BenchmarkFullCampaign with a telemetry
 // root attached; the delta between the two is the entire observability
 // bill — per-probe plain counting, barrier-time republication into the

@@ -5,6 +5,11 @@
 //
 //	observatory -out ./obs-run -days 90 -scale 0.25
 //
+// -budget F (0 < F < 1) installs the probe-budget scheduler so the
+// campaign sends at most F of the full-rate probes (adaptive per-link
+// rates; results bit-identical per (-budget, -budget-seed) for any
+// -workers / -batch); the report gains a probe-spend line.
+//
 // A long run can be watched live: -metrics-addr serves the campaign
 // telemetry snapshot at /metrics (and expvar at /debug/vars) while
 // probing progresses; -metrics writes the final snapshot as JSON and
@@ -50,6 +55,8 @@ func run() error {
 		batch         = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
 		doFaults      = flag.Bool("faults", false, "inject the deterministic fault plan and report per-VP uptime/sample yield")
 		faultSeed     = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		budgetFrac    = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 or 1 = probe everything; results identical per (budget, budget-seed) for any -workers/-batch)")
+		budgetSeed    = flag.Uint64("budget-seed", 0, "extra seed for the probe-budget schedule (only with -budget)")
 		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf       = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsOut    = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
@@ -106,8 +113,9 @@ func run() error {
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days,
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
-		Faults: *doFaults, FaultSeed: *faultSeed, Progress: os.Stderr,
-		Telemetry: tele,
+		Faults: *doFaults, FaultSeed: *faultSeed,
+		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
+		Progress: os.Stderr, Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 
@@ -134,9 +142,19 @@ func run() error {
 		fmt.Fprintf(rf, "\nfault plan (%d episodes): per-VP uptime and sample yield\n",
 			len(c.Faults.Faults))
 		for _, y := range c.Yields() {
-			fmt.Fprintf(rf, "%s: uptime %.1f%%, sample yield %.1f%% (%d rounds, %d missed, %d links)\n",
-				y.VP, 100*y.Uptime, 100*y.SampleYield, y.Rounds, y.Missed, y.Links)
+			fmt.Fprintf(rf, "%s: uptime %.1f%%, sample yield %.1f%% (%d rounds, %d missed, %d skipped, %d links)\n",
+				y.VP, 100*y.Uptime, 100*y.SampleYield, y.Rounds, y.Missed, y.Skipped, y.Links)
 		}
+	}
+	if *budgetFrac > 0 && *budgetFrac < 1 {
+		var rounds, skipped int
+		for _, y := range c.Yields() {
+			rounds += y.Rounds
+			skipped += y.Skipped
+		}
+		fmt.Fprintf(rf, "probe budget %.0f%%: %d rounds sent, %d skipped (%.1f%% of schedule)\n",
+			100**budgetFrac, rounds, skipped,
+			100*float64(rounds)/float64(rounds+skipped))
 	}
 	if tele != nil {
 		fmt.Fprintln(rf)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	repro [-days N] [-scale F] [-seed N] [-csvdir DIR] [-quiet]
-//	      [-faults] [-fault-seed N]
+//	      [-faults] [-fault-seed N] [-budget F] [-budget-seed N]
+//	      [-budget-table]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
 //	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
 //	      [-metrics FILE] [-metrics-addr HOST:PORT]
@@ -14,6 +15,14 @@
 // blackouts and rate limiting, link flaps) and prints each VP's
 // uptime and sample yield; results remain bit-identical for any
 // -workers / -batch.
+//
+// -budget F (0 < F < 1) installs the probe-budget scheduler: links
+// are ranked by marginal utility and probed at adaptive power-of-two
+// periods so the campaign sends at most F of the full-rate probes;
+// results are bit-identical per (-budget, -budget-seed) for any
+// -workers / -batch. -budget-table runs the campaign at 100/50/25/10%
+// budgets and prints detection recall, time-to-detect, and Table-1
+// fidelity per budget point.
 //
 // -metrics writes a campaign telemetry snapshot (JSON) at exit;
 // -metrics-addr serves the same snapshot live at /metrics (plus the
@@ -35,10 +44,12 @@ import (
 	"time"
 
 	"afrixp"
+	"afrixp/internal/budget"
 	"afrixp/internal/experiments"
 	"afrixp/internal/profiling"
 	"afrixp/internal/report"
 	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
 )
 
 // main delegates to run so that every deferred flush — CPU/heap
@@ -65,6 +76,9 @@ func run() error {
 		batch       = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
 		doFaults    = flag.Bool("faults", false, "inject the deterministic fault plan (VP outages, ICMP blackouts/rate limits, link flaps) and print per-VP uptime/sample yield")
 		faultSeed   = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
+		budgetFrac  = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 or 1 = probe everything; results identical per (budget, budget-seed) for any -workers/-batch)")
+		budgetSeed  = flag.Uint64("budget-seed", 0, "extra seed for the probe-budget schedule (only with -budget)")
+		doBudgetTab = flag.Bool("budget-table", false, "run the probe-budget sweep (100/50/25/10%) and print recall/time-to-detect/Table-1 fidelity per budget")
 		doTable1    = flag.Bool("table1", false, "Table 1: threshold sensitivity")
 		doTable2    = flag.Bool("table2", false, "Table 2: per-VP evolution")
 		doFigs      = flag.Bool("figs", false, "Figures 1-4")
@@ -120,28 +134,45 @@ func run() error {
 	if *quiet {
 		progress = nil
 	}
+
+	if *doBudgetTab {
+		return runBudgetTable(*seed, *scale, *days, *startOff, *noLoss,
+			*workers, *batch, *budgetSeed, progress)
+	}
+
 	fmt.Fprintf(os.Stderr, "building world (scale %.2f) and running campaign...\n", *scale)
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
 		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
-		Faults: *doFaults, FaultSeed: *faultSeed, Progress: progress,
-		Telemetry: tele,
+		Faults: *doFaults, FaultSeed: *faultSeed,
+		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
+		Progress: progress, Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
 
 	out := os.Stdout
 	if *doFaults {
 		t := &report.Table{Title: "fault plan: per-VP uptime and sample yield",
-			Header: []string{"VP", "links", "uptime", "rounds", "missed", "sample yield"}}
+			Header: []string{"VP", "links", "uptime", "rounds", "missed", "skipped", "sample yield"}}
 		for _, y := range c.Yields() {
 			t.AddRow(y.VP, fmt.Sprint(y.Links),
 				fmt.Sprintf("%.1f%%", 100*y.Uptime),
-				fmt.Sprint(y.Rounds), fmt.Sprint(y.Missed),
+				fmt.Sprint(y.Rounds), fmt.Sprint(y.Missed), fmt.Sprint(y.Skipped),
 				fmt.Sprintf("%.1f%%", 100*y.SampleYield))
 		}
 		t.Render(out)
 		fmt.Fprintf(out, "%d fault episodes injected\n\n", len(c.Faults.Faults))
+	}
+	if *budgetFrac > 0 && *budgetFrac < 1 {
+		var rounds, skipped int
+		for _, y := range c.Yields() {
+			rounds += y.Rounds
+			skipped += y.Skipped
+		}
+		fmt.Fprintf(os.Stderr, "probe budget %.0f%%: %d rounds sent, %d skipped (%.1f%% of schedule)\n\n",
+			100**budgetFrac, rounds, skipped,
+			100*float64(rounds)/float64(rounds+skipped))
 	}
 	if all || *doTable1 {
 		afrixp.Table1Report(c).Render(out)
@@ -228,6 +259,40 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// runBudgetTable runs the probe-budget sweep — the full-rate campaign
+// plus budgeted reruns at 50/25/10% — and prints probe spend, ground-
+// truth recall, time-to-detect, and Table-1 fidelity per budget point.
+func runBudgetTable(seed uint64, scale float64, days, startOff int,
+	noLoss bool, workers, batch int, budgetSeed uint64, progress io.Writer) error {
+	base := experiments.Config{
+		Opts:        scenario.Options{Seed: seed, Scale: scale},
+		DisableLoss: noLoss,
+		Workers:     workers,
+		BatchSteps:  batch,
+		Budget:      &budget.Config{Seed: budgetSeed},
+		Progress:    progress,
+	}
+	start := simclock.Time(0).Add(time.Duration(startOff) * 24 * time.Hour)
+	if days > 0 {
+		base.Campaign = simclock.Interval{
+			Start: start,
+			End:   start.Add(time.Duration(days) * 24 * time.Hour),
+		}
+		if base.Campaign.End > simclock.LatencyEnd {
+			base.Campaign.End = simclock.LatencyEnd
+		}
+	} else if startOff > 0 {
+		base.Campaign = simclock.Interval{Start: start, End: simclock.LatencyEnd}
+	}
+	fmt.Fprintf(os.Stderr, "budget sweep (scale %.2f): full rate + 50/25/10%% budgets...\n", scale)
+	t0 := time.Now()
+	points := experiments.RunBudgetSweep(base, nil)
+	fmt.Fprintf(os.Stderr, "sweep finished in %v\n\n", time.Since(t0).Round(time.Second))
+	experiments.BudgetSweepReport(points).Render(os.Stdout)
+	fmt.Fprintln(os.Stdout)
 	return nil
 }
 

@@ -36,8 +36,10 @@ type Collector struct {
 
 	// farLossRounds / farRounds track round-level far loss for the
 	// "probes unsuccessful" signal; missedRounds counts rounds that
-	// never ran because the vantage point itself was down.
-	farRounds, farLostRounds, missedRounds int
+	// never ran because the vantage point itself was down;
+	// skippedRounds counts rounds the probe-budget scheduler elected
+	// not to run (a deliberate saving, not an outage).
+	farRounds, farLostRounds, missedRounds, skippedRounds int
 }
 
 // CollectorConfig sizes a Collector.
@@ -115,10 +117,14 @@ func (c *Collector) Round(t simclock.Time) {
 }
 
 // RoundFrozen probes the link once through the frozen-frontier sampler
-// (see prober.TSLP.RoundFrozen) and records the result. Used by the
-// parallel campaign engine after the per-step queue advance.
-func (c *Collector) RoundFrozen(t simclock.Time) {
-	c.recordSample(t, c.TSLP.RoundFrozen(t))
+// (see prober.TSLP.RoundFrozen) and records the result, which is also
+// returned so the caller can feed schedulers (the budget scheduler's
+// utility tap) without a second probe. Used by the parallel campaign
+// engine after the per-step queue advance.
+func (c *Collector) RoundFrozen(t simclock.Time) prober.Sample {
+	s := c.TSLP.RoundFrozen(t)
+	c.recordSample(t, s)
+	return s
 }
 
 func (c *Collector) recordSample(t simclock.Time, s prober.Sample) {
@@ -174,10 +180,18 @@ func (c *Collector) FullRes() (near, far *timeseries.Series) {
 // sample-yield accounting, but not toward far loss: no probe was sent.
 func (c *Collector) RoundMissed() { c.missedRounds++ }
 
+// RoundSkipped accounts a probing round the budget scheduler elected
+// not to run. Distinct from RoundMissed: the VP was healthy, the
+// scheduler just spent its probes elsewhere — so skipped rounds are
+// excluded from the sample-yield denominator instead of dragging it
+// down like an outage would.
+func (c *Collector) RoundSkipped() { c.skippedRounds++ }
+
 // Yield reports round-level accounting: rounds attempted, rounds that
-// produced a far sample, and rounds missed entirely (VP outages).
-func (c *Collector) Yield() (attempted, farSamples, missed int) {
-	return c.farRounds, c.farRounds - c.farLostRounds, c.missedRounds
+// produced a far sample, rounds missed entirely (VP outages), and
+// rounds skipped by the probe-budget scheduler.
+func (c *Collector) Yield() (attempted, farSamples, missed, skipped int) {
+	return c.farRounds, c.farRounds - c.farLostRounds, c.missedRounds, c.skippedRounds
 }
 
 // FarLossFraction is the fraction of rounds whose far probe was lost.

@@ -1,0 +1,292 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"afrixp/internal/simclock"
+)
+
+var window = simclock.Interval{
+	Start: simclock.Date(2016, 3, 1),
+	End:   simclock.Date(2016, 3, 15),
+}
+
+func feedFlat(v *VPLinks, li int, t simclock.Time, rng *rand.Rand, n int) simclock.Time {
+	for i := 0; i < n; i++ {
+		v.Observe(li, t, 10+0.5*rng.NormFloat64(), false)
+		t = t.Add(5 * time.Minute)
+	}
+	return t
+}
+
+func TestSkipFullRateByDefault(t *testing.T) {
+	s := New(Config{Fraction: 0.5, Seed: 1}, window)
+	v := s.AddVP()
+	li := v.AddLink()
+	for idx := 0; idx < 64; idx++ {
+		if v.Skip(li, idx) {
+			t.Fatalf("new link skipped at step %d before any recompute", idx)
+		}
+	}
+}
+
+func TestNilSafeGates(t *testing.T) {
+	var v *VPLinks
+	if v.Skip(0, 3) {
+		t.Fatal("nil VPLinks must never skip")
+	}
+	v.Observe(0, 0, 1, false) // must not panic
+	if v.Len() != 0 {
+		t.Fatal("nil Len")
+	}
+	var s *Scheduler
+	if s.Due(simclock.Date(2017, 1, 1)) {
+		t.Fatal("nil scheduler never due")
+	}
+	s.RecomputeAt(0) // must not panic
+}
+
+func TestSkipHonorsPeriodAndPhase(t *testing.T) {
+	s := New(Config{Fraction: 0.25, Seed: 9}, window)
+	v := s.AddVP()
+	rng := rand.New(rand.NewSource(1))
+	var lis []int
+	for i := 0; i < 8; i++ {
+		lis = append(lis, v.AddLink())
+	}
+	tm := window.Start
+	for r := 0; r < 10; r++ { // several recomputes of flat traffic
+		for i := 0; i < 72; i++ {
+			for _, li := range lis {
+				v.Observe(li, tm, 10+0.5*rng.NormFloat64(), false)
+			}
+			tm = tm.Add(5 * time.Minute)
+		}
+		s.RecomputeAt(tm)
+	}
+	for _, li := range lis {
+		st := &v.links[li]
+		if st.period == 1 {
+			t.Fatalf("flat link %d never backed off", li)
+		}
+		if st.period&(st.period-1) != 0 {
+			t.Fatalf("period %d not a power of two", st.period)
+		}
+		sent := 0
+		for idx := 0; idx < 1<<12; idx++ {
+			if !v.Skip(li, idx) {
+				sent++
+			}
+		}
+		if want := (1 << 12) / int(st.period); sent != want {
+			t.Fatalf("link %d period %d: sent %d of %d, want %d", li, st.period, sent, 1<<12, want)
+		}
+	}
+}
+
+// Total assigned spend must never exceed the configured fraction.
+func TestBudgetCapRespected(t *testing.T) {
+	for _, frac := range []float64{0.5, 0.25, 0.1, 0.02} {
+		s := New(Config{Fraction: frac, Seed: 3}, window)
+		v := s.AddVP()
+		rng := rand.New(rand.NewSource(2))
+		n := 50
+		for i := 0; i < n; i++ {
+			v.AddLink()
+		}
+		tm := window.Start
+		for r := 0; r < 6; r++ {
+			for i := 0; i < 72; i++ {
+				for li := 0; li < n; li++ {
+					// Half the links are noisy/shifting: high utility.
+					x := 10 + 0.5*rng.NormFloat64()
+					if li%2 == 0 && i > 36 {
+						x += 20
+					}
+					v.Observe(li, tm, x, false)
+				}
+				tm = tm.Add(5 * time.Minute)
+			}
+			s.RecomputeAt(tm)
+			spend := 0.0
+			for li := 0; li < n; li++ {
+				spend += 1 / float64(v.links[li].period)
+			}
+			if spend > frac*float64(n)+1e-9 {
+				t.Fatalf("frac %.2f recompute %d: spend %.2f links exceeds budget %.2f", frac, r, spend, frac*float64(n))
+			}
+			if st := s.Stats(); math.Abs(st.SpendFrac-spend/float64(n)) > 1e-9 {
+				t.Fatalf("Stats.SpendFrac %.4f != measured %.4f", st.SpendFrac, spend/float64(n))
+			}
+		}
+	}
+}
+
+// A link with a level shift must densify to full rate while flat links
+// back off; once the shift is absorbed and the verdict is stable, the
+// plateau rule retires the flat links to the heartbeat floor.
+func TestDensifyBackoffAndPlateau(t *testing.T) {
+	cfg := Config{Fraction: 0.5, Seed: 5, PlateauAfter: 3}
+	s := New(cfg, window)
+	v := s.AddVP()
+	shifty := v.AddLink()
+	// Enough flat company that the 50% budget can afford one
+	// full-rate suspect once the rest back off.
+	var flats []int
+	for i := 0; i < 7; i++ {
+		flats = append(flats, v.AddLink())
+	}
+	rng := rand.New(rand.NewSource(4))
+	tm := window.Start
+	for r := 0; r < 12; r++ {
+		for i := 0; i < 72; i++ {
+			x := 10 + 0.5*rng.NormFloat64()
+			if r >= 6 {
+				x += 25 // onset of a sustained shift on shifty
+			}
+			v.Observe(shifty, tm, x, false)
+			for _, fl := range flats {
+				v.Observe(fl, tm, 10+0.5*rng.NormFloat64(), false)
+			}
+			tm = tm.Add(5 * time.Minute)
+		}
+		s.RecomputeAt(tm)
+		if r == 6 {
+			if v.links[shifty].period != 1 {
+				t.Fatalf("shift not densified: period %d", v.links[shifty].period)
+			}
+			if v.links[shifty].retired {
+				t.Fatal("shifting link must not be retired at onset")
+			}
+		}
+	}
+	for _, fl := range flats {
+		if !v.links[fl].retired {
+			t.Fatalf("flat link %d not retired after 12 stable recomputes", fl)
+		}
+		if v.links[fl].period != s.floor {
+			t.Fatalf("retired link period %d, want floor %d", v.links[fl].period, s.floor)
+		}
+	}
+}
+
+// A retired link that develops a level shift on its heartbeat samples
+// must wake back up.
+func TestRetiredLinkWakes(t *testing.T) {
+	cfg := Config{Fraction: 0.5, Seed: 5, PlateauAfter: 2}
+	s := New(cfg, window)
+	v := s.AddVP()
+	li := v.AddLink()
+	rng := rand.New(rand.NewSource(6))
+	tm := window.Start
+	for r := 0; r < 6; r++ {
+		tm = feedFlat(v, li, tm, rng, 72)
+		s.RecomputeAt(tm)
+	}
+	if !v.links[li].retired {
+		t.Fatal("link did not retire on flat traffic")
+	}
+	// Heartbeat-rate observations of a big shift.
+	for r := 0; r < 8 && v.links[li].retired; r++ {
+		for i := 0; i < 72/int(s.floor); i++ {
+			v.Observe(li, tm, 60+0.5*rng.NormFloat64(), false)
+			tm = tm.Add(5 * time.Minute * time.Duration(s.floor))
+		}
+		s.RecomputeAt(tm)
+	}
+	if v.links[li].retired {
+		t.Fatal("retired link never woke on strong evidence")
+	}
+	// With a single link the 50% budget cannot buy full rate, but the
+	// woken link must leave the heartbeat floor.
+	if v.links[li].period >= s.floor {
+		t.Fatalf("woken link period %d still at floor %d", v.links[li].period, s.floor)
+	}
+}
+
+// Same (budget, seed) must reproduce the exact same schedule; a
+// different budget seed must change the probe interleaving.
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	build := func(seed uint64) (*Scheduler, *VPLinks) {
+		s := New(Config{Fraction: 0.25, Seed: seed}, window)
+		v := s.AddVP()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 16; i++ {
+			v.AddLink()
+		}
+		tm := window.Start
+		for r := 0; r < 5; r++ {
+			for i := 0; i < 72; i++ {
+				for li := 0; li < 16; li++ {
+					v.Observe(li, tm, 10+float64(li)*0.1+0.5*rng.NormFloat64(), false)
+				}
+				tm = tm.Add(5 * time.Minute)
+			}
+			s.RecomputeAt(tm)
+		}
+		return s, v
+	}
+	_, a := build(11)
+	_, b := build(11)
+	_, c := build(12)
+	sameSchedule, sameAsC := true, true
+	for li := 0; li < 16; li++ {
+		if a.links[li].period != b.links[li].period || a.links[li].phase != b.links[li].phase {
+			sameSchedule = false
+		}
+		if a.links[li].phase != c.links[li].phase {
+			sameAsC = false
+		}
+	}
+	if !sameSchedule {
+		t.Fatal("same (budget, seed) produced different schedules")
+	}
+	if sameAsC {
+		t.Fatal("budget seed had no effect on probe phases")
+	}
+}
+
+func TestFloorDeepensForTinyBudgets(t *testing.T) {
+	s := New(Config{Fraction: 0.01, Seed: 1}, window)
+	if 1/float64(s.floor) > 0.01 {
+		t.Fatalf("floor %d heartbeat exceeds 1%% budget", s.floor)
+	}
+}
+
+// The hot-path gates and the barrier recompute must be allocation-free
+// once the scratch is warm — they run inside the engine's zero-alloc
+// steady state.
+func TestBudgetHotPathZeroAlloc(t *testing.T) {
+	s := New(Config{Fraction: 0.5, Seed: 2}, window)
+	v := s.AddVP()
+	for i := 0; i < 8; i++ {
+		v.AddLink()
+	}
+	tm := window.Start
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 72)
+	for i := range xs {
+		xs[i] = 10 + 0.5*rng.NormFloat64()
+	}
+	s.RecomputeAt(tm.Add(s.cfg.RecomputeEvery)) // warm the rank scratch
+	step := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 72; i++ {
+			for li := 0; li < 8; li++ {
+				if v.Skip(li, step) {
+					continue
+				}
+				v.Observe(li, tm, xs[i], false)
+			}
+			tm = tm.Add(5 * time.Minute)
+			step++
+		}
+		s.RecomputeAt(tm)
+	})
+	if allocs != 0 {
+		t.Fatalf("budget hot path allocates: %.1f allocs/run", allocs)
+	}
+}

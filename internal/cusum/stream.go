@@ -1,0 +1,131 @@
+package cusum
+
+import "math"
+
+// StreamConfig tunes a Stream tap.
+type StreamConfig struct {
+	// BaselineAlpha is the EWMA adaptation rate of the level estimate.
+	// Small values keep the baseline slow so genuine level shifts show
+	// up as sustained drift before being absorbed. Default 0.02.
+	BaselineAlpha float64
+	// DevAlpha is the EWMA rate of the absolute-deviation (noise
+	// scale) estimate. Default 0.05.
+	DevAlpha float64
+	// Slack is the dead band, in deviation units, subtracted from each
+	// standardized residual before it accumulates — the classic CUSUM
+	// allowance k that keeps pure noise from drifting the sums.
+	// Default 0.9.
+	Slack float64
+	// Decay leaks the one-sided sums each observation so evidence
+	// relaxes after the baseline absorbs a shift. Default 0.99.
+	Decay float64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.BaselineAlpha <= 0 {
+		c.BaselineAlpha = 0.02
+	}
+	if c.DevAlpha <= 0 {
+		c.DevAlpha = 0.05
+	}
+	if c.Slack <= 0 {
+		c.Slack = 0.9
+	}
+	if c.Decay <= 0 {
+		c.Decay = 0.99
+	}
+	return c
+}
+
+// Stream is a constant-memory, one-pass CUSUM tap: a cheap streaming
+// counterpart to the offline bootstrap Detector, meant to be fed every
+// collected sample and asked "how much recent level-shift evidence
+// does this series carry?". It maintains an EWMA baseline, an EWMA
+// noise scale, and two leaky one-sided cumulative sums of the
+// standardized residuals (Page's test on a slowly adapting level).
+// Everything is pure float arithmetic on the sample sequence: two
+// Streams fed the same values in the same order hold bit-identical
+// state, which is what lets the budget scheduler rank links without
+// breaking campaign determinism.
+type Stream struct {
+	cfg      StreamConfig
+	n        uint64
+	baseline float64
+	dev      float64
+	sPos     float64
+	sNeg     float64
+}
+
+// NewStream builds a tap. The zero Stream is also usable with default
+// tuning.
+func NewStream(cfg StreamConfig) Stream {
+	return Stream{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one sample. Allocation-free.
+func (s *Stream) Observe(x float64) {
+	if s.n == 0 {
+		if s.cfg.BaselineAlpha == 0 {
+			s.cfg = s.cfg.withDefaults()
+		}
+		s.baseline = x
+		s.n = 1
+		return
+	}
+	d := x - s.baseline
+	ad := math.Abs(d)
+	if s.n == 1 {
+		s.dev = ad
+	} else {
+		s.dev += s.cfg.DevAlpha * (ad - s.dev)
+	}
+	// The noise-scale estimate needs a few samples before standardized
+	// residuals mean anything; accumulating sums earlier would turn
+	// warmup jitter into phantom evidence.
+	if s.n >= streamWarmup {
+		scale := s.dev
+		if scale < 1e-9 {
+			scale = 1e-9
+		}
+		z := d / scale
+		s.sPos = s.sPos*s.cfg.Decay + z - s.cfg.Slack
+		if s.sPos < 0 {
+			s.sPos = 0
+		}
+		s.sNeg = s.sNeg*s.cfg.Decay - z - s.cfg.Slack
+		if s.sNeg < 0 {
+			s.sNeg = 0
+		}
+	}
+	s.baseline += s.cfg.BaselineAlpha * d
+	s.n++
+}
+
+// streamWarmup is the number of samples fed to the baseline and noise
+// estimates before the evidence sums start accumulating.
+const streamWarmup = 8
+
+// Evidence is the current level-shift evidence: the larger of the two
+// one-sided sums, in noise-scale units. Flat series hover near zero;
+// a sustained shift of m deviations grows evidence by roughly
+// (m - Slack) per sample until the baseline catches up.
+func (s *Stream) Evidence() float64 {
+	if s.sPos > s.sNeg {
+		return s.sPos
+	}
+	return s.sNeg
+}
+
+// Baseline is the current EWMA level estimate.
+func (s *Stream) Baseline() float64 { return s.baseline }
+
+// Dev is the current EWMA absolute-deviation (noise scale) estimate.
+func (s *Stream) Dev() float64 { return s.dev }
+
+// Samples is the number of observations fed so far.
+func (s *Stream) Samples() uint64 { return s.n }
+
+// Reset clears the accumulated state but keeps the tuning.
+func (s *Stream) Reset() {
+	s.n, s.baseline, s.dev, s.sPos, s.sNeg = 0, 0, 0, 0, 0
+}

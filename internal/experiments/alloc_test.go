@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"afrixp/internal/analysis"
+	"afrixp/internal/budget"
 	"afrixp/internal/faults"
 	"afrixp/internal/loss"
 	"afrixp/internal/netsim"
@@ -64,6 +65,20 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	if pr == nil {
 		t.Fatal("no VP with case links in the paper scenario")
 	}
+
+	// Probe-budget scheduler installed at a deliberately tight
+	// recompute cadence (30 min = every 6 steps), so the measured
+	// window crosses dozens of barrier recomputes: the Skip gate, the
+	// Observe tap, and the RecomputeAt re-ranking must all stay off
+	// the heap once the rank scratch is warm.
+	bsched := budget.New(budget.Config{
+		Fraction: 0.5, Seed: 1, RecomputeEvery: 30 * time.Minute,
+	}, campaign)
+	bv := bsched.AddVP()
+	for range collectors {
+		bv.AddLink()
+	}
+	stepIdx := 0
 
 	var lossCol loss.Collector
 	lossCol.Reserve(64)
@@ -127,16 +142,32 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 		// The engine's outage gate runs on every step, dormant or not.
 		if outage.Down(at) {
 			at = at.Add(step)
+			stepIdx++
 			tele.EndSpan(ref, at)
 			return
 		}
-		pr.SetBatchStep(0)
-		for _, c := range collectors {
-			c.RoundFrozen(at)
+		// Budget barrier work, exactly as the engine's open step runs
+		// it — part of the steady-state bill at this cadence.
+		if bsched.Due(at) {
+			bsched.RecomputeAt(at)
 		}
-		_, farLost := tslps[0].LossRoundFrozen(at)
-		lossCol.Record(at, farLost)
+		pr.SetBatchStep(0)
+		for ci, c := range collectors {
+			if bv.Skip(ci, stepIdx) {
+				c.RoundSkipped()
+				continue
+			}
+			s := c.RoundFrozen(at)
+			bv.Observe(ci, at, float64(s.FarRTT)/float64(time.Millisecond), s.FarLost)
+		}
+		if bv.Skip(0, stepIdx) {
+			lossCol.RoundSkipped()
+		} else {
+			_, farLost := tslps[0].LossRoundFrozen(at)
+			lossCol.Record(at, farLost)
+		}
 		pr.SetBatchStep(-1)
+		stepIdx++
 		tele.Engine.AddWorkerBusy(0, time.Since(workStart))
 		tele.EndSpan(ref, at)
 		at = at.Add(step)
@@ -171,5 +202,19 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	}
 	if g := lossCol.GridSeries(); g == nil || g.PresentCount() == 0 {
 		t.Error("loss grid empty; the chunked loss-append zero-alloc claim is vacuous")
+	}
+	// The budget-scheduler-on claim must not be vacuous either: the
+	// measured window must have crossed recompute barriers and the
+	// gate must actually have skipped rounds.
+	if st := bsched.Stats(); st.Recomputes < 10 {
+		t.Errorf("only %d budget recomputes ran; the recompute zero-alloc claim is vacuous", st.Recomputes)
+	}
+	skippedTotal := 0
+	for _, c := range collectors {
+		_, _, _, skipped := c.Yield()
+		skippedTotal += skipped
+	}
+	if skippedTotal == 0 {
+		t.Error("budget gate never skipped a round; the budgeted zero-alloc claim is vacuous")
 	}
 }

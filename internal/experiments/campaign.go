@@ -20,6 +20,7 @@ import (
 	"afrixp/internal/analysis"
 	"afrixp/internal/asrel"
 	"afrixp/internal/bdrmap"
+	"afrixp/internal/budget"
 	"afrixp/internal/faults"
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/loss"
@@ -82,6 +83,17 @@ type Config struct {
 	// virtual time, so results stay bit-identical for any Workers ×
 	// BatchSteps setting.
 	Faults *faults.Config
+	// Budget, when non-nil and enabled, installs the probe-budget
+	// scheduler (see internal/budget): links are ranked by marginal
+	// utility at fixed virtual-time barriers and probed at adaptive
+	// power-of-two periods under Budget.Fraction of the full-rate
+	// spend. The hot-path skip decision is pure arithmetic on the
+	// global step index (an Outage.Down-style gate), utility state is
+	// written only by each VP's own worker, and recompute instants are
+	// batch barriers — so budgeted campaigns remain bit-identical per
+	// (budget, seed) for any Workers × BatchSteps, and the quiescent
+	// probing step stays allocation-free.
+	Budget *budget.Config
 	// Progress, when non-nil, receives one line per campaign phase.
 	// Writes are serialized by the engine. With Telemetry attached the
 	// lines are routed through the telemetry event log and stamped
@@ -225,10 +237,18 @@ type VPYield struct {
 	// accounting: rounds attempted, rounds with a far sample, rounds
 	// never run because the VP was down.
 	Rounds, Samples, Missed int
+	// Skipped counts rounds the probe-budget scheduler elected not to
+	// run. Kept apart from Missed so budget back-off never reads as
+	// an outage: skips are excluded from the SampleYield denominator.
+	Skipped int
+	// LossSkipped / LossMissed are the same split for the scheduled
+	// 1 pps loss rounds on this VP's case links.
+	LossSkipped, LossMissed int
 	// Uptime is 1 − DownSteps/Steps.
 	Uptime float64
 	// SampleYield is Samples / (Rounds + Missed): the fraction of
-	// scheduled per-link rounds that yielded a far sample.
+	// scheduled per-link rounds that yielded a far sample. Budget
+	// skips are not scheduled work lost, so they don't count.
 	SampleYield float64
 }
 
@@ -239,10 +259,16 @@ func (r *Result) Yields() []VPYield {
 		y := VPYield{VP: vr.VP.ID, Steps: vr.RoundsScheduled,
 			DownSteps: vr.RoundsDown, Links: len(vr.Links)}
 		for _, lr := range vr.SortedLinks() {
-			attempted, samples, missed := lr.Collector.Yield()
+			attempted, samples, missed, skipped := lr.Collector.Yield()
 			y.Rounds += attempted
 			y.Samples += samples
 			y.Missed += missed
+			y.Skipped += skipped
+			if lr.lossCol != nil {
+				ls, lm := lr.lossCol.RoundAccounting()
+				y.LossSkipped += ls
+				y.LossMissed += lm
+			}
 		}
 		if y.Steps > 0 {
 			y.Uptime = 1 - float64(y.DownSteps)/float64(y.Steps)
@@ -491,6 +517,20 @@ func Run(cfg Config) *Result {
 	}
 	pathVersion := w.Net.Version()
 
+	// Probe-budget scheduler (optional). Each VP gets its own link
+	// view, indexed identically to links[si]; utility state is fed by
+	// the VP's own worker and re-ranked only at recompute barriers, so
+	// the schedule is a pure function of (budget config, virtual time,
+	// collected series) — never of worker interleaving.
+	var sched *budget.Scheduler
+	bviews := make([]*budget.VPLinks, len(states))
+	if cfg.Budget != nil && cfg.Budget.Enabled() {
+		sched = budget.New(*cfg.Budget, cfg.Campaign)
+		for si := range states {
+			bviews[si] = sched.AddVP()
+		}
+	}
+
 	// Per-VP link slices, refreshed only when discovery grows them, so
 	// the hot loop never walks the Links map.
 	links := make([][]*LinkRecord, len(states))
@@ -498,6 +538,13 @@ func Run(cfg Config) *Result {
 		for si, st := range states {
 			if len(links[si]) != len(st.vr.order) {
 				links[si] = st.vr.SortedLinks()
+				if sched != nil {
+					// Register newly discovered links with the budget
+					// scheduler; they start at full rate (exploration).
+					for bviews[si].Len() < len(links[si]) {
+						bviews[si].AddLink()
+					}
+				}
 			}
 		}
 	}
@@ -515,8 +562,10 @@ func Run(cfg Config) *Result {
 	pool.run = func(si int) {
 		st := states[si]
 		pr := st.vr.Prober
+		bv := bviews[si]
 		for k, t := range batch {
 			st.vr.RoundsScheduled++
+			doLoss := (firstIdx+k)%lossEvery == 0
 			if st.outage.Down(t) {
 				// VP offline: nothing is probed, so every link's grid
 				// slot stays missing; the skipped rounds are accounted
@@ -527,13 +576,27 @@ func Run(cfg Config) *Result {
 				st.vr.RoundsDown++
 				for _, lr := range links[si] {
 					lr.Collector.RoundMissed()
+					if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
+						lr.lossCol.RoundMissed()
+					}
 				}
 				continue
 			}
 			pr.SetBatchStep(k)
-			doLoss := (firstIdx+k)%lossEvery == 0
-			for _, lr := range links[si] {
-				lr.Collector.RoundFrozen(t)
+			for li, lr := range links[si] {
+				// Budget gate: like Outage.Down, a nil-safe pure
+				// function of the global step index — no allocation,
+				// no shared mutable state, identical for any worker
+				// count or batch size.
+				if bv.Skip(li, firstIdx+k) {
+					lr.Collector.RoundSkipped()
+					if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
+						lr.lossCol.RoundSkipped()
+					}
+					continue
+				}
+				s := lr.Collector.RoundFrozen(t)
+				bv.Observe(li, t, float64(s.FarRTT)/float64(time.Millisecond), s.FarLost)
 				if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
 					for i := 0; i < loss.BatchSize; i++ {
 						at := t.Add(time.Duration(i) * time.Second)
@@ -617,6 +680,15 @@ func Run(cfg Config) *Result {
 			pathVersion = v
 		}
 		refreshLinks()
+		// Budget recompute runs last so links registered this barrier
+		// are ranked too. The cadence is pure virtual time (Due forces
+		// these instants to be barriers via quiescent below), so the
+		// recompute sees identical collected state for any Workers ×
+		// BatchSteps — the worker pool is idle at barriers and its
+		// channel handoff publishes all per-link writes.
+		if sched.Due(t) {
+			sched.RecomputeAt(t)
+		}
 	}
 	// quiescent reports whether step t needs none of open's serialized
 	// work; it runs after every earlier step's open, so the state it
@@ -625,6 +697,12 @@ func Run(cfg Config) *Result {
 	// snapshots, so a step clearing those three cannot churn paths.
 	quiescent := func(t simclock.Time) bool {
 		if t >= nextRefresh {
+			return false
+		}
+		if sched.Due(t) {
+			// Budget recompute instants are barriers: utilities are
+			// re-ranked at fixed virtual times, never at batch edges
+			// (which depend on BatchSteps).
 			return false
 		}
 		for _, st := range states {

@@ -68,10 +68,14 @@ func summarizeResult(res *Result) string {
 				s.At, s.TruthNeighborCount, bits(s.Coverage), len(s.Bdrmap.Links))
 		}
 		for _, lr := range vr.SortedLinks() {
-			att, samp, miss := lr.Collector.Yield()
-			fmt.Fprintf(&b, " link %v as=%d ixp=%s disc=%d case=%q farloss=%x yield=%d/%d/%d\n",
+			att, samp, miss, skip := lr.Collector.Yield()
+			lskip, lmiss := 0, 0
+			if lr.lossCol != nil {
+				lskip, lmiss = lr.lossCol.RoundAccounting()
+			}
+			fmt.Fprintf(&b, " link %v as=%d ixp=%s disc=%d case=%q farloss=%x yield=%d/%d/%d/%d lossacct=%d/%d\n",
 				lr.Target, lr.FarAS, lr.ViaIXP, lr.DiscoveredAt, lr.CaseName,
-				bits(lr.Collector.FarLossFraction()), att, samp, miss)
+				bits(lr.Collector.FarLossFraction()), att, samp, miss, skip, lskip, lmiss)
 			ls := lr.Collector.Series()
 			dumpSeries(&b, ls.Near)
 			dumpSeries(&b, ls.Far)

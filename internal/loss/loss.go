@@ -45,6 +45,12 @@ type Collector struct {
 	gridStart simclock.Time
 	gridStep  simclock.Duration
 	gridS     *timeseries.Series // sealed view, cached by GridSeries
+
+	// skippedRounds counts scheduled loss rounds the probe-budget
+	// scheduler elected not to run; missedRounds counts rounds that
+	// never ran because the vantage point was down. Kept separate so
+	// yield reporting never conflates budget back-off with outages.
+	skippedRounds, missedRounds int
 }
 
 // BindGrid attaches a compressed rate grid covering n slots of step
@@ -117,6 +123,20 @@ func (c *Collector) Record(t simclock.Time, lost bool) {
 		c.mergeGrid(c.cur)
 		c.open = false
 	}
+}
+
+// RoundSkipped accounts one scheduled loss round (a full BatchSize
+// burst) that the probe-budget scheduler skipped. Allocation-free.
+func (c *Collector) RoundSkipped() { c.skippedRounds++ }
+
+// RoundMissed accounts one scheduled loss round that never ran
+// because the vantage point was offline. Allocation-free.
+func (c *Collector) RoundMissed() { c.missedRounds++ }
+
+// RoundAccounting reports the rounds that did not run, split by
+// cause: budget skips versus VP-outage misses.
+func (c *Collector) RoundAccounting() (skipped, missed int) {
+	return c.skippedRounds, c.missedRounds
 }
 
 // Batches returns all completed batches. A partial trailing batch is

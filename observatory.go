@@ -6,6 +6,7 @@ import (
 
 	"afrixp/internal/analysis"
 	"afrixp/internal/bdrmap"
+	"afrixp/internal/budget"
 	"afrixp/internal/experiments"
 	"afrixp/internal/faults"
 	"afrixp/internal/ixpdir"
@@ -57,6 +58,19 @@ type CampaignConfig struct {
 	// FaultSeed perturbs the fault plan independently of Seed (only
 	// read when Faults is set).
 	FaultSeed uint64
+	// Budget, when in (0,1), installs the probe-budget scheduler: links
+	// are ranked by marginal utility (streaming CUSUM evidence,
+	// loss-rate variance, diurnal-window proximity) and probed at
+	// adaptive power-of-two periods so the campaign spends at most
+	// Budget of the full-rate probe count — flat links back off to a
+	// heartbeat floor and plateau-stop, suspected level shifts densify
+	// to full rate. Results are bit-identical per (Budget, BudgetSeed)
+	// for any Workers × BatchSteps (see internal/budget). 0 or 1
+	// probes everything (the default).
+	Budget float64
+	// BudgetSeed perturbs the budget scheduler's probe interleaving
+	// independently of Seed (only read when Budget is enabled).
+	BudgetSeed uint64
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 	// Telemetry, when non-nil, instruments the campaign: counters,
@@ -114,6 +128,9 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 	}
 	if cfg.Faults {
 		ecfg.Faults = &faults.Config{Seed: cfg.FaultSeed}
+	}
+	if cfg.Budget > 0 && cfg.Budget < 1 {
+		ecfg.Budget = &budget.Config{Fraction: cfg.Budget, Seed: cfg.BudgetSeed}
 	}
 	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)
 	if cfg.Days > 0 {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Records the campaign-engine benchmarks into BENCH_campaign.json:
-# the end-to-end campaign (with and without the fault plan), the TSLP
+# the end-to-end campaign (with and without the fault plan, and under
+# the probe-budget scheduler at 100/50/25/10% — whose probes_sent
+# metric the guard checks for overspend), the TSLP
 # sampling hot loop, the analysis
 # threshold sweep (detect-once vs per-threshold detection), and the
 # parallel-engine sub-benchmarks. The parallel benches run under
@@ -23,7 +25,7 @@ trap 'rm -f "$RAW"' EXIT
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 GOMAXPROCS="$PROCS" go test -run '^$' \

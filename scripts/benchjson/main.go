@@ -285,7 +285,8 @@ func runGuard(benches []Benchmark, prevPath string, tol float64) int {
 			}
 		}
 	}
-	regressions += warnInvertedScaling(benches)
+	regressions += warnInvertedScaling(benches, baselineLedger.Cores)
+	regressions += warnBudgetSpend(benches)
 	if regressions == 0 {
 		fmt.Printf("bench guard: no regression beyond %.0f%% vs %s\n", tol, prevPath)
 	} else {
@@ -303,7 +304,14 @@ var workersVariant = regexp.MustCompile(`^(.+)/workers=(\d+)$`)
 // engine paying coordination overhead without buying parallelism. At
 // procs=1 the comparison is skipped: time-sharing one core cannot
 // speed anything up, so parity there is expected, not a regression.
-func warnInvertedScaling(benches []Benchmark) int {
+// baselineCores is the committed ledger's recorded effective core
+// count: 1 means the CI runner is known single-core (a cgroup limit
+// GOMAXPROCS doesn't see), so the whole check is suppressed — every
+// "inverted" ratio there is the runner, not the engine.
+func warnInvertedScaling(benches []Benchmark, baselineCores int) int {
+	if baselineCores == 1 {
+		return 0
+	}
 	type key struct {
 		prefix string
 		procs  int
@@ -328,6 +336,52 @@ func warnInvertedScaling(benches []Benchmark) int {
 			warnings++
 			fmt.Printf("WARNING: %s (procs=%d) is slower than %s/workers=1 (%.0f > %.0f ns/op) — parallel engine scaling is inverted\n",
 				b.Name, b.Procs, m[1], b.NsPerOp, base.NsPerOp)
+		}
+	}
+	return warnings
+}
+
+// budgetVariant splits "Benchmark.../budget=N" sub-benchmark names.
+var budgetVariant = regexp.MustCompile(`^(.+)/budget=(\d+)$`)
+
+// warnBudgetSpend checks the probe-budget scheduler's spend contract
+// within the current run: a budget=50 sub-benchmark must send at most
+// 55% of its budget=100 sibling's probes_sent (5 points of slack for
+// the full-rate exploration window before the scheduler's first
+// recompute). Warn-only like the rest of the guard — but unlike ns/op
+// this metric is deterministic, so a warning here is a real contract
+// break, not noise.
+func warnBudgetSpend(benches []Benchmark) int {
+	type key struct {
+		prefix string
+		procs  int
+	}
+	full := make(map[key]float64)
+	for _, b := range benches {
+		if m := budgetVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "100" {
+			if sent, ok := b.Metrics["probes_sent"]; ok {
+				full[key{m[1], b.Procs}] = sent
+			}
+		}
+	}
+	warnings := 0
+	for _, b := range benches {
+		m := budgetVariant.FindStringSubmatch(b.Name)
+		if m == nil || m[2] != "50" {
+			continue
+		}
+		sent, ok := b.Metrics["probes_sent"]
+		if !ok {
+			continue
+		}
+		base, ok := full[key{m[1], b.Procs}]
+		if !ok || base <= 0 {
+			continue
+		}
+		if frac := sent / base; frac > 0.55 {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) sent %.1f%% of %s/budget=100's probes (want ≤55%%) — the budget scheduler is overspending\n",
+				b.Name, b.Procs, 100*frac, m[1])
 		}
 	}
 	return warnings

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -146,18 +147,18 @@ func TestWarnInvertedScaling(t *testing.T) {
 		return Benchmark{Name: name, Procs: procs, NsPerOp: ns}
 	}
 	// workers=4 slower than workers=1 at procs=4: one warning.
-	got := warnInvertedScaling([]Benchmark{
+	inverted := []Benchmark{
 		mk("BenchmarkCampaignParallel/workers=1", 4, 100),
 		mk("BenchmarkCampaignParallel/workers=4", 4, 150),
-	})
-	if got != 1 {
+	}
+	if got := warnInvertedScaling(inverted, 4); got != 1 {
 		t.Fatalf("inverted scaling at procs=4: %d warnings, want 1", got)
 	}
 	// Healthy scaling: no warning.
-	got = warnInvertedScaling([]Benchmark{
+	got := warnInvertedScaling([]Benchmark{
 		mk("BenchmarkCampaignParallel/workers=1", 4, 100),
 		mk("BenchmarkCampaignParallel/workers=4", 4, 40),
-	})
+	}, 4)
 	if got != 0 {
 		t.Fatalf("healthy scaling: %d warnings, want 0", got)
 	}
@@ -165,9 +166,73 @@ func TestWarnInvertedScaling(t *testing.T) {
 	got = warnInvertedScaling([]Benchmark{
 		mk("BenchmarkCampaignParallel/workers=1", 1, 100),
 		mk("BenchmarkCampaignParallel/workers=4", 1, 110),
-	})
+	}, 0)
 	if got != 0 {
 		t.Fatalf("procs=1 parity: %d warnings, want 0", got)
+	}
+	// A ledger recorded on a known single-core runner (cores=1)
+	// suppresses the whole check, even when GOMAXPROCS says 4: the
+	// cgroup limit, not the engine, inverts the ratio there.
+	if got := warnInvertedScaling(inverted, 1); got != 0 {
+		t.Fatalf("cores=1 baseline: %d warnings, want 0 (check suppressed)", got)
+	}
+	// An unrecorded core count (pre-field ledger, cores=0) keeps the
+	// check live — suppression needs positive evidence.
+	if got := warnInvertedScaling(inverted, 0); got != 1 {
+		t.Fatalf("cores=0 baseline: %d warnings, want 1 (check stays live)", got)
+	}
+}
+
+func TestGuardSuppressesInvertedScalingOnSingleCoreLedger(t *testing.T) {
+	// End-to-end through runGuard: the raw log shows workers=4 slower
+	// than workers=1 at procs=4, but the committed baseline says the
+	// runner has one effective core — no warning.
+	raw := `goos: linux
+BenchmarkCampaignParallel/workers=1-4  3  100000000 ns/op
+BenchmarkCampaignParallel/workers=4-4  3  150000000 ns/op
+PASS
+`
+	baseline := `{
+  "date": "2026-01-01T00:00:00Z", "go": "go1.24.0", "cores": 1,
+  "benchmarks": [
+    {"name": "BenchmarkCampaignParallel/workers=1", "procs": 4, "iterations": 3, "ns_per_op": 100000000},
+    {"name": "BenchmarkCampaignParallel/workers=4", "procs": 4, "iterations": 3, "ns_per_op": 150000000}
+  ]
+}`
+	benches, err := parseRaw(writeTemp(t, "raw.txt", raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runGuard(benches, writeTemp(t, "base.json", baseline), 25); got != 0 {
+		t.Fatalf("runGuard warned %d times on a cores=1 ledger, want 0", got)
+	}
+}
+
+func TestWarnBudgetSpend(t *testing.T) {
+	mk := func(pct int, sent float64) Benchmark {
+		return Benchmark{
+			Name:    "BenchmarkBudgetCampaign/budget=" + strconv.Itoa(pct),
+			Procs:   1,
+			NsPerOp: 1,
+			Metrics: map[string]float64{"probes_sent": sent},
+		}
+	}
+	// 50% budget sending 31% of full-rate probes: within contract.
+	if got := warnBudgetSpend([]Benchmark{mk(100, 179424), mk(50, 55979)}); got != 0 {
+		t.Fatalf("compliant spend: %d warnings, want 0", got)
+	}
+	// 50% budget sending 80%: the scheduler is overspending.
+	if got := warnBudgetSpend([]Benchmark{mk(100, 100000), mk(50, 80000)}); got != 1 {
+		t.Fatalf("overspend: %d warnings, want 1", got)
+	}
+	// No budget=100 sibling (partial -bench filter): nothing to compare.
+	if got := warnBudgetSpend([]Benchmark{mk(50, 80000)}); got != 0 {
+		t.Fatalf("missing full-rate sibling: %d warnings, want 0", got)
+	}
+	// probes_sent metric absent: skipped, not a crash.
+	noMetric := Benchmark{Name: "BenchmarkBudgetCampaign/budget=50", Procs: 1, NsPerOp: 1}
+	if got := warnBudgetSpend([]Benchmark{mk(100, 100000), noMetric}); got != 0 {
+		t.Fatalf("metric-free sub-benchmark: %d warnings, want 0", got)
 	}
 }
 

@@ -39,6 +39,13 @@ echo "== fault determinism smoke (workers 1 vs 8 under race) =="
 # campaign at Workers>1.
 GOMAXPROCS=4 go test -race -count=1 -run 'TestFaultCampaign|TestTelemetryCampaign' ./internal/experiments/
 
+echo "== budget determinism smoke (workers x batch under race) =="
+# The probe-budget scheduler must keep campaigns bit-identical per
+# (budget, seed) across the Workers x BatchSteps matrix; run the
+# equivalence tests with real parallelism so the skip gate, the
+# streaming CUSUM taps, and the barrier recomputes race for real.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestBudgetCampaignBitIdentical|TestBudgetAwkwardBatchSizesBitIdentical' ./internal/experiments/
+
 echo "== chunked-backing determinism smoke (flat vs compressed under race) =="
 # The columnar tschunk backing must be invisible to the numbers: the
 # {flat, chunked} x workers x batch-size matrix runs raced at real
