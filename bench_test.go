@@ -19,6 +19,7 @@ import (
 
 	"afrixp/internal/analysis"
 	"afrixp/internal/cusum"
+	"afrixp/internal/experiments"
 	"afrixp/internal/levelshift"
 	"afrixp/internal/simclock"
 	"afrixp/internal/timeseries"
@@ -449,6 +450,36 @@ func BenchmarkAblationNearEndCheck(b *testing.B) {
 		if withoutCheck < withCheck {
 			b.Fatal("dropping a filter cannot reduce detections")
 		}
+	}
+}
+
+// BenchmarkScaleCampaign measures the sharded engine across world
+// scales: a one-day campaign on the authored paper world (scale=1)
+// and on 10×/100× generated worlds (4 shards), reporting probing
+// throughput (link_rounds_per_sec), resident series memory per probed
+// link (bytes_per_link — scripts/benchjson warns when a scale>1 row
+// exceeds the scale=1 figure, the sharded memory bound), and the
+// process RSS high-water mark (peak_rss_mb; cumulative across the
+// process, so within one run it is monotone in scale order). The 100×
+// point probes a deterministic 48-VP prefix to keep iterations
+// tractable; the world-size columns still describe the full world.
+func BenchmarkScaleCampaign(b *testing.B) {
+	for _, scale := range []float64{1, 10, 100} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			var p experiments.ScalePoint
+			for i := 0; i < b.N; i++ {
+				pts := experiments.RunScaleSweep(experiments.ScaleSweepConfig{
+					Scales: []float64{scale}, MaxVPs: 48,
+				})
+				p = pts[0]
+			}
+			if p.ProbedLinks == 0 {
+				b.Fatal("scale point probed no links")
+			}
+			b.ReportMetric(p.LinkRoundsPerSec, "link_rounds_per_sec")
+			b.ReportMetric(p.BytesPerLink, "bytes_per_link")
+			b.ReportMetric(p.PeakRSSMB, "peak_rss_mb")
+		})
 	}
 }
 

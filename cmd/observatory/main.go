@@ -5,6 +5,13 @@
 //
 //	observatory -out ./obs-run -days 90 -scale 0.25
 //
+// -scale ≤ 1 scales the authored paper world's populations (existing
+// invocations are unchanged); -scale > 1 generates a continent-scale
+// world (internal/worldgen) at that multiple of the paper's size,
+// seeded by -gen-seed. -shards bounds per-shard series memory with
+// one shared compression arena per shard; results are bit-identical
+// for any -shards / -workers / -batch.
+//
 // -budget F (0 < F < 1) installs the probe-budget scheduler so the
 // campaign sends at most F of the full-rate probes (adaptive per-link
 // rates; results bit-identical per (-budget, -budget-seed) for any
@@ -48,7 +55,9 @@ func run() error {
 	var (
 		out           = flag.String("out", "observatory-out", "output directory")
 		days          = flag.Int("days", 0, "campaign length in days (0 = full paper period)")
-		scale         = flag.Float64("scale", 1.0, "world scale")
+		scale         = flag.Float64("scale", 1.0, "world scale: ≤1 scales the authored paper world's populations; >1 generates a continent-scale world (see -gen-seed)")
+		genSeed       = flag.Uint64("gen-seed", 0, "continent-scale generator seed (only with -scale > 1; 0 = default)")
+		shards        = flag.Int("shards", 0, "partition VPs into this many memory shards, one shared series arena each (0/1 = private per-VP arenas; results are identical for any value)")
 		seed          = flag.Uint64("seed", 0, "world seed")
 		noLoss        = flag.Bool("no-loss", false, "skip loss campaigns")
 		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "probing/analysis worker goroutines (results are identical for any value)")
@@ -111,8 +120,8 @@ func run() error {
 	}
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
-		Seed: *seed, Scale: *scale, Days: *days,
-		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
+		Seed: *seed, Scale: *scale, GenSeed: *genSeed, Days: *days,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Shards: *shards,
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
 		Progress: os.Stderr, Telemetry: tele,

@@ -4,12 +4,23 @@
 //
 // Usage:
 //
-//	repro [-days N] [-scale F] [-seed N] [-csvdir DIR] [-quiet]
+//	repro [-days N] [-scale F] [-gen-seed N] [-shards N] [-seed N]
+//	      [-csvdir DIR] [-quiet]
 //	      [-faults] [-fault-seed N] [-budget F] [-budget-seed N]
-//	      [-budget-table]
+//	      [-budget-table] [-scale-sweep]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
 //	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
 //	      [-metrics FILE] [-metrics-addr HOST:PORT]
+//
+// -scale ≤ 1 scales the authored paper world's synthetic populations
+// (existing invocations are unchanged); -scale > 1 generates a
+// continent-scale world (internal/worldgen) at that multiple of the
+// paper's size, seeded by -gen-seed, with planted congestion ground
+// truth. -shards partitions the VPs into memory shards, each sealing
+// its series into one shared compression arena; results are
+// bit-identical for any -shards / -workers / -batch. -scale-sweep
+// runs the 1×/10×/100× engine sweep and prints links/s, resident
+// bytes/link, and peak RSS per scale.
 //
 // -faults injects the deterministic fault plan (VP outages, ICMP
 // blackouts and rate limiting, link flaps) and prints each VP's
@@ -67,7 +78,10 @@ func run() error {
 	var (
 		days        = flag.Int("days", 0, "campaign length in days (0 = the paper's full period)")
 		startOff    = flag.Int("start-offset", 0, "days after 2016-02-22 to start the campaign")
-		scale       = flag.Float64("scale", 1.0, "synthetic population scale")
+		scale       = flag.Float64("scale", 1.0, "world scale: ≤1 scales the authored paper world's populations; >1 generates a continent-scale world (see -gen-seed)")
+		genSeed     = flag.Uint64("gen-seed", 0, "continent-scale generator seed (only with -scale > 1; 0 = default)")
+		shards      = flag.Int("shards", 0, "partition VPs into this many memory shards, one shared series arena each (0/1 = private per-VP arenas; results are identical for any value)")
+		doSweep     = flag.Bool("scale-sweep", false, "run the 1×/10×/100× scale sweep (throughput, bytes/link, peak RSS) and print the table")
 		seed        = flag.Uint64("seed", 0, "world seed (0 = default)")
 		csvDir      = flag.String("csvdir", "", "when set, write figure CSVs into this directory")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
@@ -139,12 +153,20 @@ func run() error {
 		return runBudgetTable(*seed, *scale, *days, *startOff, *noLoss,
 			*workers, *batch, *budgetSeed, progress)
 	}
+	if *doSweep {
+		fmt.Fprintln(os.Stderr, "scale sweep: 1× (paper world) + 10×/100× generated worlds...")
+		points := experiments.RunScaleSweep(experiments.ScaleSweepConfig{
+			GenSeed: *genSeed, Workers: *workers, Progress: progress,
+		})
+		experiments.RenderScaleSweep(os.Stdout, points)
+		return nil
+	}
 
 	fmt.Fprintf(os.Stderr, "building world (scale %.2f) and running campaign...\n", *scale)
 	start := time.Now()
 	c := afrixp.RunCampaign(afrixp.CampaignConfig{
-		Seed: *seed, Scale: *scale, Days: *days, StartOffsetDays: *startOff,
-		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch,
+		Seed: *seed, Scale: *scale, GenSeed: *genSeed, Days: *days, StartOffsetDays: *startOff,
+		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Shards: *shards,
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
 		Progress: progress, Telemetry: tele,

@@ -58,6 +58,13 @@ type CollectorConfig struct {
 	// kept for the backing-equivalence tests and for callers that want
 	// to mutate collected series.
 	Flat bool
+	// Arena, when non-nil, seals the chunked builders into the given
+	// shared slab instead of private per-builder arenas — the sharded
+	// campaign engine hands every shard one Arena so a shard's series
+	// memory is bounded and accountable in one place. Ignored with
+	// Flat. The sample values are bit-identical either way; only the
+	// byte store moves.
+	Arena *tschunk.Arena
 }
 
 func (c CollectorConfig) withDefaults() CollectorConfig {
@@ -87,8 +94,8 @@ func NewCollector(ts *prober.TSLP, cfg CollectorConfig) *Collector {
 		c.near = timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg)
 		c.far = timeseries.NewRegular(cfg.Campaign.Start, cfg.AggStep, nAgg)
 	} else {
-		c.nearB = tschunk.NewBuilder(nAgg)
-		c.farB = tschunk.NewBuilder(nAgg)
+		c.nearB = tschunk.NewBuilderArena(nAgg, cfg.Arena)
+		c.farB = tschunk.NewBuilderArena(nAgg, cfg.Arena)
 	}
 	if cfg.FullResWindow.Duration() > 0 {
 		n := cfg.FullResWindow.NumSteps(cfg.Step)
@@ -172,6 +179,26 @@ func (c *Collector) Series() LinkSeries {
 // configured).
 func (c *Collector) FullRes() (near, far *timeseries.Series) {
 	return c.fullNear, c.fullFar
+}
+
+// MemBytes reports the collector's resident series bytes outside any
+// shared arena: the aggregated backings (flat values or chunked
+// builder state) plus the full-resolution window. Collectors sealing
+// into a shared tschunk.Arena exclude the slab — the engine accounts
+// it once per shard. Allocation-free; the engine publishes per-shard
+// memory gauges from this at every batch barrier.
+func (c *Collector) MemBytes() int {
+	n := 0
+	if c.near != nil {
+		n += 8 * (len(c.near.Values) + len(c.far.Values))
+	}
+	if c.nearB != nil {
+		n += c.nearB.MemBytes() + c.farB.MemBytes()
+	}
+	if c.fullNear != nil {
+		n += 8 * (len(c.fullNear.Values) + len(c.fullFar.Values))
+	}
+	return n
 }
 
 // RoundMissed accounts a probing round that never ran — the vantage

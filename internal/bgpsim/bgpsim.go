@@ -62,6 +62,45 @@ type Network struct {
 	prefixTable *lpm.Table[asrel.ASN]
 	routeCache  map[asrel.ASN]*destRoutes
 	dirty       bool
+	// scratch holds the per-destination working arrays routesTo needs
+	// (BFS queue, tentative distances, Dijkstra buckets). Continent-
+	// scale worlds compute routes for thousands of destinations over
+	// thousands of ASes; reusing the scratch turns ~7 O(V) allocations
+	// per destination into amortized zero. Only the cached destRoutes
+	// arrays — the actual result — are allocated per destination.
+	scratch routeScratch
+}
+
+// routeScratch is routesTo's reusable working set.
+type routeScratch struct {
+	queue             []int
+	custDist, custHop []int32
+	provDist, provHop []int32
+	buckets           [][]int
+}
+
+// grab sizes the scratch for v ASes and resets the tentative state.
+func (s *routeScratch) grab(v, maxD int) {
+	if cap(s.custDist) < v {
+		s.custDist = make([]int32, v)
+		s.custHop = make([]int32, v)
+		s.provDist = make([]int32, v)
+		s.provHop = make([]int32, v)
+	}
+	s.custDist, s.custHop = s.custDist[:v], s.custHop[:v]
+	s.provDist, s.provHop = s.provDist[:v], s.provHop[:v]
+	for i := 0; i < v; i++ {
+		s.custDist[i], s.custHop[i] = 1<<30, -1
+		s.provDist[i], s.provHop[i] = 1<<30, -1
+	}
+	if cap(s.buckets) < maxD+2 {
+		s.buckets = make([][]int, maxD+2)
+	}
+	s.buckets = s.buckets[:maxD+2]
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.queue = s.queue[:0]
 }
 
 // destRoutes holds, for one destination AS, each AS's selected route.
@@ -258,17 +297,14 @@ func (n *Network) routesTo(dst asrel.ASN) *destRoutes {
 	// Phase 1: customer routes climb provider (and sibling) edges.
 	// BFS guarantees shortest paths; neighbors are scanned in sorted
 	// ASN order so ties break to the lowest next-hop ASN.
-	queue := []int{di}
-	custDist := make([]int32, v)
-	custHop := make([]int32, v)
-	for i := range custDist {
-		custDist[i] = 1 << 30
-		custHop[i] = -1
-	}
+	maxD := 2 * v
+	n.scratch.grab(v, maxD)
+	queue := append(n.scratch.queue, di)
+	custDist := n.scratch.custDist
+	custHop := n.scratch.custHop
 	custDist[di] = 0
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
 		ax := n.asns[x]
 		for _, b := range n.graph.Neighbors(ax) {
 			r := n.graph.Rel(ax, b)
@@ -323,8 +359,7 @@ func (n *Network) routesTo(dst asrel.ASN) *destRoutes {
 	// edges from any routed AS. Dijkstra over unit weights with
 	// heterogeneous source distances, implemented with distance
 	// buckets for determinism and O(E) cost.
-	maxD := 2 * v
-	buckets := make([][]int, maxD+2)
+	buckets := n.scratch.buckets
 	for i := 0; i < v; i++ {
 		if dr.rtype[i] != RouteNone {
 			d := int(dr.dist[i])
@@ -333,12 +368,8 @@ func (n *Network) routesTo(dst asrel.ASN) *destRoutes {
 			}
 		}
 	}
-	provDist := make([]int32, v)
-	provHop := make([]int32, v)
-	for i := range provDist {
-		provDist[i] = 1 << 30
-		provHop[i] = -1
-	}
+	provDist := n.scratch.provDist
+	provHop := n.scratch.provHop
 	for d := 0; d <= maxD; d++ {
 		for _, x := range buckets[d] {
 			// Skip stale entries (already settled at a lower level).
@@ -379,6 +410,8 @@ func (n *Network) routesTo(dst asrel.ASN) *destRoutes {
 		}
 	}
 
+	// Keep any capacity the BFS queue grew for the next destination.
+	n.scratch.queue = queue[:0]
 	n.routeCache[dst] = dr
 	return dr
 }

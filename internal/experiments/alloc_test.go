@@ -13,6 +13,7 @@ import (
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
 	"afrixp/internal/telemetry"
+	"afrixp/internal/tschunk"
 )
 
 // TestSteadyStateProbeStepZeroAlloc pins the engine's allocation diet:
@@ -40,7 +41,11 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	}})
 
 	// One prober on a VP with case links, probing each of them — the
-	// same per-(step, link) work the campaign's pool.run performs.
+	// same per-(step, link) work the campaign's pool.run performs. The
+	// collectors seal into one shared arena, the sharded engine's
+	// per-shard memory layout, so the shared-slab append path is under
+	// the zero-alloc claim too.
+	arena := tschunk.NewArena(0)
 	var pr *prober.Prober
 	var collectors []*analysis.Collector
 	var tslps []*prober.TSLP
@@ -58,7 +63,7 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 			}
 			tslps = append(tslps, ts)
 			collectors = append(collectors, analysis.NewCollector(ts,
-				analysis.CollectorConfig{Campaign: campaign, Step: step}))
+				analysis.CollectorConfig{Campaign: campaign, Step: step, Arena: arena}))
 		}
 		break
 	}
@@ -94,6 +99,12 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	// counters, the batch-length histogram, the probe-batch span, and
 	// the per-worker busy-time credit. All of it must stay off the heap.
 	tele := telemetry.New()
+	// Shard gauges sized up front, as the sharded engine does before
+	// probing starts: their barrier republication — the resident-bytes
+	// walk over arena and collectors plus three gauge stores — is part
+	// of the per-batch telemetry bill being measured.
+	tele.Engine.SetShards(1)
+	roundsScheduled := int64(0)
 	publish := func() {
 		var agg netsim.ProbeStats
 		agg.Merge(pr.ProbeStats())
@@ -114,6 +125,15 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 		p.InjectUnreachable.Store(is.Unreachable)
 		tele.Faults.Entered.Store(sched.Entered())
 		tele.Faults.Exited.Store(sched.Exited())
+		if g := tele.Engine.Shard(0); g != nil {
+			resident := int64(arena.MemBytes())
+			for _, c := range collectors {
+				resident += int64(c.MemBytes())
+			}
+			g.ResidentBytes.Set(resident)
+			g.LinksOwned.Set(int64(len(collectors)))
+			g.Rounds.Set(roundsScheduled)
+		}
 	}
 
 	// Advancing to the campaign start replays months of scenario churn,
@@ -131,6 +151,7 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	steps := make([]simclock.Time, 1)
 	round := func() {
 		tele.Engine.BatchesOpened.Inc()
+		roundsScheduled++
 		publish()
 		steps[0] = at
 		w.Net.AdvanceQueuesBatch(steps)
@@ -191,6 +212,12 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	}
 	if len(tele.Spans()) == 0 {
 		t.Error("no probe-batch spans recorded")
+	}
+	// The shard-gauge claim must cover real values: a resident figure
+	// from the shared arena and a live round count.
+	if sh := tele.Snapshot().Engine.Shards; len(sh) != 1 ||
+		sh[0].ResidentBytes <= 0 || sh[0].LinksOwned <= 0 || sh[0].Rounds == 0 {
+		t.Errorf("shard gauges unpublished (%+v); the sharded-telemetry zero-alloc claim is vacuous", sh)
 	}
 	// The chunked backings must actually have been fed: every collector
 	// a chunk-backed series with samples, and the loss grid populated.

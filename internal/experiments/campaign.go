@@ -33,12 +33,19 @@ import (
 	"afrixp/internal/simclock"
 	"afrixp/internal/telemetry"
 	"afrixp/internal/timeseries"
+	"afrixp/internal/tschunk"
 )
 
 // Config drives one campaign.
 type Config struct {
 	// Opts builds the world.
 	Opts scenario.Options
+	// BuildWorld, when non-nil, supplies the world instead of
+	// scenario.Paper(Opts) — the hook continent-scale generated worlds
+	// (internal/worldgen) enter the engine through. The builder must
+	// return a fully authored world; Run calls nothing but the
+	// standard campaign machinery on it.
+	BuildWorld func() *scenario.World
 	// Campaign bounds the probing. Zero value = the paper's period
 	// (2016-02-22 … 2017-03-27).
 	Campaign simclock.Interval
@@ -75,6 +82,20 @@ type Config struct {
 	// any value (see DESIGN.md §9). Default 1024; 1 degenerates to the
 	// per-step protocol.
 	BatchSteps int
+	// Shards, when > 1, partitions vantage points into shards (VP i
+	// belongs to shard i mod Shards, clamped to the VP count) and
+	// makes the shard — not the VP — the engine's unit of scheduling
+	// and memory: one pool task probes a shard's VPs in ascending
+	// index order, and all the shard's collectors seal their
+	// compressed series into one shared tschunk.Arena, so per-shard
+	// resident bytes are bounded and accountable (published as
+	// telemetry shard gauges at batch barriers). Per-VP probing state
+	// is fully independent and within-shard order is fixed, so results
+	// are bit-identical for any Workers × BatchSteps × Shards setting;
+	// with sharding on, effective probing parallelism is min(Workers,
+	// Shards). Shards ≤ 1 keeps the per-VP scheduling with private
+	// collector arenas.
+	Shards int
 	// Faults, when non-nil, injects a deterministic fault plan — VP
 	// outages, ICMP blackouts and rate-limiting at case-link routers,
 	// link flaps — into the world before probing starts (see
@@ -221,6 +242,12 @@ type Result struct {
 	VPs   []*VPResult
 	// Faults is the injected fault schedule; nil without Cfg.Faults.
 	Faults *faults.Schedule
+
+	// shards is the effective shard count the engine ran with (0 or 1
+	// = unsharded). Reanalyze must respect it: a shard's collectors
+	// seal into one shared arena, so sealing parallelism is per shard,
+	// not per link.
+	shards int
 }
 
 // VPYield is one vantage point's measurement-health accounting under
@@ -320,7 +347,12 @@ func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	tele := cfg.Telemetry
 	buildRef := tele.BeginSpan("build-world", "", cfg.Campaign.Start)
-	w := scenario.Paper(cfg.Opts)
+	var w *scenario.World
+	if cfg.BuildWorld != nil {
+		w = cfg.BuildWorld()
+	} else {
+		w = scenario.Paper(cfg.Opts)
+	}
 	tele.EndSpan(buildRef, cfg.Campaign.Start)
 	res := &Result{World: w, Cfg: cfg}
 	if cfg.Faults != nil {
@@ -365,6 +397,8 @@ func Run(cfg Config) *Result {
 		vr        *VPResult
 		snapshots []simclock.Time
 		snapIdx   int
+		// shard is the VP's shard index (0 when sharding is off).
+		shard int
 		// outage is the VP's injected downtime schedule (nil = always
 		// up); consulted every probing step, allocation-free.
 		outage *faults.Outage
@@ -393,6 +427,28 @@ func Run(cfg Config) *Result {
 	}
 	if res.Faults != nil {
 		progress("injected %d fault episodes", len(res.Faults.Faults))
+	}
+
+	// Shard partition: VP i → shard i mod shards, so each shard owns a
+	// stride of the VP list and one shared compression arena. The
+	// arenas exist before discovery runs — collectors are born sealing
+	// into their shard's slab.
+	shards := cfg.Shards
+	if shards > len(states) {
+		shards = len(states)
+	}
+	sharded := shards > 1
+	var arenas []*tschunk.Arena
+	if sharded {
+		res.shards = shards
+		arenas = make([]*tschunk.Arena, shards)
+		for s := range arenas {
+			arenas[s] = tschunk.NewArena(0)
+		}
+		for si, st := range states {
+			st.shard = si % shards
+		}
+		progress("sharded engine: %d shards over %d VPs", shards, len(states))
 	}
 
 	// The RIR and IXP-directory indexes are pure functions of their
@@ -445,6 +501,9 @@ func Run(cfg Config) *Result {
 			lr := &LinkRecord{Target: target, FarAS: l.FarAS, ViaIXP: l.ViaIXP,
 				DiscoveredAt: t, tslp: ts, Verdicts: make(map[float64]analysis.Verdict)}
 			ccfg := analysis.CollectorConfig{Campaign: cfg.Campaign, Step: cfg.Step, Flat: cfg.FlatSeries}
+			if arenas != nil {
+				ccfg.Arena = arenas[st.shard]
+			}
 			for name, cl := range vr.VP.CaseLinks {
 				if cl == target {
 					lr.CaseName = name
@@ -558,8 +617,19 @@ func Run(cfg Config) *Result {
 	if tele != nil {
 		teleEng = &tele.Engine
 	}
-	pool := newProbePool(effectiveWorkers(len(states), cfg.Workers), teleEng)
-	pool.run = func(si int) {
+	// With sharding on, the pool's task is a shard: one worker walks
+	// the shard's VPs in ascending index order, so the (step, link)
+	// visit order within a shard is fixed regardless of worker count —
+	// the shard is both the memory and the scheduling unit.
+	poolTasks := len(states)
+	if sharded {
+		poolTasks = shards
+	}
+	pool := newProbePool(effectiveWorkers(poolTasks, cfg.Workers), teleEng)
+	if tele != nil && sharded {
+		tele.Engine.SetShards(shards)
+	}
+	runVP := func(si int) {
 		st := states[si]
 		pr := st.vr.Prober
 		bv := bviews[si]
@@ -608,6 +678,14 @@ func Run(cfg Config) *Result {
 		}
 		pr.SetBatchStep(-1)
 	}
+	pool.run = runVP
+	if sharded {
+		pool.run = func(shard int) {
+			for si := shard; si < len(states); si += shards {
+				runVP(si)
+			}
+		}
+	}
 
 	// publish republishes the hot-path plain counters (per-VP probe
 	// contexts, the network's inject accounting, fault episode edges)
@@ -644,6 +722,29 @@ func Run(cfg Config) *Result {
 		if res.Faults != nil {
 			tele.Faults.Entered.Store(res.Faults.Entered())
 			tele.Faults.Exited.Store(res.Faults.Exited())
+		}
+		// Per-shard gauges: resident series bytes (the shard's shared
+		// slab once, plus each collector's private state), links owned,
+		// and rounds scheduled. O(links) atomic-free field reads plus
+		// three atomic stores per shard — allocation-free, like the
+		// rest of publish.
+		for s := 0; s < shards && sharded; s++ {
+			g := tele.Engine.Shard(s)
+			if g == nil {
+				break
+			}
+			resident := int64(arenas[s].MemBytes())
+			var owned, rounds int64
+			for si := s; si < len(states); si += shards {
+				rounds += int64(states[si].vr.RoundsScheduled)
+				owned += int64(len(links[si]))
+				for _, lr := range links[si] {
+					resident += int64(lr.Collector.MemBytes())
+				}
+			}
+			g.ResidentBytes.Set(resident)
+			g.LinksOwned.Set(owned)
+			g.Rounds.Set(rounds)
 		}
 	}
 
@@ -725,7 +826,7 @@ func Run(cfg Config) *Result {
 			tele.Engine.RoundsDispatched.Add(uint64(len(steps) * len(states)))
 			tele.Engine.BatchLen.Observe(float64(len(steps)))
 		}
-		pool.do(len(states))
+		pool.do(poolTasks)
 		tele.EndSpan(ref, steps[len(steps)-1])
 	}
 	probeRef := tele.BeginSpan("probing", "", cfg.Campaign.Start)
@@ -763,22 +864,13 @@ func Run(cfg Config) *Result {
 // Cfg.Thresholds, and it is the benchmark surface for the analysis
 // fan-out.
 func (r *Result) Reanalyze(workers int) {
-	var tasks []*LinkRecord
-	for _, vr := range r.VPs {
-		tasks = append(tasks, vr.SortedLinks()...)
-	}
 	thresholds := r.Cfg.Thresholds
-	sweepers := make([]*analysis.Sweeper, effectiveWorkers(len(tasks), workers))
-	for w := range sweepers {
-		sweepers[w] = analysis.NewSweeper()
-	}
-	parallelWorkers(len(tasks), workers, func(w, i int) {
-		lr := tasks[i]
+	analyzeOne := func(sw *analysis.Sweeper, lr *LinkRecord) {
 		ls := lr.Collector.Series()
 		if lr.Verdicts == nil {
 			lr.Verdicts = make(map[float64]analysis.Verdict, len(thresholds))
 		}
-		verdicts := sweepers[w].AnalyzeLinkSweep(ls, analysis.DefaultConfig(), thresholds)
+		verdicts := sw.AnalyzeLinkSweep(ls, analysis.DefaultConfig(), thresholds)
 		for k, thr := range thresholds {
 			v := verdicts[k]
 			if lr.Symmetry != nil && !lr.Symmetry.Symmetric {
@@ -793,7 +885,41 @@ func (r *Result) Reanalyze(workers int) {
 		if lr.lossCol != nil {
 			lr.LossBatches = lr.lossCol.Batches()
 		}
-	})
+	}
+	var sweepers []*analysis.Sweeper
+	if r.shards > 1 {
+		// Sharded campaigns seal a shard's collectors into one shared
+		// arena (Series → Seal appends to the slab), so the unit of
+		// analysis parallelism is the shard: workers own whole shards
+		// and walk their links in VP order — the single-writer rule
+		// the arena requires, and the same visit order every time.
+		shardLinks := make([][]*LinkRecord, r.shards)
+		for i, vr := range r.VPs {
+			s := i % r.shards
+			shardLinks[s] = append(shardLinks[s], vr.SortedLinks()...)
+		}
+		sweepers = make([]*analysis.Sweeper, effectiveWorkers(r.shards, workers))
+		for w := range sweepers {
+			sweepers[w] = analysis.NewSweeper()
+		}
+		parallelWorkers(r.shards, workers, func(w, s int) {
+			for _, lr := range shardLinks[s] {
+				analyzeOne(sweepers[w], lr)
+			}
+		})
+	} else {
+		var tasks []*LinkRecord
+		for _, vr := range r.VPs {
+			tasks = append(tasks, vr.SortedLinks()...)
+		}
+		sweepers = make([]*analysis.Sweeper, effectiveWorkers(len(tasks), workers))
+		for w := range sweepers {
+			sweepers[w] = analysis.NewSweeper()
+		}
+		parallelWorkers(len(tasks), workers, func(w, i int) {
+			analyzeOne(sweepers[w], tasks[i])
+		})
+	}
 	if tele := r.Cfg.Telemetry; tele != nil {
 		// Sweeper stats are plain per-worker counters; parallelWorkers
 		// has joined, so summing them here is race-free. Add (not

@@ -73,6 +73,10 @@ func (p *probePool) exec(worker, task int) {
 }
 
 // do runs run(0..n-1) across the pool and returns when all complete.
+// Task sends and completion receives are interleaved: with n greater
+// than the channel buffering (workers per channel), a send-all-first
+// dispatch would deadlock — every worker blocked sending done while the
+// coordinator blocks sending the next task.
 func (p *probePool) do(n int) {
 	if p.workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -80,10 +84,16 @@ func (p *probePool) do(n int) {
 		}
 		return
 	}
-	for i := 0; i < n; i++ {
-		p.tasks <- i
+	sent, recv := 0, 0
+	for sent < n {
+		select {
+		case p.tasks <- sent:
+			sent++
+		case <-p.done:
+			recv++
+		}
 	}
-	for i := 0; i < n; i++ {
+	for ; recv < n; recv++ {
 		<-p.done
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// continent-scale acceptance matrix skips under it (the 10× generated
+// world smoke in scripts/ci.sh is the raced scale path).
+const raceEnabled = false

@@ -29,6 +29,10 @@ type builder struct {
 	ixpPool *netaddr.Allocator
 
 	nextASN asrel.ASN
+	// asBits is the prefix length allocated per AS (default /16). The
+	// continent-scale generator widens the pool and keeps /16s; tests
+	// may narrow it.
+	asBits int
 	// icRef is an intercontinental carrier used when events add
 	// late-joining transit providers.
 	icRef *asInfo
@@ -68,6 +72,7 @@ func newBuilder(seed uint64) *builder {
 		asPool:  netaddr.NewAllocator(netaddr.MustParsePrefix("40.0.0.0/6")),
 		ixpPool: netaddr.NewAllocator(netaddr.MustParsePrefix("196.60.0.0/14")),
 		nextASN: 328000,
+		asBits:  16,
 	}
 }
 
@@ -82,18 +87,19 @@ func (b *builder) allocASN() asrel.ASN {
 // traces into the AS reveal the border's ingress interface), RIR
 // delegation, geolocation, and reverse DNS.
 func (b *builder) addAS(asn asrel.ASN, name, org, cc, city string) *asInfo {
-	prefix := b.asPool.MustAlloc(16)
+	prefix := b.asPool.MustAlloc(b.asBits)
 	b.w.Graph.AddAS(asn, name, asrel.Org(org))
 	b.w.BGP.Announce(asn, prefix)
 
 	border := b.w.Net.AddNode("br1."+name, asn)
 	host := b.w.Net.AddNode("srv1."+name, asn)
-	// The first /20 of the block is infrastructure: /30 interconnects
-	// (up to 1024, enough for Liquid-scale customer counts). The very
-	// first /30 is reserved so that x.x.0.1 — the address trace
-	// campaigns aim at — is the service loopback behind the border,
-	// not the border's own internal interface.
-	p2p := netaddr.NewAllocator(netaddr.PrefixFrom(prefix.Addr, 20))
+	// The first sixteenth of the block is infrastructure: /30
+	// interconnects (a /20 out of a /16 holds 1024, enough for
+	// Liquid-scale customer counts). The very first /30 is reserved so
+	// that x.x.0.1 — the address trace campaigns aim at — is the
+	// service loopback behind the border, not the border's own
+	// internal interface.
+	p2p := netaddr.NewAllocator(netaddr.PrefixFrom(prefix.Addr, b.asBits+4))
 	p2p.MustAlloc(30) // reserve x.x.0.0/30
 	link := p2p.MustAlloc(30)
 	b.w.Net.ConnectLink(border, host, netsim.LinkSpec{Subnet: link,
@@ -122,7 +128,7 @@ func domainOf(name string) string { return name + ".net" }
 // prefix), directory entry, geolocation of the fabric.
 func (b *builder) addIXP(name, cc, region, city string, launched int, ixpAS asrel.ASN, withMgmt bool) *IXPInfo {
 	lanPrefix := b.ixpPool.MustAlloc(24)
-	info := &IXPInfo{Name: name, Country: cc, Region: region, Launched: launched,
+	info := &IXPInfo{Name: name, Country: cc, City: city, Region: region, Launched: launched,
 		ASN: ixpAS, Peering: lanPrefix, Members: make(map[asrel.ASN]netaddr.Addr)}
 	info.PeeringLAN = b.w.Net.AddLAN(lanPrefix)
 	if withMgmt {
@@ -140,8 +146,8 @@ func (b *builder) addIXP(name, cc, region, city string, launched int, ixpAS asre
 	return info
 }
 
-// portSpec customizes one member's IXP port.
-type portSpec struct {
+// PortSpec customizes one member's IXP port.
+type PortSpec struct {
 	// FromFabric/ToFabric pipes override the default clean port
 	// (congestion authoring).
 	FromFabric, ToFabric *netsim.Pipe
@@ -155,7 +161,7 @@ type portSpec struct {
 // joinIXP attaches an AS's border router to an exchange fabric and
 // records peerings with the existing members, the directory port
 // assignment, and rDNS for the port.
-func (b *builder) joinIXP(a *asInfo, x *IXPInfo, spec portSpec) netaddr.Addr {
+func (b *builder) joinIXP(a *asInfo, x *IXPInfo, spec PortSpec) netaddr.Addr {
 	slot := len(x.PeeringLAN.Attachments)
 	addr := x.Peering.Nth(uint64(10 + slot))
 	name := geo.InterfaceName(fmt.Sprintf("xe0-%d", slot), "br1",
@@ -204,7 +210,7 @@ func (b *builder) leaveEvent(a *asInfo, x *IXPInfo, at simclock.Time, why string
 }
 
 // joinEvent attaches a member at a future date.
-func (b *builder) joinEvent(a *asInfo, x *IXPInfo, at simclock.Time, spec portSpec, onJoin func(addr netaddr.Addr)) {
+func (b *builder) joinEvent(a *asInfo, x *IXPInfo, at simclock.Time, spec PortSpec, onJoin func(addr netaddr.Addr)) {
 	b.w.AddEvent(Event{At: at, Name: fmt.Sprintf("%s joins %s", a.Name, x.Name),
 		Apply: func(w *World) {
 			addr := b.joinIXP(a, x, spec)
@@ -308,6 +314,9 @@ func slowICMP(seed uint64, levelMs float64) func(simclock.Time) simclock.Duratio
 }
 
 func cityOfIXP(x *IXPInfo) string {
+	if x.City != "" {
+		return x.City
+	}
 	switch x.Name {
 	case "GIXA":
 		return "accra"

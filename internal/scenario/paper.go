@@ -129,7 +129,7 @@ type memberSpec struct {
 	asn     asrel.ASN // 0 = allocate
 	cc      string
 	city    string
-	port    portSpec
+	port    PortSpec
 	leaveAt simclock.Time
 	joinAt  simclock.Time
 	transit *asInfo // upstream; nil = none
@@ -173,7 +173,7 @@ func (b *builder) noiseSpecs(prefix, cc, city string, transit *asInfo, bands []n
 			specs = append(specs, memberSpec{
 				name: fmt.Sprintf("%s%03d", prefix, idx), cc: cc, city: city,
 				transit: transit,
-				port:    portSpec{SlowICMPLevel: level},
+				port:    PortSpec{SlowICMPLevel: level},
 			})
 			idx++
 		}
@@ -188,7 +188,7 @@ func buildGIXA(b *builder, opts Options, ghTransit *asInfo) {
 	w := b.w
 	x := b.addIXP("GIXA", "gh", "West Africa", "accra", 2005, ASGixa, true)
 	content := b.addAS(ASGixa, "gixa", "GIXA", "gh", "accra")
-	b.joinIXP(content, x, portSpec{})
+	b.joinIXP(content, x, PortSpec{})
 	vp := b.addVP("VP1", "gixa-gh", content, "GIXA")
 
 	ghanatel := b.addAS(ASGhanatel, "ghanatel", "VODAFONE-GH", "gh", "accra")
@@ -285,7 +285,7 @@ func buildGIXA(b *builder, opts Options, ghTransit *asInfo) {
 		}.Load())
 	knetPort := congestedPort(1e9, 18*time.Millisecond, knetLoad.Load())
 	b.joinEvent(knet, x, simclock.Date(2016, time.June, 29),
-		portSpec{FromFabric: knetPort},
+		PortSpec{FromFabric: knetPort},
 		func(addr netaddr.Addr) {
 			vp.CaseLinks["GIXA-KNET"] = prober.LinkTarget{Near: vp.NearAddr, Far: addr}
 			w.Interviews.Add(&interview.Annotation{
@@ -319,9 +319,9 @@ func buildGIXA(b *builder, opts Options, ghTransit *asInfo) {
 	// ~25 ms slow-ICMP levels).
 	specs = append(specs,
 		memberSpec{name: "ghnoise0", cc: "gh", city: "accra", transit: ghTransit,
-			port: portSpec{SlowICMPLevel: 11.5}},
+			port: PortSpec{SlowICMPLevel: 11.5}},
 		memberSpec{name: "ghnoise1", cc: "gh", city: "kumasi", transit: ghTransit,
-			port: portSpec{SlowICMPLevel: 26}},
+			port: PortSpec{SlowICMPLevel: 26}},
 	)
 	b.populate(x, specs)
 	w.VPs = append(w.VPs, vp)
@@ -334,7 +334,7 @@ func buildTIX(b *builder, opts Options, transit *asInfo) {
 	w := b.w
 	x := b.addIXP("TIX", "tz", "East Africa", "daressalaam", 2004, ASTix, false)
 	content := b.addAS(ASTix, "tix", "TIX", "tz", "daressalaam")
-	b.joinIXP(content, x, portSpec{})
+	b.joinIXP(content, x, PortSpec{})
 	b.transit(content, transit, nil, nil)
 	vp := b.addVP("VP2", "tix-tz", content, "TIX")
 
@@ -352,7 +352,7 @@ func buildTIX(b *builder, opts Options, transit *asInfo) {
 			Queue: queueWithPackets(capBps, mag, load.Load())}
 		a := b.addAS(b.allocASN(), fmt.Sprintf("tzcong%d", i), orgOf("tzcong"), "tz", "daressalaam")
 		b.transit(a, transit, nil, nil)
-		addr := b.joinIXP(a, x, portSpec{FromFabric: port})
+		addr := b.joinIXP(a, x, PortSpec{FromFabric: port})
 		target := prober.LinkTarget{Near: vp.NearAddr, Far: addr}
 		vp.CaseLinks[fmt.Sprintf("TIX-CONG%d", i)] = target
 		q := port.Queue
@@ -402,7 +402,7 @@ func buildJINX(b *builder, opts Options, transit *asInfo) {
 	w := b.w
 	x := b.addIXP("JINX", "za", "Southern Africa", "johannesburg", 1996, ASJinx, false)
 	content := b.addAS(ASJinx, "jinx", "JINX", "za", "johannesburg")
-	b.joinIXP(content, x, portSpec{})
+	b.joinIXP(content, x, PortSpec{})
 	b.transit(content, transit, nil, nil)
 	vp := b.addVP("VP3", "jinx-za", content, "JINX")
 
@@ -418,7 +418,7 @@ func buildJINX(b *builder, opts Options, transit *asInfo) {
 		Queue: queueWithPackets(capBps, 18*time.Millisecond, load.Load())}
 	cong := b.addAS(b.allocASN(), "zacong0", orgOf("zacong"), "za", "johannesburg")
 	b.transit(cong, transit, nil, nil)
-	addr := b.joinIXP(cong, x, portSpec{FromFabric: port})
+	addr := b.joinIXP(cong, x, PortSpec{FromFabric: port})
 	target := prober.LinkTarget{Near: vp.NearAddr, Far: addr}
 	vp.CaseLinks["JINX-CONG0"] = target
 	q := port.Queue
@@ -460,11 +460,11 @@ func buildSIXP(b *builder, opts Options, transit *asInfo) {
 	w := b.w
 	x := b.addIXP("SIXP", "gm", "West Africa", "serekunda", 2014, ASSixp, false)
 	ixpNet := b.addAS(ASSixp, "sixp", "SIXP", "gm", "serekunda")
-	b.joinIXP(ixpNet, x, portSpec{})
+	b.joinIXP(ixpNet, x, PortSpec{})
 
 	qcell := b.addAS(ASQcell, "qcell", "QCELL-GM", "gm", "serekunda")
 	b.transit(qcell, transit, nil, nil)
-	b.joinIXP(qcell, x, portSpec{})
+	b.joinIXP(qcell, x, PortSpec{})
 	vp := b.addVP("VP4", "sixp-gm", qcell, "SIXP")
 
 	// --- Case study: QCELL–NETPAGE (10 Mbps port → 1 Gbps). ---
@@ -482,7 +482,7 @@ func buildSIXP(b *builder, opts Options, transit *asInfo) {
 		Queue: queueWithPackets(capBps, 35*time.Millisecond, load.Load())}
 	netpage := b.addAS(b.allocASN(), "netpage", "NETPAGE-GM", "gm", "serekunda")
 	b.transit(netpage, transit, nil, nil)
-	netpageAddr := b.joinIXP(netpage, x, portSpec{FromFabric: port})
+	netpageAddr := b.joinIXP(netpage, x, PortSpec{FromFabric: port})
 	vp.CaseLinks["QCELL-NETPAGE"] = prober.LinkTarget{Near: vp.NearAddr, Far: netpageAddr}
 	upgradeBps := opts.NetpageUpgradeBps
 	if upgradeBps <= 0 {
@@ -506,7 +506,7 @@ func buildSIXP(b *builder, opts Options, transit *asInfo) {
 	// ~10.7 plus one ~6 ms level).
 	specs := []memberSpec{
 		{name: "gmnoise0", cc: "gm", city: "banjul", transit: transit,
-			port: portSpec{SlowICMPLevel: 6}},
+			port: PortSpec{SlowICMPLevel: 6}},
 	}
 	for i := 0; i < 3; i++ {
 		s := memberSpec{name: fmt.Sprintf("gmisp%02d", i), cc: "gm", city: "serekunda",
@@ -533,19 +533,19 @@ func buildKIXP(b *builder, opts Options, ic1, ic2 *asInfo) {
 	w := b.w
 	x := b.addIXP("KIXP", "ke", "East Africa", "nairobi", 2002, ASKixp, false)
 	ixpNet := b.addAS(ASKixp, "kixp", "KIXP", "ke", "nairobi")
-	b.joinIXP(ixpNet, x, portSpec{})
+	b.joinIXP(ixpNet, x, PortSpec{})
 
 	liquid := b.addAS(ASLiquid, "liquid", "LIQUID-KE", "ke", "nairobi")
 	b.transit(liquid, ic1, nil, nil)
 	b.transit(liquid, ic2, nil, nil)
-	b.joinIXP(liquid, x, portSpec{})
+	b.joinIXP(liquid, x, PortSpec{})
 	vp := b.addVP("VP5", "kixp-ke", liquid, "KIXP")
 
 	// Initial KIXP peers (the 11/03 snapshot shows 4).
 	for i := 0; i < 3; i++ {
 		a := b.addAS(b.allocASN(), fmt.Sprintf("keisp%02d", i), orgOf("keisp"), "ke", "nairobi")
 		b.transit(a, ic1, nil, nil)
-		b.joinIXP(a, x, portSpec{})
+		b.joinIXP(a, x, PortSpec{})
 	}
 	// Strong membership growth through the campaign (the paper's VP5
 	// snapshot growth from 4 to ~200 peers, scaled).
@@ -553,7 +553,7 @@ func buildKIXP(b *builder, opts Options, ic1, ic2 *asInfo) {
 		a := b.addAS(b.allocASN(), fmt.Sprintf("kenew%02d", i), orgOf("kenew"), "ke", "nairobi")
 		b.transit(a, ic2, nil, nil)
 		b.joinEvent(a, x, simclock.Date(2016, time.July, 1).Add(time.Duration(i)*5*24*time.Hour),
-			portSpec{}, nil)
+			PortSpec{}, nil)
 	}
 
 	// Liquid's transit customers: the bulk of VP5's discovered links.
@@ -581,17 +581,17 @@ func buildRINEX(b *builder, opts Options, transit *asInfo) {
 	w := b.w
 	x := b.addIXP("RINEX", "rw", "East Africa", "kigali", 2004, ASRinex, false)
 	ixpNet := b.addAS(ASRinex, "rinex", "RINEX", "rw", "kigali")
-	b.joinIXP(ixpNet, x, portSpec{})
+	b.joinIXP(ixpNet, x, PortSpec{})
 
 	rdb := b.addAS(ASRdb, "rdb", "RDB-RW", "rw", "kigali")
 	b.transit(rdb, transit, nil, nil)
-	b.joinIXP(rdb, x, portSpec{})
+	b.joinIXP(rdb, x, PortSpec{})
 	vp := b.addVP("VP6", "rinex-rw", rdb, "RINEX")
 
 	// One settled peer at the exchange (the paper's "9 (1)" row).
 	peer := b.addAS(b.allocASN(), "rwisp00", orgOf("rwisp"), "rw", "kigali")
 	b.transit(peer, transit, nil, nil)
-	b.joinIXP(peer, x, portSpec{})
+	b.joinIXP(peer, x, PortSpec{})
 
 	// RDB's government/customer links carry the VP6 noise population
 	// shaped after Table 1 (100/88/88/71): 12 levels in [6,9), 17 in

@@ -73,6 +73,7 @@ type VP struct {
 type IXPInfo struct {
 	Name       string
 	Country    string
+	City       string
 	Region     string
 	Launched   int
 	ASN        asrel.ASN // the IXP's own AS (content/mgmt network)

@@ -149,6 +149,21 @@ type EngineStats struct {
 	// by SetWorkers before the pool starts; each worker adds only to
 	// its own slot.
 	workerBusy []atomic.Int64
+
+	// shards holds per-shard gauges when the sharded campaign engine
+	// is active. Sized once by SetShards before probing starts; the
+	// engine atomically Sets each gauge at batch barriers, so the
+	// steady-state probe step stays allocation-free.
+	shards []ShardGauges
+}
+
+// ShardGauges instruments one campaign shard: resident series bytes
+// (the shard's chunk arena plus per-collector state), the number of
+// links the shard owns, and probing rounds scheduled so far.
+type ShardGauges struct {
+	ResidentBytes Gauge
+	LinksOwned    Gauge
+	Rounds        Gauge
 }
 
 // SetWorkers sizes the per-worker busy-time table. Call before the
@@ -165,6 +180,26 @@ func (e *EngineStats) AddWorkerBusy(k int, d time.Duration) {
 	if k >= 0 && k < len(e.workerBusy) {
 		e.workerBusy[k].Add(int64(d))
 	}
+}
+
+// SetShards sizes the per-shard gauge table. Call before probing
+// starts (it is the table's only allocation); n ≤ 0 clears it, which
+// is the unsharded engine's state — no shard lines in reports.
+func (e *EngineStats) SetShards(n int) {
+	if n <= 0 {
+		e.shards = nil
+		return
+	}
+	e.shards = make([]ShardGauges, n)
+}
+
+// Shard returns shard k's gauges, or nil when sharding is off or k is
+// out of range — callers publish through the returned pointer.
+func (e *EngineStats) Shard(k int) *ShardGauges {
+	if k < 0 || k >= len(e.shards) {
+		return nil
+	}
+	return &e.shards[k]
 }
 
 // ProbeStats mirrors the measurement plane's hot-path accounting:
@@ -390,6 +425,17 @@ type WorkerSnapshot struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// ShardSnapshot is one campaign shard's gauge reading. RoundsPerSec
+// divides scheduled rounds by the telemetry wall clock, a throughput
+// figure comparable across shard counts.
+type ShardSnapshot struct {
+	Shard         int     `json:"shard"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	LinksOwned    int64   `json:"links_owned"`
+	Rounds        int64   `json:"rounds"`
+	RoundsPerSec  float64 `json:"rounds_per_sec"`
+}
+
 // SpanSnapshot is a span rendered for export.
 type SpanSnapshot struct {
 	Phase          string `json:"phase"`
@@ -417,6 +463,7 @@ type EngineSnapshot struct {
 	RoundsDispatched uint64            `json:"rounds_dispatched"`
 	BatchLen         HistogramSnapshot `json:"batch_len"`
 	Workers          []WorkerSnapshot  `json:"workers"`
+	Shards           []ShardSnapshot   `json:"shards,omitempty"`
 }
 
 // ProbeSnapshot freezes ProbeStats.
@@ -492,6 +539,21 @@ func (t *Telemetry) Snapshot() Snapshot {
 			util = float64(busy) / float64(elapsed)
 		}
 		s.Engine.Workers = append(s.Engine.Workers, WorkerSnapshot{Worker: k, BusyNS: busy, Utilization: util})
+	}
+	for k := range t.Engine.shards {
+		g := &t.Engine.shards[k]
+		rounds := g.Rounds.Load()
+		rps := 0.0
+		if elapsed > 0 {
+			rps = float64(rounds) / (float64(elapsed) / float64(time.Second))
+		}
+		s.Engine.Shards = append(s.Engine.Shards, ShardSnapshot{
+			Shard:         k,
+			ResidentBytes: g.ResidentBytes.Load(),
+			LinksOwned:    g.LinksOwned.Load(),
+			Rounds:        rounds,
+			RoundsPerSec:  rps,
+		})
 	}
 
 	s.Probe = ProbeSnapshot{
@@ -583,6 +645,10 @@ func (t *Telemetry) WriteReport(w io.Writer) {
 	for _, wk := range s.Engine.Workers {
 		fmt.Fprintf(w, "  worker %d: busy %v (utilization %.1f%%)\n",
 			wk.Worker, time.Duration(wk.BusyNS).Round(time.Millisecond), 100*wk.Utilization)
+	}
+	for _, sh := range s.Engine.Shards {
+		fmt.Fprintf(w, "  shard %d: %d links, %.1f MiB resident, %d rounds (%.0f rounds/s)\n",
+			sh.Shard, sh.LinksOwned, float64(sh.ResidentBytes)/(1<<20), sh.Rounds, sh.RoundsPerSec)
 	}
 	fmt.Fprintf(w, "  probe: %d sent, %d delivered, %d pipe drops, %d icmp-silenced, %d rate-limited, %d frozen queue obs\n",
 		s.Probe.Probes, s.Probe.Delivered, s.Probe.PipeDrops, s.Probe.ICMPSilenced, s.Probe.RateLimited, s.Probe.QueueFrozenObs)

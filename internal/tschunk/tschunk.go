@@ -49,6 +49,10 @@ type Chunk struct {
 	n      int
 	arena  []byte
 	blocks []blockRef
+	// enc is the chunk's own encoded payload (shared all-missing
+	// blocks counted once). Equal to len(arena) for private-arena
+	// chunks; smaller for chunks sealed into a shared Arena slab.
+	enc int
 }
 
 // Len returns the number of grid slots.
@@ -62,7 +66,7 @@ func (c *Chunk) BlockBase(b int) int { return b * BlockLen }
 
 // EncodedSize returns the compressed payload size in bytes. Shared
 // all-missing blocks are counted once, matching resident memory.
-func (c *Chunk) EncodedSize() int { return len(c.arena) }
+func (c *Chunk) EncodedSize() int { return c.enc }
 
 // RawSize returns the size the same grid occupies as flat []float64.
 func (c *Chunk) RawSize() int { return 8 * c.n }
@@ -149,14 +153,68 @@ type Builder struct {
 	n       int
 	blocks  []blockRef
 	arena   []byte
+	shared  *Arena    // non-nil: blocks land in the shared slab instead
 	cur     []float64 // raw current block, NaN-initialized
 	curBlk  int       // block index cur covers
 	scratch []byte    // per-block encode buffer (worst case sized)
+	encLen  int       // own encoded bytes (shared NaN block counted once)
 	nanRef  blockRef  // shared encoding of a full all-missing block
 	hasNaN  bool
 	dirty   bool // cur has at least one non-missing write
 	sealed  *Chunk
 }
+
+// Arena is a shared append-only compression slab many Builders seal
+// into — the campaign engine gives every shard one Arena so a shard's
+// resident series bytes are a single accountable (and pre-reservable)
+// allocation instead of thousands of per-link slices. Builders store
+// absolute offsets, so slab growth never invalidates sealed blocks.
+// Single-writer: all Builders on one Arena must seal from the same
+// goroutine at any instant (the shard's worker), which also lets them
+// share one worst-case encode scratch buffer.
+type Arena struct {
+	buf     []byte
+	scratch []byte
+}
+
+// NewArena pre-reserves capBytes of slab.
+func NewArena(capBytes int) *Arena {
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	return &Arena{
+		buf:     make([]byte, 0, capBytes),
+		scratch: make([]byte, 0, worstBlockBytes),
+	}
+}
+
+// Reserve grows the slab capacity so at least bytes more can be
+// appended without reallocating. Growth adds a bounded 64 KiB headroom
+// beyond the request: thousands of builders reserving a few hundred
+// bytes each at discovery time would otherwise reallocate-and-copy the
+// slab quadratically, while the fixed headroom keeps the cap-based
+// per-shard memory accounting within 64 KiB of the exact sum.
+func (a *Arena) Reserve(bytes int) {
+	if need := len(a.buf) + bytes; need > cap(a.buf) {
+		newCap := cap(a.buf) + 64<<10
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]byte, len(a.buf), newCap)
+		copy(grown, a.buf)
+		a.buf = grown
+	}
+}
+
+// Len returns the encoded bytes resident in the slab.
+func (a *Arena) Len() int { return len(a.buf) }
+
+// Cap returns the reserved slab capacity.
+func (a *Arena) Cap() int { return cap(a.buf) }
+
+// MemBytes is the arena's resident footprint: slab reserve plus the
+// shared encode scratch.
+func (a *Arena) MemBytes() int { return cap(a.buf) + cap(a.scratch) }
 
 // worstBlockBytes bounds one encoded block: 8 raw bytes for the first
 // value, then ≤ 2+5+6+64 bits per value, plus byte-alignment slack.
@@ -167,15 +225,26 @@ const worstBlockBytes = 8 + (BlockLen*77)/8 + 2
 // RTT grids encode to (long missing runs cost one bit per slot,
 // repeated floors one bit, moving values a few bytes). Use Reserve to
 // override before the first seal.
-func NewBuilder(n int) *Builder {
+func NewBuilder(n int) *Builder { return NewBuilderArena(n, nil) }
+
+// NewBuilderArena is NewBuilder sealing into a shared Arena: the
+// builder reserves its ~4 bytes/slot in the slab instead of a private
+// slice and borrows the arena's encode scratch. a == nil falls back
+// to a private arena.
+func NewBuilderArena(n int, a *Arena) *Builder {
 	if n < 0 {
 		panic("tschunk: negative grid length")
 	}
 	b := &Builder{
-		n:       n,
-		blocks:  make([]blockRef, 0, (n+BlockLen-1)/BlockLen),
-		arena:   make([]byte, 0, 4*n+16),
-		scratch: make([]byte, 0, worstBlockBytes),
+		n:      n,
+		blocks: make([]blockRef, 0, (n+BlockLen-1)/BlockLen),
+		shared: a,
+	}
+	if a != nil {
+		a.Reserve(4*n + 16)
+	} else {
+		b.arena = make([]byte, 0, 4*n+16)
+		b.scratch = make([]byte, 0, worstBlockBytes)
 	}
 	b.resetCur(0)
 	return b
@@ -185,13 +254,42 @@ func NewBuilder(n int) *Builder {
 func (b *Builder) Len() int { return b.n }
 
 // Reserve grows the arena capacity to at least bytes. Call before
-// probing starts to guarantee allocation-free sealing.
+// probing starts to guarantee allocation-free sealing. On a shared
+// Arena, reserves additional slab headroom instead.
 func (b *Builder) Reserve(bytes int) {
+	if b.shared != nil {
+		b.shared.Reserve(bytes)
+		return
+	}
 	if bytes > cap(b.arena) {
 		grown := make([]byte, len(b.arena), bytes)
 		copy(grown, b.arena)
 		b.arena = grown
 	}
+}
+
+// MemBytes is the builder's resident footprint beyond any shared
+// slab: the raw current block plus, for private-arena builders, the
+// arena reserve. Shared-arena builders report only the current block
+// — their encoded bytes live in (and are accounted by) the Arena.
+func (b *Builder) MemBytes() int {
+	n := 8 * cap(b.cur)
+	if b.shared == nil {
+		n += cap(b.arena) + cap(b.scratch)
+	}
+	return n
+}
+
+// EncodedLen returns the builder's own encoded bytes so far (shared
+// all-missing blocks counted once).
+func (b *Builder) EncodedLen() int { return b.encLen }
+
+// arenaBytes returns the byte store sealed blocks decode from.
+func (b *Builder) arenaBytes() []byte {
+	if b.shared != nil {
+		return b.shared.buf
+	}
+	return b.arena
 }
 
 func (b *Builder) resetCur(blk int) {
@@ -250,7 +348,17 @@ func (b *Builder) sealCur() {
 }
 
 func (b *Builder) appendEncoded(vals []float64) blockRef {
-	enc := encodeBlock(vals, b.scratch[:0])
+	scratch := b.scratch
+	if b.shared != nil {
+		scratch = b.shared.scratch
+	}
+	enc := encodeBlock(vals, scratch[:0])
+	b.encLen += len(enc)
+	if b.shared != nil {
+		off := len(b.shared.buf)
+		b.shared.buf = append(b.shared.buf, enc...)
+		return blockRef{off: off, size: len(enc), count: len(vals)}
+	}
 	off := len(b.arena)
 	b.arena = append(b.arena, enc...)
 	return blockRef{off: off, size: len(enc), count: len(vals)}
@@ -304,7 +412,7 @@ func (b *Builder) At(i int) float64 {
 	ref := b.blocks[blk]
 	var buf [BlockLen]float64
 	dst := buf[:ref.count]
-	decodeBlock(b.arena[ref.off:ref.off+ref.size], dst)
+	decodeBlock(b.arenaBytes()[ref.off:ref.off+ref.size], dst)
 	return dst[i%BlockLen]
 }
 
@@ -324,7 +432,7 @@ func (b *Builder) Seal() *Chunk {
 			b.resetCur(b.curBlk + 1)
 		}
 	}
-	b.sealed = &Chunk{n: b.n, arena: b.arena, blocks: b.blocks}
+	b.sealed = &Chunk{n: b.n, arena: b.arenaBytes(), blocks: b.blocks, enc: b.encLen}
 	return b.sealed
 }
 

@@ -1,0 +1,144 @@
+package worldgen
+
+import (
+	"runtime"
+	"testing"
+
+	"afrixp/internal/analysis"
+)
+
+// goldenFP pins the Seed=7, Scale=10 world across runs and machines:
+// the generator must be a pure function of its options, with no
+// dependence on map iteration order, scheduling, or prior state.
+const goldenFP = "5b41d9502a3fc04e7855a1984c4f0da65338bc514b7718d3f2115b699f14dc1b"
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := Options{Seed: 7, Scale: 10}
+
+	// Same options, different GOMAXPROCS: byte-identical worlds.
+	prev := runtime.GOMAXPROCS(1)
+	fp1 := Fingerprint(Generate(opts))
+	runtime.GOMAXPROCS(8)
+	fp8 := Fingerprint(Generate(opts))
+	runtime.GOMAXPROCS(prev)
+	if fp1 != fp8 {
+		t.Fatalf("fingerprint depends on GOMAXPROCS: %s vs %s", fp1, fp8)
+	}
+	if fp1 != goldenFP {
+		t.Fatalf("fingerprint drifted from golden:\n got %s\nwant %s", fp1, goldenFP)
+	}
+
+	// Different seeds diverge, as do different scales.
+	if fp := Fingerprint(Generate(Options{Seed: 8, Scale: 10})); fp == fp1 {
+		t.Fatalf("different seeds produced identical worlds: %s", fp)
+	}
+	if fp := Fingerprint(Generate(Options{Seed: 7, Scale: 20})); fp == fp1 {
+		t.Fatalf("different scales produced identical worlds: %s", fp)
+	}
+}
+
+func TestScaleLawFloors(t *testing.T) {
+	cases := []struct {
+		scale                       float64
+		minIXPs, minLinks, maxLinks int
+		minVPs                      int
+	}{
+		{1, 5, 500, 5_000, 5},
+		{10, 12, 4_000, 40_000, 30},
+		{100, 30, 10_000, 200_000, 150},
+	}
+	if !testing.Short() {
+		// The 1000× point must land in the paper-scale extrapolation
+		// band: 10^5–10^6 interdomain links, thousands of VPs.
+		cases = append(cases, struct {
+			scale                       float64
+			minIXPs, minLinks, maxLinks int
+			minVPs                      int
+		}{1000, 80, 100_000, 1_000_000, 1000})
+	}
+	for _, c := range cases {
+		w := Generate(Options{Seed: 3, Scale: c.scale})
+		st := StatsOf(w)
+		if st.IXPs < c.minIXPs {
+			t.Errorf("scale %v: %d IXPs, want ≥ %d", c.scale, st.IXPs, c.minIXPs)
+		}
+		if st.InterdomainLinks < c.minLinks || st.InterdomainLinks > c.maxLinks {
+			t.Errorf("scale %v: %d links, want in [%d, %d]",
+				c.scale, st.InterdomainLinks, c.minLinks, c.maxLinks)
+		}
+		if st.VPs < c.minVPs {
+			t.Errorf("scale %v: %d VPs, want ≥ %d", c.scale, st.VPs, c.minVPs)
+		}
+		if st.GroundTruthLinks < st.IXPs {
+			t.Errorf("scale %v: %d ground-truth links for %d IXPs, want ≥ 1 per IXP",
+				c.scale, st.GroundTruthLinks, st.IXPs)
+		}
+	}
+}
+
+// TestAnnotationsResolve checks the planted ground truth is internally
+// consistent: every annotation names a real VP, its target is
+// registered as that VP's case link, and the far end is a member port
+// on the annotated exchange.
+func TestAnnotationsResolve(t *testing.T) {
+	w := Generate(Options{Seed: 7, Scale: 10})
+	anns := w.Interviews.All()
+	if len(anns) == 0 {
+		t.Fatal("generated world has no interview annotations")
+	}
+	for _, a := range anns {
+		vp, ok := w.VPByID(a.VP)
+		if !ok {
+			t.Fatalf("annotation references unknown VP %s", a.VP)
+		}
+		found := false
+		for _, target := range vp.CaseLinks {
+			if target == a.Target {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: annotated target %v not in VP case links", a.VP, a.Target)
+		}
+		x, ok := w.IXPs[a.NearName]
+		if !ok {
+			t.Fatalf("annotation near name %q is not an exchange", a.NearName)
+		}
+		onFabric := false
+		for _, addr := range x.Members {
+			if addr == a.Target.Far {
+				onFabric = true
+				break
+			}
+		}
+		if !onFabric {
+			t.Errorf("%s: far addr %v is not a member port of %s", a.VP, a.Target.Far, a.NearName)
+		}
+		if a.Class != analysis.Sustained && a.Class != analysis.Transient {
+			t.Errorf("%s: annotation class %v is neither Sustained nor Transient", a.VP, a.Class)
+		}
+		if len(a.Phases) == 0 {
+			t.Errorf("%s: annotation has no episode phases", a.VP)
+		}
+	}
+	// Planted transients must come with their mitigation event.
+	var upgrades int
+	for _, e := range w.PendingEvents() {
+		if e.At > 0 {
+			upgrades++
+		}
+	}
+	var transients int
+	for _, a := range anns {
+		if a.Class == analysis.Transient {
+			transients++
+		}
+	}
+	if transients == 0 {
+		t.Error("no transient ground truth planted at scale 10")
+	}
+	if upgrades < transients {
+		t.Errorf("%d pending events for %d transient annotations", upgrades, transients)
+	}
+}

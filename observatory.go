@@ -17,6 +17,7 @@ import (
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
 	"afrixp/internal/telemetry"
+	"afrixp/internal/worldgen"
 )
 
 // CampaignConfig configures a full measurement campaign: bdrmap
@@ -25,8 +26,16 @@ import (
 type CampaignConfig struct {
 	// Seed drives every deterministic process (default: fixed).
 	Seed uint64
-	// Scale shrinks the synthetic populations (default 1.0).
+	// Scale sizes the world. At 1.0 (the default) and below it scales
+	// the authored paper world's synthetic populations; above 1.0 it
+	// switches to the continent-scale generator (internal/worldgen),
+	// synthesizing a world at Scale× the paper's size — 10× ≈ 15 IXPs
+	// and ~10^4 interdomain links, 100× ≈ 40 IXPs and ~6·10^4 links —
+	// with planted, machine-checkable congestion ground truth.
 	Scale float64
+	// GenSeed seeds the continent-scale generator independently of
+	// Seed (only read when Scale > 1; 0 = the generator's default).
+	GenSeed uint64
 	// Days bounds the campaign from the paper's start date; zero runs
 	// the paper's full period (2016-02-22 … 2017-03-27).
 	Days int
@@ -49,6 +58,11 @@ type CampaignConfig struct {
 	// worker per dispatch between barrier events; results are
 	// bit-identical for any value. Default 1024.
 	BatchSteps int
+	// Shards partitions the campaign's VPs into Shards groups, each
+	// with one shared compression arena bounding its resident series
+	// memory; results are bit-identical for any value (see
+	// internal/experiments). 0 or 1 keeps the per-VP private layout.
+	Shards int
 	// Faults enables the deterministic fault plan: VP outages, ICMP
 	// blackouts and rate-limit duty cycles on case-link routers, and
 	// link flaps, all drawn from the world seed (see internal/faults).
@@ -123,8 +137,16 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		FlatSeries:  cfg.FlatSeries,
 		Workers:     cfg.Workers,
 		BatchSteps:  cfg.BatchSteps,
+		Shards:      cfg.Shards,
 		Progress:    cfg.Progress,
 		Telemetry:   cfg.Telemetry,
+	}
+	if cfg.Scale > 1 {
+		// Continent scale: swap the authored paper world for a
+		// generated one. Scale ≤ 1 keeps every existing invocation
+		// byte-identical to before the generator existed.
+		gcfg := worldgen.Options{Seed: cfg.GenSeed, Scale: cfg.Scale}
+		ecfg.BuildWorld = func() *scenario.World { return worldgen.Generate(gcfg) }
 	}
 	if cfg.Faults {
 		ecfg.Faults = &faults.Config{Seed: cfg.FaultSeed}

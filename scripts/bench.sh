@@ -28,8 +28,12 @@ go test -run '^$' \
   -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
+# BenchmarkScaleCampaign rides in the multi-proc pass: its 10x/100x
+# points run the sharded engine, whose bytes_per_link metric the
+# benchjson guard checks against the scale=1 figure (the per-shard
+# memory bound) and against the committed ledger (warn-only).
 GOMAXPROCS="$PROCS" go test -run '^$' \
-  -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout|BenchmarkProbeStepBatch' \
+  -bench 'BenchmarkCampaignParallel|BenchmarkAnalysisFanout|BenchmarkProbeStepBatch|BenchmarkScaleCampaign' \
   -benchmem -count "$COUNT" . | tee -a "$RAW"
 
 go run ./scripts/benchjson -raw "$RAW" -prev "$OUT" -out "$OUT" -cores "$CORES"

@@ -58,8 +58,14 @@ type Run struct {
 	// CompressionRatio is the columnar store's raw/encoded byte ratio,
 	// lifted from the compression_x metric when the run includes
 	// BenchmarkChunkCompression.
-	CompressionRatio float64     `json:"compression_ratio,omitempty"`
-	Benchmarks       []Benchmark `json:"benchmarks"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+	// Notes carries machine-readable caveats about the row. The one
+	// writer today is "scaling_unverified", stamped when the run was
+	// recorded on a single effective core (Cores=1): every multi-worker
+	// number in the row then measured time-sharing, not parallelism, so
+	// no speedup claim may be read from it.
+	Notes      []string    `json:"notes,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 // Ledger is the committed file: the latest run plus prior runs.
@@ -107,6 +113,11 @@ func main() {
 		CompressionRatio: compressionRatio(benches),
 		Benchmarks:       benches,
 	}}
+	if *cores == 1 {
+		ledger.Notes = append(ledger.Notes, "scaling_unverified")
+		fmt.Fprintln(os.Stderr,
+			"benchjson: note: scaling_unverified — this row was recorded on a single effective core; multi-worker numbers measure time-sharing, not speedup")
+	}
 	if *prev != "" {
 		if old, err := readLedger(*prev); err == nil {
 			// The previous latest run becomes the newest history entry.
@@ -287,6 +298,7 @@ func runGuard(benches []Benchmark, prevPath string, tol float64) int {
 	}
 	regressions += warnInvertedScaling(benches, baselineLedger.Cores)
 	regressions += warnBudgetSpend(benches)
+	regressions += warnScaleMemory(benches, baselineLedger, tol)
 	if regressions == 0 {
 		fmt.Printf("bench guard: no regression beyond %.0f%% vs %s\n", tol, prevPath)
 	} else {
@@ -310,6 +322,10 @@ var workersVariant = regexp.MustCompile(`^(.+)/workers=(\d+)$`)
 // "inverted" ratio there is the runner, not the engine.
 func warnInvertedScaling(benches []Benchmark, baselineCores int) int {
 	if baselineCores == 1 {
+		// Not silent: the skipped check is itself a finding. Without
+		// this line a clean guard run on a single-core ledger would
+		// read as "scaling verified" when scaling was never measured.
+		fmt.Println("note: scaling_unverified — baseline ledger was recorded on a single effective core (cores=1); inverted-scaling checks are skipped and no multi-worker speedup claim is implied")
 		return 0
 	}
 	type key struct {
@@ -382,6 +398,60 @@ func warnBudgetSpend(benches []Benchmark) int {
 			warnings++
 			fmt.Printf("WARNING: %s (procs=%d) sent %.1f%% of %s/budget=100's probes (want ≤55%%) — the budget scheduler is overspending\n",
 				b.Name, b.Procs, 100*frac, m[1])
+		}
+	}
+	return warnings
+}
+
+// scaleVariant splits "Benchmark.../scale=N" sub-benchmark names.
+var scaleVariant = regexp.MustCompile(`^(.+)/scale=([0-9.]+)$`)
+
+// warnScaleMemory guards the sharded engine's resident-memory bound —
+// warn-only like the rest of the guard, but the bytes_per_link metric
+// is deterministic, so a warning is a real contract break, not noise.
+// Two claims: within the current run, a scale>1 sub-benchmark must
+// hold bytes_per_link at or below its scale=1 sibling (the sharded
+// layout's bound against the paper-world figure); and against the
+// committed ledger, bytes_per_link must not grow beyond tol percent
+// at any scale.
+func warnScaleMemory(benches []Benchmark, baseline Ledger, tol float64) int {
+	type key struct {
+		name  string
+		procs int
+	}
+	base := make(map[key]float64)
+	for _, b := range baseline.Benchmarks {
+		if v, ok := b.Metrics["bytes_per_link"]; ok {
+			base[key{b.Name, b.Procs}] = v
+		}
+	}
+	unit := make(map[key]float64) // scale=1 sibling per prefix
+	for _, b := range benches {
+		if m := scaleVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			if v, ok := b.Metrics["bytes_per_link"]; ok {
+				unit[key{m[1], b.Procs}] = v
+			}
+		}
+	}
+	warnings := 0
+	for _, b := range benches {
+		v, ok := b.Metrics["bytes_per_link"]
+		if !ok {
+			continue
+		}
+		if m := scaleVariant.FindStringSubmatch(b.Name); m != nil && m[2] != "1" {
+			if ref, ok := unit[key{m[1], b.Procs}]; ok && ref > 0 && v > ref {
+				warnings++
+				fmt.Printf("WARNING: %s (procs=%d) holds %.0f resident bytes/link, above %s/scale=1's %.0f — the per-shard memory bound is broken\n",
+					b.Name, b.Procs, v, m[1], ref)
+			}
+		}
+		if ref, ok := base[key{b.Name, b.Procs}]; ok && ref > 0 {
+			if change := 100 * (v - ref) / ref; change > tol {
+				warnings++
+				fmt.Printf("WARNING: %s (procs=%d) bytes_per_link regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)\n",
+					b.Name, b.Procs, change, ref, v, tol)
+			}
 		}
 	}
 	return warnings

@@ -252,3 +252,31 @@ func TestGuardMatchesByNameAndProcs(t *testing.T) {
 	}
 	runGuard(benches, writeTemp(t, "base.json", baseline), 25)
 }
+
+func TestWarnScaleMemory(t *testing.T) {
+	mk := func(scale string, bpl float64) Benchmark {
+		return Benchmark{Name: "BenchmarkScaleCampaign/scale=" + scale, Procs: 4, NsPerOp: 1,
+			Metrics: map[string]float64{"bytes_per_link": bpl}}
+	}
+	// Sharded 100x at or below the 1x figure: the memory bound holds.
+	if got := warnScaleMemory([]Benchmark{mk("1", 11000), mk("100", 7000)}, Ledger{}, 25); got != 0 {
+		t.Fatalf("bound holds: %d warnings, want 0", got)
+	}
+	// Above the 1x figure: the per-shard bound is broken.
+	if got := warnScaleMemory([]Benchmark{mk("1", 11000), mk("100", 12000)}, Ledger{}, 25); got != 1 {
+		t.Fatalf("bound broken: %d warnings, want 1", got)
+	}
+	// Growth vs the committed ledger beyond tolerance warns too.
+	baseline := Ledger{Run: Run{Benchmarks: []Benchmark{mk("100", 5000)}}}
+	if got := warnScaleMemory([]Benchmark{mk("100", 7000)}, baseline, 25); got != 1 {
+		t.Fatalf("ledger regression: %d warnings, want 1", got)
+	}
+	if got := warnScaleMemory([]Benchmark{mk("100", 5100)}, baseline, 25); got != 0 {
+		t.Fatalf("within tolerance: %d warnings, want 0", got)
+	}
+	// No scale=1 sibling and no baseline row (partial -bench filter):
+	// nothing to compare, not a crash.
+	if got := warnScaleMemory([]Benchmark{mk("100", 9000)}, Ledger{}, 25); got != 0 {
+		t.Fatalf("missing siblings: %d warnings, want 0", got)
+	}
+}

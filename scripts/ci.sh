@@ -52,6 +52,18 @@ echo "== chunked-backing determinism smoke (flat vs compressed under race) =="
 # parallelism so block sealing and the streamed loss grid race too.
 GOMAXPROCS=4 go test -race -count=1 -run 'TestChunkedCampaign' ./internal/experiments/
 
+echo "== continent-scale smoke (10x generated world, raced) =="
+# A 10x generated world (worldgen, ~15 IXPs / ~10^4 links) runs the
+# sharded campaign raced with real parallelism: generator determinism
+# across GOMAXPROCS, shard-strided probing into shared arenas, and the
+# planted-ground-truth recall round-trip all race for real. The 100x
+# acceptance matrix skips under the race detector; this is its raced
+# stand-in.
+GOMAXPROCS=4 go test -race -count=1 \
+  -run 'TestGeneratedWorldRecall|TestShardedCampaignBitIdentical|TestShardedMemoryBounded' \
+  ./internal/experiments/
+GOMAXPROCS=4 go test -race -count=1 ./internal/worldgen/
+
 echo "== /metrics endpoint smoke =="
 # Start a short observatory run with the live telemetry endpoint and a
 # linger window, poll until /metrics answers, and assert the snapshot
