@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"afrixp/internal/analysis"
+	"afrixp/internal/checkpoint"
 	"afrixp/internal/cusum"
 	"afrixp/internal/experiments"
 	"afrixp/internal/levelshift"
@@ -92,6 +93,39 @@ func BenchmarkBudgetCampaign(b *testing.B) {
 			b.ReportMetric(float64(sent), "probes_sent")
 		})
 	}
+}
+
+// BenchmarkCheckpoint measures the barrier snapshot write path —
+// gob-encoding the full measurement state (collector grids, loss
+// batches, CUSUM streams, rate ladders, arena bytes) plus the CRC
+// framing and the atomic tmp+rename — on a snapshot taken from a real
+// one-week faulted, budgeted campaign. ns/op is the per-barrier stall
+// a checkpointing campaign pays; snapshot_bytes is the on-disk size
+// the cadence multiplies.
+func BenchmarkCheckpoint(b *testing.B) {
+	dir := b.TempDir()
+	RunCampaign(CampaignConfig{Seed: 1, Scale: 0.08, Days: 7,
+		StartOffsetDays: 14, Faults: true, Budget: 0.5, BudgetSeed: 1,
+		CheckpointDir: dir, CheckpointEvery: 24 * time.Hour})
+	snap, err := checkpoint.LoadLatest(dir, nil)
+	if err != nil || snap == nil {
+		b.Fatalf("campaign left no checkpoint: %v", err)
+	}
+	out := b.TempDir()
+	var bytes int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bytes, err = checkpoint.Write(out, snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if bytes == 0 {
+		b.Fatal("empty snapshot payload")
+	}
+	b.ReportMetric(float64(bytes), "snapshot_bytes")
 }
 
 // BenchmarkTelemetryCampaign is BenchmarkFullCampaign with a telemetry

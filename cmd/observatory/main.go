@@ -12,10 +12,17 @@
 // one shared compression arena per shard; results are bit-identical
 // for any -shards / -workers / -batch.
 //
-// -budget F (0 < F < 1) installs the probe-budget scheduler so the
+// -budget F (F > 0) installs the probe-budget scheduler so the
 // campaign sends at most F of the full-rate probes (adaptive per-link
 // rates; results bit-identical per (-budget, -budget-seed) for any
-// -workers / -batch); the report gains a probe-spend line.
+// -workers / -batch); the report gains a probe-spend line. F of 1 (or
+// above, clamped) runs the scheduler at full spend, probe-count parity
+// with an unscheduled run.
+//
+// -checkpoint-dir DIR snapshots the campaign's measurement state into
+// DIR every -checkpoint-every of virtual time at batch barriers;
+// -resume continues from the newest valid checkpoint there,
+// bit-identical to an uninterrupted run.
 //
 // A long run can be watched live: -metrics-addr serves the campaign
 // telemetry snapshot at /metrics (and expvar at /debug/vars) while
@@ -64,13 +71,16 @@ func run() error {
 		batch         = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
 		doFaults      = flag.Bool("faults", false, "inject the deterministic fault plan and report per-VP uptime/sample yield")
 		faultSeed     = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
-		budgetFrac    = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 or 1 = probe everything; results identical per (budget, budget-seed) for any -workers/-batch)")
+		budgetFrac    = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 = no scheduler; ≥1 = scheduler at full spend; results identical per (budget, budget-seed) for any -workers/-batch)")
 		budgetSeed    = flag.Uint64("budget-seed", 0, "extra seed for the probe-budget schedule (only with -budget)")
 		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf       = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsOut    = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
 		metricsAddr   = flag.String("metrics-addr", "", "serve live telemetry at http://ADDR/metrics during the run")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run completes")
+		ckptDir       = flag.String("checkpoint-dir", "", "snapshot the campaign's measurement state into this directory at batch barriers")
+		ckptEvery     = flag.Duration("checkpoint-every", 0, "virtual-time cadence between checkpoints (0 = default 24h; only with -checkpoint-dir)")
+		doResume      = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
 	)
 	flag.Parse()
 
@@ -124,6 +134,7 @@ func run() error {
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Shards: *shards,
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *doResume,
 		Progress: os.Stderr, Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
@@ -155,7 +166,7 @@ func run() error {
 				y.VP, 100*y.Uptime, 100*y.SampleYield, y.Rounds, y.Missed, y.Skipped, y.Links)
 		}
 	}
-	if *budgetFrac > 0 && *budgetFrac < 1 {
+	if *budgetFrac > 0 {
 		var rounds, skipped int
 		for _, y := range c.Yields() {
 			rounds += y.Rounds

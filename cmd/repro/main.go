@@ -8,6 +8,8 @@
 //	      [-csvdir DIR] [-quiet]
 //	      [-faults] [-fault-seed N] [-budget F] [-budget-seed N]
 //	      [-budget-table] [-scale-sweep]
+//	      [-checkpoint-dir DIR] [-checkpoint-every DUR] [-resume]
+//	      [-result-sha]
 //	      [-table1] [-table2] [-figs] [-headline] [-bdrmap] [-waveforms]
 //	      [-asrank] [-whatif] [-cpuprofile FILE] [-memprofile FILE]
 //	      [-metrics FILE] [-metrics-addr HOST:PORT]
@@ -27,13 +29,25 @@
 // uptime and sample yield; results remain bit-identical for any
 // -workers / -batch.
 //
-// -budget F (0 < F < 1) installs the probe-budget scheduler: links
-// are ranked by marginal utility and probed at adaptive power-of-two
+// -budget F (F > 0) installs the probe-budget scheduler: links are
+// ranked by marginal utility and probed at adaptive power-of-two
 // periods so the campaign sends at most F of the full-rate probes;
 // results are bit-identical per (-budget, -budget-seed) for any
-// -workers / -batch. -budget-table runs the campaign at 100/50/25/10%
-// budgets and prints detection recall, time-to-detect, and Table-1
-// fidelity per budget point.
+// -workers / -batch. F of 1 (or above, clamped) runs the scheduler at
+// full spend — every link at period 1, probe-count parity with an
+// unscheduled run — so 100% budgets take the same code path as 99.9%.
+// -budget-table runs the campaign at 100/50/25/10% budgets and prints
+// detection recall, time-to-detect, and Table-1 fidelity per budget
+// point.
+//
+// -checkpoint-dir DIR snapshots the engine's full measurement state
+// into DIR every -checkpoint-every of virtual campaign time (default
+// 24h), at batch barriers. -resume loads the newest valid checkpoint
+// from DIR and continues the campaign from its barrier — bit-identical
+// to an uninterrupted run, even after a SIGKILL mid-write (the loader
+// falls back past truncated snapshots). -result-sha prints a SHA-256
+// digest of every campaign observable at the bit level, for comparing
+// runs.
 //
 // -metrics writes a campaign telemetry snapshot (JSON) at exit;
 // -metrics-addr serves the same snapshot live at /metrics (plus the
@@ -90,7 +104,7 @@ func run() error {
 		batch       = flag.Int("batch", 0, "max probing steps per worker dispatch (0 = default 1024; results are identical for any value)")
 		doFaults    = flag.Bool("faults", false, "inject the deterministic fault plan (VP outages, ICMP blackouts/rate limits, link flaps) and print per-VP uptime/sample yield")
 		faultSeed   = flag.Uint64("fault-seed", 0, "extra seed for the fault plan (only with -faults)")
-		budgetFrac  = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 or 1 = probe everything; results identical per (budget, budget-seed) for any -workers/-batch)")
+		budgetFrac  = flag.Float64("budget", 0, "probe budget as a fraction of full rate (0 = no scheduler; ≥1 = scheduler at full spend; results identical per (budget, budget-seed) for any -workers/-batch)")
 		budgetSeed  = flag.Uint64("budget-seed", 0, "extra seed for the probe-budget schedule (only with -budget)")
 		doBudgetTab = flag.Bool("budget-table", false, "run the probe-budget sweep (100/50/25/10%) and print recall/time-to-detect/Table-1 fidelity per budget")
 		doTable1    = flag.Bool("table1", false, "Table 1: threshold sensitivity")
@@ -105,6 +119,10 @@ func run() error {
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsOut  = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry at http://ADDR/metrics during the run")
+		ckptDir     = flag.String("checkpoint-dir", "", "snapshot the campaign's measurement state into this directory at batch barriers")
+		ckptEvery   = flag.Duration("checkpoint-every", 0, "virtual-time cadence between checkpoints (0 = default 24h; only with -checkpoint-dir)")
+		doResume    = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
+		resultSHA   = flag.Bool("result-sha", false, "print a SHA-256 digest of every campaign observable (bit-level), for comparing runs")
 	)
 	flag.Parse()
 
@@ -169,9 +187,14 @@ func run() error {
 		DisableLoss: *noLoss, Workers: *workers, BatchSteps: *batch, Shards: *shards,
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *doResume,
 		Progress: progress, Telemetry: tele,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
+
+	if *resultSHA {
+		fmt.Fprintf(os.Stdout, "result sha256: %s\n", experiments.ResultDigest(c))
+	}
 
 	out := os.Stdout
 	if *doFaults {
@@ -186,7 +209,7 @@ func run() error {
 		t.Render(out)
 		fmt.Fprintf(out, "%d fault episodes injected\n\n", len(c.Faults.Faults))
 	}
-	if *budgetFrac > 0 && *budgetFrac < 1 {
+	if *budgetFrac > 0 {
 		var rounds, skipped int
 		for _, y := range c.Yields() {
 			rounds += y.Rounds

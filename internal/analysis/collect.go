@@ -229,6 +229,72 @@ func (c *Collector) FarLossFraction() float64 {
 	return float64(c.farLostRounds) / float64(c.farRounds)
 }
 
+// CollectorState is a Collector's full mutable state at a batch
+// barrier, for engine checkpoints (DESIGN.md §15). Exactly one of the
+// chunked (NearB/FarB) or flat (Near/Far) pairs is populated,
+// mirroring the backing the collector runs with.
+type CollectorState struct {
+	// Chunked backing.
+	Chunked     bool
+	NearB, FarB tschunk.BuilderState
+	// Flat backing: the aggregated sample values.
+	Near, Far []float64
+	// Full-resolution window values, when configured.
+	FullNear, FullFar []float64
+	// Round accounting.
+	FarRounds, FarLostRounds, MissedRounds, SkippedRounds int
+}
+
+// Checkpoint captures the collector's state. Must run at a batch
+// barrier before any further writes: chunked builder state aliases
+// live buffers until serialized. Panics if Series has already sealed
+// the builders (collectors are only checkpointed mid-campaign).
+func (c *Collector) Checkpoint() CollectorState {
+	st := CollectorState{
+		FarRounds:     c.farRounds,
+		FarLostRounds: c.farLostRounds,
+		MissedRounds:  c.missedRounds,
+		SkippedRounds: c.skippedRounds,
+	}
+	if c.nearB != nil {
+		st.Chunked = true
+		st.NearB = c.nearB.State()
+		st.FarB = c.farB.State()
+	} else {
+		st.Near = c.near.Values
+		st.Far = c.far.Values
+	}
+	if c.fullNear != nil {
+		st.FullNear = c.fullNear.Values
+		st.FullFar = c.fullFar.Values
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the collector's state from a snapshot
+// taken at the same barrier of an equivalent run. The collector must
+// have been built with the same CollectorConfig.
+func (c *Collector) RestoreCheckpoint(st CollectorState) {
+	if st.Chunked != (c.nearB != nil) {
+		panic("analysis: RestoreCheckpoint backing mismatch (chunked vs flat)")
+	}
+	if st.Chunked {
+		c.nearB.RestoreState(st.NearB)
+		c.farB.RestoreState(st.FarB)
+	} else {
+		copy(c.near.Values, st.Near)
+		copy(c.far.Values, st.Far)
+	}
+	if c.fullNear != nil {
+		copy(c.fullNear.Values, st.FullNear)
+		copy(c.fullFar.Values, st.FullFar)
+	}
+	c.farRounds = st.FarRounds
+	c.farLostRounds = st.FarLostRounds
+	c.missedRounds = st.MissedRounds
+	c.skippedRounds = st.SkippedRounds
+}
+
 // RunLossCampaign drives 1 pps loss probing over an interval at the
 // paper's cadence — continuous batches of 100 probes — returning the
 // far-end batches. To keep virtual cost proportional to information,

@@ -31,8 +31,11 @@ import (
 // Config tunes the scheduler. The zero value (Fraction 0) disables it.
 type Config struct {
 	// Fraction is the probe budget as a fraction of the full-rate
-	// campaign, in (0,1). Values outside the interval disable the
-	// scheduler (1 = probe everything, the engine default).
+	// campaign, in (0,1]. Fraction 0 (the zero value) disables the
+	// scheduler; Fraction ≥ 1 is clamped to 1 and runs the scheduler
+	// at full rate — every link probed every round, spend parity with
+	// an unscheduled campaign — so a budget sweep's 100% row takes the
+	// same code path as 99.9%.
 	Fraction float64
 	// Seed perturbs the per-link phase hashes independently of the
 	// world seed, so two budgeted campaigns with different budget
@@ -67,10 +70,15 @@ type Config struct {
 	DiurnalWeight float64
 }
 
-// Enabled reports whether the configuration actually budgets probes.
-func (c Config) Enabled() bool { return c.Fraction > 0 && c.Fraction < 1 }
+// Enabled reports whether the configuration runs the scheduler. Any
+// positive Fraction does — including full budget (Fraction ≥ 1), which
+// schedules every link every round.
+func (c Config) Enabled() bool { return c.Fraction > 0 }
 
 func (c Config) withDefaults() Config {
+	if c.Fraction > 1 {
+		c.Fraction = 1
+	}
 	if c.RecomputeEvery <= 0 {
 		c.RecomputeEvery = 6 * time.Hour
 	}
@@ -295,6 +303,33 @@ func (s *Scheduler) RecomputeAt(t simclock.Time) {
 	// Utility scoring evaluates diurnal proximity at the middle of
 	// the upcoming window.
 	hMid := t.Add(s.cfg.RecomputeEvery / 2).HourOfDay()
+
+	if s.cfg.Fraction >= 1 {
+		// Full budget: every link runs every round, period 1 across
+		// the board and no back-off ladder. The utility state still
+		// folds and verdicts still update so Stats reports the same
+		// evidence the budgeted rows see — only assignment is
+		// unconditional, keeping spend parity with an unscheduled
+		// campaign.
+		s.retiredNow = 0
+		for _, v := range s.vps {
+			for li := range v.links {
+				st := &v.links[li]
+				s.foldWindow(st)
+				s.updateVerdict(st)
+				st.utility = s.utility(st, hMid)
+				if st.retired {
+					s.retiredNow++
+				}
+				s.assign(st, 1)
+			}
+		}
+		if s.nLinks > 0 {
+			s.spendFrac = 1
+		}
+		return
+	}
+
 	s.rank = s.rank[:0]
 	s.retiredNow = 0
 	for vi, v := range s.vps {
@@ -448,6 +483,127 @@ type Stats struct {
 	// Floor is the heartbeat period (1<<MaxBackoff, possibly
 	// deepened to fit Fraction).
 	Floor int
+}
+
+// SkipRecomputesTo advances the recompute-barrier cursor past t
+// without running any barrier work. The engine's checkpoint replay
+// uses it: a resumed campaign re-walks the pre-checkpoint steps
+// without probing, so there is no window state to fold, but the
+// barrier chain must stay aligned with the uninterrupted run (and
+// with the quiescent predicate, which would otherwise see an overdue
+// barrier at every step). Nil-safe.
+func (s *Scheduler) SkipRecomputesTo(t simclock.Time) {
+	if s == nil {
+		return
+	}
+	for s.next <= t {
+		s.next = s.next.Add(s.cfg.RecomputeEvery)
+	}
+}
+
+// LinkCheckpoint is one link's serializable scheduler state for engine
+// checkpoints (DESIGN.md §15). Identity fields (seq, phaseHash) are
+// reconstructed by replayed AddLink registration; mask and phase are
+// re-derived from Period on restore.
+type LinkCheckpoint struct {
+	Tap                  cusum.StreamState
+	Rounds, Lost         uint32
+	LossRate, LossVar    float64
+	SinSum, CosSum, WSum float64
+	Utility              float64
+	Period               uint32
+	Stable               int32
+	Active, Retired      bool
+}
+
+// SchedulerCheckpoint is the scheduler's full serializable state.
+type SchedulerCheckpoint struct {
+	Next       simclock.Time
+	Recomputes int
+	RetiredNow int
+	SpendFrac  float64
+	// VPs holds per-VP link state in AddVP/AddLink registration order.
+	VPs [][]LinkCheckpoint
+}
+
+// Checkpoint captures the scheduler at a batch barrier.
+func (s *Scheduler) Checkpoint() *SchedulerCheckpoint {
+	if s == nil {
+		return nil
+	}
+	ck := &SchedulerCheckpoint{
+		Next:       s.next,
+		Recomputes: s.recomputes,
+		RetiredNow: s.retiredNow,
+		SpendFrac:  s.spendFrac,
+		VPs:        make([][]LinkCheckpoint, len(s.vps)),
+	}
+	for vi, v := range s.vps {
+		links := make([]LinkCheckpoint, len(v.links))
+		for li := range v.links {
+			st := &v.links[li]
+			links[li] = LinkCheckpoint{
+				Tap:      st.tap.State(),
+				Rounds:   st.rounds,
+				Lost:     st.lost,
+				LossRate: st.lossRate,
+				LossVar:  st.lossVar,
+				SinSum:   st.sinSum,
+				CosSum:   st.cosSum,
+				WSum:     st.wSum,
+				Utility:  st.utility,
+				Period:   st.period,
+				Stable:   st.stable,
+				Active:   st.active,
+				Retired:  st.retired,
+			}
+		}
+		ck.VPs[vi] = links
+	}
+	return ck
+}
+
+// RestoreCheckpoint overwrites the scheduler's mutable state from a
+// snapshot taken at the same barrier of an equivalent run. Every VP
+// and link must already be registered (the resumed run replays the
+// same discovery), with identical counts. Panics on shape mismatch —
+// that means the resume ran against a different world.
+func (s *Scheduler) RestoreCheckpoint(ck *SchedulerCheckpoint) {
+	if s == nil || ck == nil {
+		if (s == nil) != (ck == nil) {
+			panic("budget: RestoreCheckpoint scheduler presence mismatch")
+		}
+		return
+	}
+	if len(ck.VPs) != len(s.vps) {
+		panic("budget: RestoreCheckpoint VP count mismatch")
+	}
+	s.next = ck.Next
+	s.recomputes = ck.Recomputes
+	s.retiredNow = ck.RetiredNow
+	s.spendFrac = ck.SpendFrac
+	for vi, v := range s.vps {
+		if len(ck.VPs[vi]) != len(v.links) {
+			panic("budget: RestoreCheckpoint link count mismatch")
+		}
+		for li := range v.links {
+			st := &v.links[li]
+			lc := &ck.VPs[vi][li]
+			st.tap.RestoreState(lc.Tap)
+			st.rounds = lc.Rounds
+			st.lost = lc.Lost
+			st.lossRate = lc.LossRate
+			st.lossVar = lc.LossVar
+			st.sinSum = lc.SinSum
+			st.cosSum = lc.CosSum
+			st.wSum = lc.WSum
+			st.utility = lc.Utility
+			st.stable = lc.Stable
+			st.active = lc.Active
+			st.retired = lc.Retired
+			s.assign(st, lc.Period)
+		}
+	}
 }
 
 // Stats snapshots the scheduler.

@@ -290,3 +290,58 @@ func TestBudgetHotPathZeroAlloc(t *testing.T) {
 		t.Fatalf("budget hot path allocates: %.1f allocs/run", allocs)
 	}
 }
+
+// Full budget (Fraction ≥ 1) must run the scheduler rather than
+// silently bypass it: every positive fraction is Enabled, fractions
+// above 1 clamp to 1, and after any number of recomputes every link
+// holds period 1 with zero skips — spend parity with an unscheduled
+// campaign, so a sweep's 100% row takes the same code path as 99.9%.
+func TestFullBudgetSpendParity(t *testing.T) {
+	if !(Config{Fraction: 1}).Enabled() {
+		t.Fatal("Fraction 1 must enable the scheduler")
+	}
+	if !(Config{Fraction: 100}).Enabled() {
+		t.Fatal("Fraction 100 must enable the scheduler (clamped)")
+	}
+	if (Config{}).Enabled() || (Config{Fraction: -0.5}).Enabled() {
+		t.Fatal("non-positive Fraction must disable the scheduler")
+	}
+	if got := (Config{Fraction: 100}).withDefaults().Fraction; got != 1 {
+		t.Fatalf("Fraction 100 clamps to %v, want 1", got)
+	}
+
+	for _, frac := range []float64{1, 100} {
+		s := New(Config{Fraction: frac, Seed: 7}, window)
+		v := s.AddVP()
+		const n = 6
+		for i := 0; i < n; i++ {
+			v.AddLink()
+		}
+		rng := rand.New(rand.NewSource(4))
+		tm := window.Start
+		for r := 0; r < 8; r++ {
+			for i := 0; i < 72; i++ {
+				for li := 0; li < n; li++ {
+					v.Observe(li, tm, 10+0.5*rng.NormFloat64(), false)
+				}
+				tm = tm.Add(5 * time.Minute)
+			}
+			s.RecomputeAt(tm)
+			for li := 0; li < n; li++ {
+				if p := v.links[li].period; p != 1 {
+					t.Fatalf("frac %v recompute %d: flat link %d backed off to period %d at full budget", frac, r, li, p)
+				}
+			}
+			if st := s.Stats(); st.SpendFrac != 1 {
+				t.Fatalf("frac %v recompute %d: Stats.SpendFrac %v, want 1", frac, r, st.SpendFrac)
+			}
+		}
+		for li := 0; li < n; li++ {
+			for idx := 0; idx < 1<<10; idx++ {
+				if v.Skip(li, idx) {
+					t.Fatalf("frac %v: link %d skipped at step %d under full budget", frac, li, idx)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package checkpoint serializes the campaign engine's full
+// measurement state at batch barriers — the step-batched scheduler's
+// proven safe points, where every worker has drained and all per-VP
+// state is at a consistent virtual instant — so a long campaign can be
+// killed and resumed bit-identically (DESIGN.md §15).
+//
+// A checkpoint file is a small framed container: an 8-byte magic, the
+// gob payload length, and an IEEE CRC32 of the payload, then the gob
+// bytes. gob carries float64s by bit pattern, so a round-tripped
+// snapshot is exactly the state that was captured — the bit-identity
+// invariant survives serialization. Files are written atomically
+// (temp + rename) and named by their barrier instant; LoadLatest walks
+// newest-first and transparently falls back past truncated or corrupt
+// files, which is exactly what a SIGKILL mid-write leaves behind.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/budget"
+	"afrixp/internal/loss"
+	"afrixp/internal/prober"
+	"afrixp/internal/simclock"
+)
+
+// Format is the serialization format version. Bump on any
+// incompatible change to Snapshot's shape; LoadLatest refuses
+// mismatched formats via the manifest check.
+const Format = 1
+
+// magic identifies a checkpoint file.
+const magic = "AFXCKPT1"
+
+// headerLen is magic + payload length (8) + CRC32 (4).
+const headerLen = len(magic) + 8 + 4
+
+// keepNewest is how many barrier snapshots Write retains: the newest
+// plus two fallbacks, so a snapshot truncated by a kill mid-write
+// always leaves an older complete barrier to resume from.
+const keepNewest = 3
+
+// Manifest identifies the run a snapshot belongs to. A resume
+// verifies it against the resuming process's own configuration, so
+// loading a checkpoint onto the wrong (seed, scale, budget, faults,
+// shards) fails loudly instead of silently diverging.
+type Manifest struct {
+	// Format is the serialization format version.
+	Format int
+	// ConfigHash digests every determinism-relevant engine knob.
+	// Execution-shape knobs (Workers, BatchSteps, checkpoint cadence)
+	// are deliberately excluded: the engine is bit-identical across
+	// them, so a resume may change them freely.
+	ConfigHash string
+	// WorldFingerprint digests the generated world before any
+	// campaign-time advancement (worldgen.Fingerprint).
+	WorldFingerprint string
+}
+
+// LinkState is one probed link's measurement state.
+type LinkState struct {
+	Collector analysis.CollectorState
+	// Loss is nil for links without a loss-probing session.
+	Loss *loss.CollectorState
+}
+
+// VPState is one vantage point's measurement state, links in the
+// engine's deterministic per-VP order.
+type VPState struct {
+	RoundsScheduled, RoundsDown int
+	Prober                      prober.CheckpointState
+	Links                       []LinkState
+}
+
+// Snapshot is the engine's full measurement-side state at a barrier.
+// World and queue state is deliberately absent: it is a deterministic
+// function of (config, virtual time), which the resuming engine
+// replays — the snapshot holds only what probing accumulated.
+type Snapshot struct {
+	Manifest Manifest
+	// Barrier is the batch-barrier instant the snapshot was taken at.
+	Barrier simclock.Time
+	VPs     []VPState
+	// Budget is nil when no probe-budget scheduler is installed.
+	Budget *budget.SchedulerCheckpoint
+	// Arenas holds each shard's shared tschunk slab bytes, shard order.
+	Arenas [][]byte
+}
+
+// fileName names a snapshot by its barrier instant; zero-padding keeps
+// lexicographic order equal to barrier order.
+func fileName(t simclock.Time) string {
+	return fmt.Sprintf("ckpt-%020d.bin", uint64(t))
+}
+
+// Write serializes snap into dir atomically (temp file + rename), then
+// prunes all but the newest keepNewest snapshots. It returns the gob
+// payload size in bytes — the figure the checkpoint benchmark reports.
+func Write(dir string, snap *Snapshot) (int, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return 0, fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	header := make([]byte, headerLen)
+	copy(header, magic)
+	binary.BigEndian.PutUint64(header[len(magic):], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(header[len(magic)+8:], crc32.ChecksumIEEE(payload.Bytes()))
+
+	final := filepath.Join(dir, fileName(snap.Barrier))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(header); err == nil {
+		_, err = f.Write(payload.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	prune(dir)
+	return payload.Len(), nil
+}
+
+// prune removes all but the newest keepNewest snapshots. Best-effort:
+// a failed removal never fails the checkpoint that just landed.
+func prune(dir string) {
+	names := snapshotNames(dir)
+	for _, name := range names[:max(0, len(names)-keepNewest)] {
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// snapshotNames lists snapshot files in dir, oldest first.
+func snapshotNames(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".bin") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadLatest returns the newest readable snapshot in dir, skipping
+// truncated or corrupt files (a kill mid-write leaves exactly those) —
+// the fallback that makes resume survive dying during a checkpoint.
+// When want is non-nil, the loaded manifest must match it exactly;
+// a mismatch is a hard error, never a fallback, because an older
+// snapshot from the wrong run would be just as wrong. (nil, nil) means
+// no checkpoint exists and the caller should start fresh.
+func LoadLatest(dir string, want *Manifest) (*Snapshot, error) {
+	names := snapshotNames(dir)
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		snap, ok, err := readSnapshot(path)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // truncated or corrupt: fall back to the prior barrier
+		}
+		if want != nil && snap.Manifest != *want {
+			return nil, fmt.Errorf(
+				"checkpoint: %s belongs to a different run: have %+v, want %+v",
+				path, snap.Manifest, *want)
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// readSnapshot parses one file. ok=false flags recoverable damage
+// (truncation, bad CRC); err flags unrecoverable problems (I/O).
+func readSnapshot(path string) (*Snapshot, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(data) < headerLen || string(data[:len(magic)]) != magic {
+		return nil, false, nil
+	}
+	payloadLen := binary.BigEndian.Uint64(data[len(magic):])
+	wantCRC := binary.BigEndian.Uint32(data[len(magic)+8:])
+	payload := data[headerLen:]
+	if uint64(len(payload)) != payloadLen {
+		return nil, false, nil // truncated (or trailing garbage)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, false, nil
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, false, nil // CRC race with format drift: treat as damage
+	}
+	return &snap, true, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

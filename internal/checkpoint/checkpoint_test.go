@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"afrixp/internal/analysis"
+	"afrixp/internal/budget"
+	"afrixp/internal/loss"
+	"afrixp/internal/simclock"
+)
+
+// snapAt builds a small but fully-populated snapshot: NaN-holed float
+// payloads (the bit pattern gob must preserve), an optional loss
+// collector, a budget checkpoint, and shard arena bytes.
+func snapAt(barrier simclock.Time) *Snapshot {
+	nan := math.NaN()
+	return &Snapshot{
+		Manifest: Manifest{Format: Format, ConfigHash: "cfg", WorldFingerprint: "world"},
+		Barrier:  barrier,
+		VPs: []VPState{{
+			RoundsScheduled: 42,
+			RoundsDown:      3,
+			Links: []LinkState{
+				{Collector: analysis.CollectorState{
+					Near: []float64{1.5, nan, 3.25}, Far: []float64{nan, 2.5, nan},
+					FarRounds: 7, SkippedRounds: 2,
+				}},
+				{Collector: analysis.CollectorState{Chunked: true},
+					Loss: &loss.CollectorState{
+						Batches: []loss.Batch{{Start: barrier, Sent: 100, Lost: 4}},
+						Skipped: 1, Missed: 2,
+					}},
+			},
+		}},
+		Budget: &budget.SchedulerCheckpoint{Next: barrier.Add(1), Recomputes: 5, SpendFrac: 0.5},
+		Arenas: [][]byte{{0xde, 0xad}, {}},
+	}
+}
+
+func TestWriteLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := snapAt(1000)
+	n, err := Write(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("payload size %d, want > 0", n)
+	}
+	got, err := LoadLatest(dir, &snap.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadLatest returned nil for a just-written snapshot")
+	}
+	if got.Barrier != 1000 || got.Manifest != snap.Manifest {
+		t.Fatalf("roundtrip header mismatch: %+v", got)
+	}
+	near := got.VPs[0].Links[0].Collector.Near
+	if len(near) != 3 || near[0] != 1.5 || !math.IsNaN(near[1]) || near[2] != 3.25 {
+		t.Fatalf("float payload (incl. NaN) not preserved: %v", near)
+	}
+	l := got.VPs[0].Links[1].Loss
+	if l == nil || l.Batches[0].Lost != 4 || l.Skipped != 1 || l.Missed != 2 {
+		t.Fatalf("loss state not preserved: %+v", l)
+	}
+	if got.Budget == nil || got.Budget.Recomputes != 5 || got.Budget.SpendFrac != 0.5 {
+		t.Fatalf("budget state not preserved: %+v", got.Budget)
+	}
+	if len(got.Arenas) != 2 || string(got.Arenas[0]) != "\xde\xad" || len(got.Arenas[1]) != 0 {
+		t.Fatalf("arena bytes not preserved: %v", got.Arenas)
+	}
+}
+
+func TestLoadLatestEmptyDir(t *testing.T) {
+	snap, err := LoadLatest(t.TempDir(), nil)
+	if err != nil || snap != nil {
+		t.Fatalf("empty dir: snap=%v err=%v, want nil/nil", snap, err)
+	}
+	snap, err = LoadLatest(filepath.Join(t.TempDir(), "never-created"), nil)
+	if err != nil || snap != nil {
+		t.Fatalf("missing dir: snap=%v err=%v, want nil/nil", snap, err)
+	}
+}
+
+// A kill mid-write leaves a truncated or corrupt newest file; the
+// loader must fall back to the previous complete barrier snapshot.
+func TestLoadLatestFallsBackPastDamage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, snapAt(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, snapAt(2000)); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, fileName(2000))
+
+	damage := []struct {
+		name string
+		mut  func(data []byte) []byte
+	}{
+		{"truncated-mid-payload", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"truncated-in-header", func(d []byte) []byte { return d[:headerLen-2] }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"flipped-payload-bit", func(d []byte) []byte { d[len(d)-1] ^= 0x01; return d }},
+		{"bad-magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+	}
+	pristine, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dm := range damage {
+		buf := append([]byte(nil), pristine...)
+		if err := os.WriteFile(newest, dm.mut(buf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadLatest(dir, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", dm.name, err)
+		}
+		if got == nil || got.Barrier != 1000 {
+			t.Fatalf("%s: fell back to %+v, want barrier 1000", dm.name, got)
+		}
+	}
+}
+
+func TestWritePrunesToNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, b := range []simclock.Time{100, 200, 300, 400, 500} {
+		if _, err := Write(dir, snapAt(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := snapshotNames(dir)
+	if len(names) != keepNewest {
+		t.Fatalf("kept %d snapshots %v, want %d", len(names), names, keepNewest)
+	}
+	if names[0] != fileName(300) || names[len(names)-1] != fileName(500) {
+		t.Fatalf("pruned the wrong files: %v", names)
+	}
+	got, err := LoadLatest(dir, nil)
+	if err != nil || got == nil || got.Barrier != 500 {
+		t.Fatalf("LoadLatest after prune: %+v, %v", got, err)
+	}
+}
+
+// A snapshot from a differently-configured run is a hard error, never
+// a silent fresh start and never a fallback to an older (equally
+// wrong) file.
+func TestManifestMismatchIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, snapAt(1000)); err != nil {
+		t.Fatal(err)
+	}
+	want := Manifest{Format: Format, ConfigHash: "other", WorldFingerprint: "world"}
+	if _, err := LoadLatest(dir, &want); err == nil {
+		t.Fatal("manifest mismatch must be an error")
+	} else if !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Lexicographic name order must equal barrier order even across
+// magnitude boundaries — the zero-padding contract prune and
+// LoadLatest rely on.
+func TestFileNameOrdering(t *testing.T) {
+	if a, b := fileName(999), fileName(1000); a >= b {
+		t.Fatalf("fileName ordering broken: %q >= %q", a, b)
+	}
+}

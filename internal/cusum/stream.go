@@ -129,3 +129,43 @@ func (s *Stream) Samples() uint64 { return s.n }
 func (s *Stream) Reset() {
 	s.n, s.baseline, s.dev, s.sPos, s.sNeg = 0, 0, 0, 0, 0
 }
+
+// StreamState is a Stream's full serializable state for engine
+// checkpoints. The resolved config rides along: Observe lazily
+// defaults the tuning only on the very first sample, so a restored
+// mid-stream tap must carry the exact tuning it was running with.
+type StreamState struct {
+	BaselineAlpha, DevAlpha, Slack, Decay float64
+	N                                     uint64
+	Baseline, Dev, SPos, SNeg             float64
+}
+
+// State captures the tap for a checkpoint.
+func (s *Stream) State() StreamState {
+	return StreamState{
+		BaselineAlpha: s.cfg.BaselineAlpha,
+		DevAlpha:      s.cfg.DevAlpha,
+		Slack:         s.cfg.Slack,
+		Decay:         s.cfg.Decay,
+		N:             s.n,
+		Baseline:      s.baseline,
+		Dev:           s.dev,
+		SPos:          s.sPos,
+		SNeg:          s.sNeg,
+	}
+}
+
+// RestoreState overwrites the tap from a checkpoint.
+func (s *Stream) RestoreState(st StreamState) {
+	s.cfg = StreamConfig{
+		BaselineAlpha: st.BaselineAlpha,
+		DevAlpha:      st.DevAlpha,
+		Slack:         st.Slack,
+		Decay:         st.Decay,
+	}
+	s.n = st.N
+	s.baseline = st.Baseline
+	s.dev = st.Dev
+	s.sPos = st.SPos
+	s.sNeg = st.SNeg
+}

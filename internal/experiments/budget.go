@@ -122,12 +122,15 @@ func table1Fidelity(budgeted, full *Result) float64 {
 }
 
 // RunBudgetSweep runs the campaign at full rate and at each budget
-// fraction (fractions outside (0,1) are treated as full rate), and
-// scores every run against ground truth and against the full-rate
-// baseline. base.Budget carries the scheduler tuning (seed, cadence,
-// weights); its Fraction is overridden per point. The returned slice
-// is ordered as given, with the full-rate reference prepended if the
-// list doesn't already lead with it.
+// fraction, and scores every run against ground truth and against the
+// full-rate baseline. Every positive fraction goes through the budget
+// scheduler — a fraction of 1 (or above, clamped) runs it at full
+// spend, so the sweep's 100 % row exercises the same code path as
+// 99.9 % instead of silently bypassing the scheduler; only
+// non-positive fractions disable it. base.Budget carries the scheduler
+// tuning (seed, cadence, weights); its Fraction is overridden per
+// point. The returned slice is ordered as given, with the full-rate
+// reference prepended if the list doesn't already lead with it.
 func RunBudgetSweep(base Config, fractions []float64) []BudgetPoint {
 	bcfg := budget.Config{}
 	if base.Budget != nil {
@@ -142,7 +145,7 @@ func RunBudgetSweep(base Config, fractions []float64) []BudgetPoint {
 
 	run := func(frac float64) *Result {
 		cfg := base
-		if frac > 0 && frac < 1 {
+		if frac > 0 {
 			bc := bcfg
 			bc.Fraction = frac
 			cfg.Budget = &bc

@@ -107,6 +107,41 @@ func TestBudgetReducesProbes(t *testing.T) {
 	}
 }
 
+// TestFullBudgetCampaignMatchesUnscheduled pins the Fraction ≥ 1
+// contract end to end: installing the scheduler at a full budget (or
+// any over-budget fraction, which clamps to 1) must reproduce the
+// unscheduled campaign bit for bit and skip nothing — the scheduler
+// runs, folds windows, and counts recomputes, but every link stays at
+// period 1.
+func TestFullBudgetCampaignMatchesUnscheduled(t *testing.T) {
+	plain := Run(Config{
+		Opts:     scenario.Options{Seed: 5, Scale: 0.1},
+		Campaign: ckptInterval,
+		Workers:  8,
+	})
+	want := summarizeResult(plain)
+	rounds, _ := attemptedRounds(plain)
+	if rounds == 0 {
+		t.Fatal("unscheduled campaign attempted no rounds; parity check is vacuous")
+	}
+
+	for _, frac := range []float64{1, 100} {
+		res := runBudgetCampaign(8, 0, frac, 7)
+		if got := summarizeResult(res); got != want {
+			t.Errorf("budget=%g campaign diverges from the unscheduled run\n%s",
+				frac, firstDiff(want, got))
+		}
+		if _, skipped := attemptedRounds(res); skipped != 0 {
+			t.Errorf("budget=%g skipped %d rounds; a full budget must skip none", frac, skipped)
+		}
+		for _, y := range res.Yields() {
+			if y.Skipped != 0 {
+				t.Errorf("budget=%g: VP %s shows %d skipped rounds in the yield accounting", frac, y.VP, y.Skipped)
+			}
+		}
+	}
+}
+
 // TestBudgetSweepRecall runs the budget experiment over a window
 // centered on the case-study congestion (QCELL-NETPAGE congested from
 // late February, GIXA-GHANATEL from early March) and pins the

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"afrixp/internal/asrel"
 	"afrixp/internal/bdrmap"
 	"afrixp/internal/budget"
+	"afrixp/internal/checkpoint"
 	"afrixp/internal/faults"
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/loss"
@@ -34,6 +36,7 @@ import (
 	"afrixp/internal/telemetry"
 	"afrixp/internal/timeseries"
 	"afrixp/internal/tschunk"
+	"afrixp/internal/worldgen"
 )
 
 // Config drives one campaign.
@@ -129,6 +132,28 @@ type Config struct {
 	// and the steady-state probing step stays allocation-free with
 	// collection enabled (DESIGN.md §11).
 	Telemetry *telemetry.Telemetry
+	// CheckpointDir, when non-empty, serializes the engine's full
+	// measurement state into the directory every CheckpointEvery of
+	// virtual time (internal/checkpoint, DESIGN.md §15). Checkpoint
+	// instants are forced batch barriers — the step-batched scheduler's
+	// proven safe points — so with the batch-partition independence
+	// invariant, results stay bit-identical with checkpointing on or
+	// off at any Workers × BatchSteps × Shards.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time checkpoint cadence, anchored
+	// at campaign start. Default 24 h when CheckpointDir is set.
+	CheckpointEvery simclock.Duration
+	// ResumeFrom, when non-empty, loads the newest valid checkpoint
+	// from the directory (usually CheckpointDir itself) and resumes the
+	// campaign from its barrier. The engine rebuilds the world, replays
+	// the campaign loop up to the barrier without probing (world, queue
+	// and discovery state are deterministic functions of config and
+	// virtual time), restores the measurement state at the barrier, and
+	// probes on — bit-identical to an uninterrupted run. A manifest
+	// mismatch (wrong seed, scale, faults, budget, shards, …) panics;
+	// Workers and BatchSteps may change freely across the restart. An
+	// empty directory starts fresh with a progress note.
+	ResumeFrom string
 }
 
 func (c Config) withDefaults() Config {
@@ -153,7 +178,31 @@ func (c Config) withDefaults() Config {
 	if c.BatchSteps <= 0 {
 		c.BatchSteps = 1024
 	}
+	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 24 * time.Hour
+	}
 	return c
+}
+
+// configHash digests every determinism-relevant knob into the
+// checkpoint manifest, so a resume onto a differently-configured run
+// fails loudly. Execution-shape knobs — Workers, BatchSteps, the
+// checkpoint cadence and directories — are deliberately excluded: the
+// engine is bit-identical across them, so a restart may change them.
+// Call on the defaulted config (withDefaults) so both sides hash the
+// same resolved values.
+func (c Config) configHash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "opts=%+v campaign=%d..%d step=%d refresh=%d thr=%v lossEvery=%d noloss=%t flat=%t shards=%d",
+		c.Opts, c.Campaign.Start, c.Campaign.End, c.Step, c.RefreshEvery,
+		c.Thresholds, c.LossBatchEvery, c.DisableLoss, c.FlatSeries, c.Shards)
+	if c.Faults != nil {
+		fmt.Fprintf(h, " faults=%+v", *c.Faults)
+	}
+	if c.Budget != nil {
+		fmt.Fprintf(h, " budget=%+v", *c.Budget)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Snapshot is one bdrmap run at a Table 2 date.
@@ -451,6 +500,38 @@ func Run(cfg Config) *Result {
 		progress("sharded engine: %d shards over %d VPs", shards, len(states))
 	}
 
+	// Checkpoint manifest + resume load (DESIGN.md §15). The world
+	// fingerprint must be taken now, before AdvanceTo consumes the
+	// pending scenario events it hashes; the manifest then pins the
+	// snapshot to this exact (world, config) pair. resume being non-nil
+	// puts the probing loop below into replay mode: barrier work runs
+	// live (it deterministically reconstructs discovery and scheduler
+	// registration), but no probes fire and no accounting accrues until
+	// the snapshot's barrier, where the measurement state is restored.
+	var resume *checkpoint.Snapshot
+	var manifest checkpoint.Manifest
+	if cfg.CheckpointDir != "" || cfg.ResumeFrom != "" {
+		manifest = checkpoint.Manifest{
+			Format:           checkpoint.Format,
+			ConfigHash:       cfg.configHash(),
+			WorldFingerprint: worldgen.Fingerprint(w),
+		}
+	}
+	if cfg.ResumeFrom != "" {
+		snap, err := checkpoint.LoadLatest(cfg.ResumeFrom, &manifest)
+		if err != nil {
+			// No error return on Run; a wrong-run resume must not
+			// silently probe from scratch (or worse, diverge).
+			panic(fmt.Sprintf("experiments: resume from %s: %v", cfg.ResumeFrom, err))
+		}
+		if snap == nil {
+			progress("resume: no checkpoint in %s; starting fresh", cfg.ResumeFrom)
+		} else {
+			resume = snap
+			progress("resume: replaying to checkpoint barrier %v", snap.Barrier)
+		}
+	}
+
 	// The RIR and IXP-directory indexes are pure functions of their
 	// datasets; rebuilding them for every discovery run (6 VPs × ~28
 	// refreshes) was pure waste. They are cached per dataset version —
@@ -609,6 +690,95 @@ func Run(cfg Config) *Result {
 	}
 	refreshLinks()
 
+	// Checkpoint barrier chain, anchored at campaign start so the
+	// writing and resumed runs force the same barrier instants
+	// (Start + k·CheckpointEvery, advanced past every barrier that
+	// lands). buildSnapshot and restoreSnapshot run only at the top of
+	// open(t) — before any of the barrier's own work — so capture in
+	// one run and restore in another see the engine at the identical
+	// point: every batch below t probed, nothing at or after t touched.
+	ckptOn := cfg.CheckpointDir != ""
+	var ckptNext simclock.Time
+	if ckptOn {
+		ckptNext = cfg.Campaign.Start.Add(cfg.CheckpointEvery)
+	}
+	buildSnapshot := func(t simclock.Time) *checkpoint.Snapshot {
+		snap := &checkpoint.Snapshot{
+			Manifest: manifest,
+			Barrier:  t,
+			VPs:      make([]checkpoint.VPState, len(states)),
+			Budget:   sched.Checkpoint(),
+		}
+		for si, st := range states {
+			vs := checkpoint.VPState{
+				RoundsScheduled: st.vr.RoundsScheduled,
+				RoundsDown:      st.vr.RoundsDown,
+				Prober:          st.vr.Prober.Checkpoint(),
+				Links:           make([]checkpoint.LinkState, len(links[si])),
+			}
+			for li, lr := range links[si] {
+				vs.Links[li] = checkpoint.LinkState{Collector: lr.Collector.Checkpoint()}
+				if lr.lossCol != nil {
+					lc := lr.lossCol.Checkpoint()
+					vs.Links[li].Loss = &lc
+				}
+			}
+			snap.VPs[si] = vs
+		}
+		if arenas != nil {
+			snap.Arenas = make([][]byte, len(arenas))
+			for i, a := range arenas {
+				snap.Arenas[i] = a.State()
+			}
+		}
+		return snap
+	}
+	restoreSnapshot := func(snap *checkpoint.Snapshot) {
+		// Shape mismatches here mean the replayed discovery diverged
+		// from the writing run's — impossible per the manifest unless
+		// the determinism invariant itself broke, so fail loudly.
+		if len(snap.VPs) != len(states) {
+			panic(fmt.Sprintf("experiments: resume: %d VPs, checkpoint has %d",
+				len(states), len(snap.VPs)))
+		}
+		for si, st := range states {
+			vs := &snap.VPs[si]
+			if len(vs.Links) != len(links[si]) {
+				panic(fmt.Sprintf("experiments: resume: %s has %d links at the barrier, checkpoint has %d",
+					st.vr.VP.ID, len(links[si]), len(vs.Links)))
+			}
+			st.vr.RoundsScheduled = vs.RoundsScheduled
+			st.vr.RoundsDown = vs.RoundsDown
+			st.vr.Prober.RestoreCheckpoint(vs.Prober)
+			for li, lr := range links[si] {
+				lr.Collector.RestoreCheckpoint(vs.Links[li].Collector)
+				if (lr.lossCol != nil) != (vs.Links[li].Loss != nil) {
+					panic("experiments: resume: loss-collector binding mismatch")
+				}
+				if lr.lossCol != nil {
+					lr.lossCol.RestoreCheckpoint(*vs.Links[li].Loss)
+				}
+			}
+		}
+		sched.RestoreCheckpoint(snap.Budget)
+		if len(snap.Arenas) != len(arenas) {
+			panic(fmt.Sprintf("experiments: resume: %d shard arenas, checkpoint has %d",
+				len(arenas), len(snap.Arenas)))
+		}
+		for i, a := range arenas {
+			a.RestoreState(snap.Arenas[i])
+		}
+	}
+	writeCheckpoint := func(t simclock.Time) {
+		ws := time.Now()
+		n, err := checkpoint.Write(cfg.CheckpointDir, buildSnapshot(t))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: checkpoint at %v: %v", t, err))
+		}
+		progress("checkpoint at %v: %d payload bytes (took %v)",
+			t, n, time.Since(ws).Round(time.Millisecond))
+	}
+
 	// Shared batch state, written by the coordinator between pool
 	// rounds; the pool's channel handoff publishes it to workers.
 	var batch []simclock.Time
@@ -642,9 +812,21 @@ func Run(cfg Config) *Result {
 				// for sample-yield reporting. Down(t) is a pure
 				// function of t, so the skip pattern — and with it the
 				// pacing-bucket and nonce streams — is identical for
-				// any worker count or batch size.
+				// any worker count or batch size. The budget gate is
+				// consulted first: a round the scheduler would not have
+				// run anyway is a skip, not a miss, whether or not the
+				// VP happened to be down — each round lands in exactly
+				// one of RoundSkipped/RoundMissed, so VPYield's
+				// SampleYield never double-counts an overlap.
 				st.vr.RoundsDown++
-				for _, lr := range links[si] {
+				for li, lr := range links[si] {
+					if bv.Skip(li, firstIdx+k) {
+						lr.Collector.RoundSkipped()
+						if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
+							lr.lossCol.RoundSkipped()
+						}
+						continue
+					}
 					lr.Collector.RoundMissed()
 					if doLoss && lr.lossCol != nil && lr.lossIv.Contains(t) {
 						lr.lossCol.RoundMissed()
@@ -749,6 +931,26 @@ func Run(cfg Config) *Result {
 	}
 
 	open := func(t simclock.Time) {
+		// Checkpoint restore/capture first, before any of the barrier's
+		// own work, so both sides of a restart see the same instant.
+		if resume != nil && t >= resume.Barrier {
+			restoreSnapshot(resume)
+			progress("resume: restored measurement state at %v", t)
+			resume = nil
+			if ckptOn {
+				// Continue the chain past the restored barrier instead
+				// of redundantly rewriting its own snapshot.
+				for ckptNext <= t {
+					ckptNext = ckptNext.Add(cfg.CheckpointEvery)
+				}
+			}
+		}
+		if resume == nil && ckptOn && t >= ckptNext {
+			writeCheckpoint(t)
+			for ckptNext <= t {
+				ckptNext = ckptNext.Add(cfg.CheckpointEvery)
+			}
+		}
 		if tele != nil {
 			tele.Engine.BatchesOpened.Inc()
 			publish()
@@ -788,7 +990,14 @@ func Run(cfg Config) *Result {
 		// BatchSteps — the worker pool is idle at barriers and its
 		// channel handoff publishes all per-link writes.
 		if sched.Due(t) {
-			sched.RecomputeAt(t)
+			if resume != nil {
+				// Replay: no probes ran, so there is no window state to
+				// fold — just keep the barrier chain aligned with the
+				// writing run's (the snapshot restores the real cursor).
+				sched.SkipRecomputesTo(t)
+			} else {
+				sched.RecomputeAt(t)
+			}
 		}
 	}
 	// quiescent reports whether step t needs none of open's serialized
@@ -798,6 +1007,19 @@ func Run(cfg Config) *Result {
 	// snapshots, so a step clearing those three cannot churn paths.
 	quiescent := func(t simclock.Time) bool {
 		if t >= nextRefresh {
+			return false
+		}
+		if resume != nil {
+			// The snapshot's barrier must be a barrier here too: the
+			// restore runs in open, at the exact instant the writing
+			// run captured.
+			if t >= resume.Barrier {
+				return false
+			}
+		} else if ckptOn && t >= ckptNext {
+			// Checkpoint instants are barriers, so snapshots are taken
+			// at the proven safe points (workers drained, per-VP state
+			// consistent at one virtual instant).
 			return false
 		}
 		if sched.Due(t) {
@@ -826,7 +1048,13 @@ func Run(cfg Config) *Result {
 			tele.Engine.RoundsDispatched.Add(uint64(len(steps) * len(states)))
 			tele.Engine.BatchLen.Observe(float64(len(steps)))
 		}
-		pool.do(poolTasks)
+		if resume == nil {
+			pool.do(poolTasks)
+		}
+		// else: replay — the world and queues advance (they are pure
+		// functions of virtual time and must be at the barrier state
+		// when the snapshot lands), but no probes fire and no per-VP
+		// accounting accrues; the snapshot restores all of it.
 		tele.EndSpan(ref, steps[len(steps)-1])
 	}
 	probeRef := tele.BeginSpan("probing", "", cfg.Campaign.Start)

@@ -139,6 +139,54 @@ func (c *Collector) RoundAccounting() (skipped, missed int) {
 	return c.skippedRounds, c.missedRounds
 }
 
+// CollectorState is a loss Collector's full mutable state at a batch
+// barrier, for engine checkpoints (DESIGN.md §15).
+type CollectorState struct {
+	Batches []Batch
+	Cur     Batch
+	Open    bool
+	HasGrid bool
+	Grid    tschunk.BuilderState
+	Skipped int
+	Missed  int
+}
+
+// Checkpoint captures the collector's state. Must run at a batch
+// barrier before any further recording: the grid builder state aliases
+// live buffers until serialized. Panics if GridSeries has already
+// sealed the grid.
+func (c *Collector) Checkpoint() CollectorState {
+	st := CollectorState{
+		Batches: c.batches,
+		Cur:     c.cur,
+		Open:    c.open,
+		Skipped: c.skippedRounds,
+		Missed:  c.missedRounds,
+	}
+	if c.grid != nil {
+		st.HasGrid = true
+		st.Grid = c.grid.State()
+	}
+	return st
+}
+
+// RestoreCheckpoint overwrites the collector's state from a snapshot
+// taken at the same barrier of an equivalent run. A bound grid must
+// have been rebound (BindGrid with the same layout) first.
+func (c *Collector) RestoreCheckpoint(st CollectorState) {
+	if st.HasGrid != (c.grid != nil) {
+		panic("loss: RestoreCheckpoint grid binding mismatch")
+	}
+	c.batches = append(c.batches[:0], st.Batches...)
+	c.cur = st.Cur
+	c.open = st.Open
+	if c.grid != nil {
+		c.grid.RestoreState(st.Grid)
+	}
+	c.skippedRounds = st.Skipped
+	c.missedRounds = st.Missed
+}
+
 // Batches returns all completed batches. A partial trailing batch is
 // included only if it holds at least half a batch of probes.
 func (c *Collector) Batches() []Batch {

@@ -173,6 +173,14 @@ func (c *ProbeCtx) nonce() uint64 {
 	return c.salt + c.count
 }
 
+// NonceCount returns the number of nonces drawn so far — the context's
+// position in its private stream, checkpointed by the engine so a
+// resumed campaign replays the identical loss draws.
+func (c *ProbeCtx) NonceCount() uint64 { return c.count }
+
+// RestoreNonceCount repositions the nonce stream from a checkpoint.
+func (c *ProbeCtx) RestoreNonceCount(n uint64) { c.count = n }
+
 // SampleCtx sends one virtual probe along the cached path at time t
 // using the caller's probe context for loss draws and the frozen queue
 // read path for conditions. Unlike Sample it mutates no network state

@@ -96,6 +96,41 @@ func (p *Prober) ProbeStats() *netsim.ProbeStats { return p.ctx.Stats() }
 // Name returns the monitor name.
 func (p *Prober) Name() string { return p.cfg.Name }
 
+// CheckpointState is a Prober's mutable measurement state at a batch
+// barrier: the probe sequence counter, the pacing bucket, the position
+// in the private nonce stream, and the hot-path sampling counters.
+// Everything else (cached trajectories, scratch buffers) is derived
+// and rebuilt on resume.
+type CheckpointState struct {
+	Seq          uint16
+	BucketTokens float64
+	BucketLast   simclock.Time
+	NonceCount   uint64
+	Stats        netsim.ProbeStats
+}
+
+// Checkpoint captures the prober's state. Single-goroutine contract:
+// call only at batch barriers, like ProbeStats.
+func (p *Prober) Checkpoint() CheckpointState {
+	tokens, last := p.bucket.State()
+	return CheckpointState{
+		Seq:          p.seq,
+		BucketTokens: tokens,
+		BucketLast:   last,
+		NonceCount:   p.ctx.NonceCount(),
+		Stats:        *p.ctx.Stats(),
+	}
+}
+
+// RestoreCheckpoint overwrites the prober's state from a snapshot
+// taken at the same barrier of an equivalent run.
+func (p *Prober) RestoreCheckpoint(st CheckpointState) {
+	p.seq = st.Seq
+	p.bucket.RestoreState(st.BucketTokens, st.BucketLast)
+	p.ctx.RestoreNonceCount(st.NonceCount)
+	*p.ctx.Stats() = st.Stats
+}
+
 // PingResult is the outcome of one echo probe.
 type PingResult struct {
 	// SentAt is the (paced) transmission time.

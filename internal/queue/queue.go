@@ -356,6 +356,19 @@ func (tb *TokenBucket) NextAllowed(t simclock.Time) simclock.Time {
 	return t.Add(wait)
 }
 
+// State returns the bucket's mutable state (tokens, frontier) for
+// engine checkpoints; rate and burst are configuration, reconstructed
+// by the caller.
+func (tb *TokenBucket) State() (tokens float64, last simclock.Time) {
+	return tb.tokens, tb.last
+}
+
+// RestoreState overwrites the bucket's mutable state from a
+// checkpoint.
+func (tb *TokenBucket) RestoreState(tokens float64, last simclock.Time) {
+	tb.tokens, tb.last = tokens, last
+}
+
 // refill advances the bucket to max(t, frontier) and returns that time.
 func (tb *TokenBucket) refill(t simclock.Time) simclock.Time {
 	if t < tb.last {

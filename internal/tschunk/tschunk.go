@@ -437,6 +437,107 @@ func (b *Builder) Seal() *Chunk {
 }
 
 // ---------------------------------------------------------------
+// Checkpoint state: the engine snapshots builders and arenas at batch
+// barriers (DESIGN.md §15). A snapshot captures exactly the mutable
+// write-side state — sealed block refs, the raw current block, and
+// (for private-arena builders) the encoded bytes — so a restored
+// builder continues the stream bit-identically.
+// ---------------------------------------------------------------
+
+// BlockRef is the exported mirror of blockRef for serialization.
+type BlockRef struct {
+	Off, Size, Count int
+}
+
+// BuilderState is a Builder's full mutable state at a barrier.
+// Shared-arena builders set Shared and leave Arena empty — their
+// encoded bytes live in the shared slab, snapshotted separately via
+// Arena.State. (Shared is an explicit flag, not Arena == nil: a
+// private builder that hasn't compressed a block yet has no arena
+// bytes either, and gob erases the nil/empty distinction anyway.)
+type BuilderState struct {
+	N      int
+	Blocks []BlockRef
+	Shared bool
+	Arena  []byte
+	EncLen int
+	HasNaN bool
+	NaNRef BlockRef
+	CurBlk int
+	Cur    []float64
+	Dirty  bool
+}
+
+// State captures the builder's write-side state. The returned slices
+// alias live buffers: callers must serialize (or copy) the state
+// before the next write, which barrier-synchronous checkpointing
+// guarantees. Panics after Seal — sealed builders are immutable and
+// cheaper to rebuild than to snapshot.
+func (b *Builder) State() BuilderState {
+	if b.sealed != nil {
+		panic("tschunk: State after Seal")
+	}
+	st := BuilderState{
+		N:      b.n,
+		Blocks: make([]BlockRef, len(b.blocks)),
+		Shared: b.shared != nil,
+		EncLen: b.encLen,
+		HasNaN: b.hasNaN,
+		NaNRef: BlockRef{Off: b.nanRef.off, Size: b.nanRef.size, Count: b.nanRef.count},
+		CurBlk: b.curBlk,
+		Cur:    b.cur,
+		Dirty:  b.dirty,
+	}
+	for i, ref := range b.blocks {
+		st.Blocks[i] = BlockRef{Off: ref.off, Size: ref.size, Count: ref.count}
+	}
+	if b.shared == nil {
+		st.Arena = b.arena
+	}
+	return st
+}
+
+// RestoreState overwrites the builder's write-side state from a
+// snapshot taken at the same barrier of an equivalent run. The builder
+// must have been freshly constructed with the same grid length and the
+// same shared/private arena shape as the one snapshotted.
+func (b *Builder) RestoreState(st BuilderState) {
+	if b.sealed != nil {
+		panic("tschunk: RestoreState after Seal")
+	}
+	if st.N != b.n {
+		panic(fmt.Sprintf("tschunk: RestoreState grid length %d, builder has %d", st.N, b.n))
+	}
+	if st.Shared != (b.shared != nil) {
+		panic("tschunk: RestoreState arena shape mismatch (shared vs private)")
+	}
+	b.blocks = b.blocks[:0]
+	for _, ref := range st.Blocks {
+		b.blocks = append(b.blocks, blockRef{off: ref.Off, size: ref.Size, count: ref.Count})
+	}
+	if b.shared == nil {
+		b.arena = append(b.arena[:0], st.Arena...)
+	}
+	b.encLen = st.EncLen
+	b.hasNaN = st.HasNaN
+	b.nanRef = blockRef{off: st.NaNRef.Off, size: st.NaNRef.Size, count: st.NaNRef.Count}
+	b.resetCur(st.CurBlk)
+	copy(b.cur, st.Cur)
+	b.dirty = st.Dirty
+}
+
+// State returns the arena's encoded bytes. The slice aliases the live
+// slab; serialize before the next seal into it.
+func (a *Arena) State() []byte { return a.buf }
+
+// RestoreState overwrites the slab contents from a snapshot, keeping
+// the reserved capacity (builder Reserve calls replayed before the
+// restore remain honored).
+func (a *Arena) RestoreState(buf []byte) {
+	a.buf = append(a.buf[:0], buf...)
+}
+
+// ---------------------------------------------------------------
 // Codec: Gorilla XOR float packing, one independent stream per block.
 // ---------------------------------------------------------------
 //

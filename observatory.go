@@ -72,19 +72,36 @@ type CampaignConfig struct {
 	// FaultSeed perturbs the fault plan independently of Seed (only
 	// read when Faults is set).
 	FaultSeed uint64
-	// Budget, when in (0,1), installs the probe-budget scheduler: links
+	// Budget, when positive, installs the probe-budget scheduler: links
 	// are ranked by marginal utility (streaming CUSUM evidence,
 	// loss-rate variance, diurnal-window proximity) and probed at
 	// adaptive power-of-two periods so the campaign spends at most
 	// Budget of the full-rate probe count — flat links back off to a
 	// heartbeat floor and plateau-stop, suspected level shifts densify
 	// to full rate. Results are bit-identical per (Budget, BudgetSeed)
-	// for any Workers × BatchSteps (see internal/budget). 0 or 1
-	// probes everything (the default).
+	// for any Workers × BatchSteps (see internal/budget). A budget of
+	// 1 (or above, clamped) still runs the scheduler — every link at
+	// period 1, spend parity with unscheduled probing — so full-budget
+	// runs exercise the same code path as 99.9 %. 0 (the default)
+	// disables the scheduler entirely.
 	Budget float64
 	// BudgetSeed perturbs the budget scheduler's probe interleaving
 	// independently of Seed (only read when Budget is enabled).
 	BudgetSeed uint64
+	// CheckpointDir, when non-empty, serializes the engine's full
+	// measurement state into the directory every CheckpointEvery of
+	// virtual time at a batch barrier (internal/checkpoint,
+	// DESIGN.md §15). Results are bit-identical with checkpointing on
+	// or off.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time checkpoint cadence (default
+	// 24 h of campaign time when CheckpointDir is set).
+	CheckpointEvery time.Duration
+	// Resume loads the newest valid checkpoint from CheckpointDir and
+	// resumes the campaign from its barrier, bit-identical to an
+	// uninterrupted run. A checkpoint from a differently-configured
+	// run fails loudly; an empty directory starts fresh.
+	Resume bool
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 	// Telemetry, when non-nil, instruments the campaign: counters,
@@ -140,6 +157,12 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Shards:      cfg.Shards,
 		Progress:    cfg.Progress,
 		Telemetry:   cfg.Telemetry,
+
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: simclock.Duration(cfg.CheckpointEvery),
+	}
+	if cfg.Resume {
+		ecfg.ResumeFrom = cfg.CheckpointDir
 	}
 	if cfg.Scale > 1 {
 		// Continent scale: swap the authored paper world for a
@@ -151,7 +174,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 	if cfg.Faults {
 		ecfg.Faults = &faults.Config{Seed: cfg.FaultSeed}
 	}
-	if cfg.Budget > 0 && cfg.Budget < 1 {
+	if cfg.Budget > 0 {
 		ecfg.Budget = &budget.Config{Fraction: cfg.Budget, Seed: cfg.BudgetSeed}
 	}
 	start := simclock.Time(0).Add(time.Duration(cfg.StartOffsetDays) * 24 * time.Hour)

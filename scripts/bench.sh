@@ -25,7 +25,7 @@ trap 'rm -f "$RAW"' EXIT
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$|BenchmarkCheckpoint$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 # BenchmarkScaleCampaign rides in the multi-proc pass: its 10x/100x

@@ -114,7 +114,7 @@ func main() {
 		Benchmarks:       benches,
 	}}
 	if *cores == 1 {
-		ledger.Notes = append(ledger.Notes, "scaling_unverified")
+		ledger.Notes = addNote(ledger.Notes, "scaling_unverified")
 		fmt.Fprintln(os.Stderr,
 			"benchjson: note: scaling_unverified — this row was recorded on a single effective core; multi-worker numbers measure time-sharing, not speedup")
 	}
@@ -133,6 +133,19 @@ func main() {
 	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 		fatal("benchjson: %v", err)
 	}
+}
+
+// addNote appends note to a Run's Notes unless it is already present.
+// Notes are a set of machine-readable caveats, so stamping one twice —
+// a plain append did exactly that on every single-core record run —
+// must not produce a duplicate entry in the committed ledger.
+func addNote(notes []string, note string) []string {
+	for _, n := range notes {
+		if n == note {
+			return notes
+		}
+	}
+	return append(notes, note)
 }
 
 // parseRaw extracts Benchmark lines from a `go test -bench` log.

@@ -236,6 +236,23 @@ func TestWarnBudgetSpend(t *testing.T) {
 	}
 }
 
+func TestAddNoteDeduplicates(t *testing.T) {
+	// Regression: the single-core caveat was stamped with a plain
+	// append, so a note already present (or stamped twice) duplicated
+	// in the committed ledger row. addNote must be idempotent and
+	// leave unrelated notes alone.
+	notes := addNote(nil, "scaling_unverified")
+	notes = addNote(notes, "scaling_unverified")
+	if len(notes) != 1 || notes[0] != "scaling_unverified" {
+		t.Fatalf("addNote duplicated: %v", notes)
+	}
+	notes = addNote(notes, "other_caveat")
+	notes = addNote(notes, "scaling_unverified")
+	if len(notes) != 2 {
+		t.Fatalf("addNote with mixed notes: %v, want 2 distinct entries", notes)
+	}
+}
+
 func TestGuardMatchesByNameAndProcs(t *testing.T) {
 	// The guard is warn-only; here we only pin that it does not crash
 	// on a baseline missing the procs field (pre-field ledgers) and on

@@ -96,6 +96,38 @@ wait "$OBS_PID" 2>/dev/null || true
 rm -rf "$OBS_OUT"
 echo "metrics endpoint OK"
 
+echo "== checkpoint-restart smoke (kill -9 mid-campaign, resume, byte-identical) =="
+# An uninterrupted faulted+budgeted campaign prints its result digest;
+# the same campaign is then run with barrier checkpointing, killed with
+# SIGKILL once the first snapshot lands (a fast runner may finish
+# first — then the kill is a no-op and resume still replays from the
+# newest barrier), and resumed. The resumed digest must match the
+# uninterrupted one bit for bit.
+CKPT_TMP="$(mktemp -d)"
+trap 'rm -rf "$CKPT_TMP"' EXIT
+go build -o "$CKPT_TMP/repro" ./cmd/repro
+REPRO_ARGS=(-days 4 -scale 0.05 -no-loss -faults -budget 0.5 -budget-seed 1 -quiet -result-sha)
+REF_SHA="$(GOMAXPROCS=4 "$CKPT_TMP/repro" "${REPRO_ARGS[@]}" | grep '^result sha256:')"
+[ -n "$REF_SHA" ] || { echo "FAIL: reference run printed no result digest"; exit 1; }
+GOMAXPROCS=4 "$CKPT_TMP/repro" "${REPRO_ARGS[@]}" \
+  -checkpoint-dir "$CKPT_TMP/snaps" -checkpoint-every 12h >/dev/null 2>&1 &
+CKPT_PID=$!
+for _ in $(seq 1 240); do
+  if ls "$CKPT_TMP/snaps"/ckpt-*.bin >/dev/null 2>&1; then break; fi
+  kill -0 "$CKPT_PID" 2>/dev/null || break
+  sleep 0.25
+done
+kill -9 "$CKPT_PID" 2>/dev/null || true
+wait "$CKPT_PID" 2>/dev/null || true
+ls "$CKPT_TMP/snaps"/ckpt-*.bin >/dev/null 2>&1 \
+  || { echo "FAIL: no checkpoint written before the kill"; exit 1; }
+RES_SHA="$(GOMAXPROCS=4 "$CKPT_TMP/repro" "${REPRO_ARGS[@]}" \
+  -checkpoint-dir "$CKPT_TMP/snaps" -resume | grep '^result sha256:')"
+[ "$REF_SHA" = "$RES_SHA" ] \
+  || { echo "FAIL: resumed run differs from uninterrupted: '$RES_SHA' vs '$REF_SHA'"; exit 1; }
+rm -rf "$CKPT_TMP"
+echo "checkpoint restart OK (${REF_SHA#result sha256: })"
+
 echo "== bench smoke (1 iteration each) =="
 SMOKE="$(mktemp)"
 trap 'rm -f "$SMOKE"' EXIT
