@@ -95,6 +95,32 @@ func BenchmarkBudgetCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkAlertLatency runs the streaming observatory's detection-lag
+// experiment (internal/experiments.RunStreamAlertLatency): a 7-day
+// campaign over the 10× generated world per budget fraction, with the
+// streaming service attached. ns/op is the experiment's cost; the
+// alert_latency_p50_s / alert_latency_p95_s metrics record the
+// virtual-time lag from planted congestion onset to the first
+// streaming alert, which the benchjson guard sanity-checks (warn-only:
+// lags must be positive and inside the campaign week, p95 ≥ p50).
+func BenchmarkAlertLatency(b *testing.B) {
+	for _, pct := range []int{100, 50} {
+		b.Run(fmt.Sprintf("budget=%d", pct), func(b *testing.B) {
+			var row experiments.StreamAlertLatency
+			for i := 0; i < b.N; i++ {
+				rows := experiments.RunStreamAlertLatency([]float64{float64(pct) / 100})
+				row = rows[0]
+			}
+			if row.Truth == 0 || row.Alerted == 0 {
+				b.Fatal("no planted congestion alerted; the latency metrics are vacuous")
+			}
+			b.ReportMetric(float64(row.Alerted)/float64(row.Truth), "alerted_fraction")
+			b.ReportMetric(time.Duration(row.P50).Seconds(), "alert_latency_p50_s")
+			b.ReportMetric(time.Duration(row.P95).Seconds(), "alert_latency_p95_s")
+		})
+	}
+}
+
 // BenchmarkCheckpoint measures the barrier snapshot write path —
 // gob-encoding the full measurement state (collector grids, loss
 // batches, CUSUM streams, rate ladders, arena bytes) plus the CRC

@@ -28,12 +28,23 @@
 // telemetry snapshot at /metrics (and expvar at /debug/vars) while
 // probing progresses; -metrics writes the final snapshot as JSON and
 // the report gains a telemetry section. -metrics-linger keeps the
-// endpoint up after the run so scrapers can collect the final state.
+// endpoint up after the run so scrapers can collect the final state
+// (the observatory heartbeats its final barrier on /stream while
+// lingering).
+// The same port carries the streaming observatory's live API (unless
+// -no-live): GET /links is the paged per-link status table, GET
+// /links/{id} the detail view, GET /alerts the since-cursor alert log
+// (?wait=1 long-polls), and GET /stream an SSE feed of barrier
+// updates — each alert a timestamped clear → suspected → congested
+// transition from the online level-shift detectors, raised as virtual
+// time advances rather than at campaign end. Attaching the service
+// never changes campaign results (DESIGN.md §16).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -78,6 +89,7 @@ func run() error {
 		metricsOut    = flag.String("metrics", "", "write a campaign telemetry snapshot (JSON) to this file at exit")
 		metricsAddr   = flag.String("metrics-addr", "", "serve live telemetry at http://ADDR/metrics during the run")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run completes")
+		noLive        = flag.Bool("no-live", false, "do not mount the streaming observatory API (/links, /alerts, /stream) on -metrics-addr")
 		ckptDir       = flag.String("checkpoint-dir", "", "snapshot the campaign's measurement state into this directory at batch barriers")
 		ckptEvery     = flag.Duration("checkpoint-every", 0, "virtual-time cadence between checkpoints (0 = default 24h; only with -checkpoint-dir)")
 		doResume      = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run)")
@@ -95,6 +107,7 @@ func run() error {
 	}()
 
 	var tele *afrixp.Telemetry
+	var live *afrixp.Observatory
 	if *metricsOut != "" || *metricsAddr != "" {
 		tele = afrixp.NewTelemetry()
 		if *metricsOut != "" {
@@ -107,19 +120,39 @@ func run() error {
 			}()
 		}
 		if *metricsAddr != "" {
-			srv, err := tele.Serve(*metricsAddr)
+			var mounts []func(*http.ServeMux)
+			if !*noLive {
+				live = afrixp.NewObservatory(afrixp.ObservatoryConfig{})
+				mounts = append(mounts, live.Mount)
+			}
+			srv, err := tele.Serve(*metricsAddr, mounts...)
 			if err != nil {
 				return err
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/metrics\n", srv.Addr())
+			if live != nil {
+				fmt.Fprintf(os.Stderr, "observatory: live at http://%s/links /alerts /stream\n", srv.Addr())
+			}
 			if *metricsLinger > 0 {
 				// Linger before the deferred Close so a scraper (or the
-				// CI smoke test) can read the post-run state.
+				// CI smoke test) can read the post-run state. While
+				// lingering, republish the observatory's final barrier
+				// once a second: ObserveBarrier at an unchanged barrier
+				// feeds no slots and raises no alerts, but it does emit
+				// an SSE heartbeat, so a /stream subscriber that
+				// connects after the campaign finished still sees
+				// barrier events instead of a silent socket.
 				defer func() {
 					fmt.Fprintf(os.Stderr, "telemetry: lingering %v on http://%s/metrics\n",
 						*metricsLinger, srv.Addr())
-					time.Sleep(*metricsLinger)
+					deadline := time.Now().Add(*metricsLinger)
+					for time.Now().Before(deadline) {
+						time.Sleep(time.Second)
+						if live != nil {
+							live.ObserveBarrier(live.Barrier())
+						}
+					}
 				}()
 			}
 		}
@@ -135,7 +168,7 @@ func run() error {
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *doResume,
-		Progress: os.Stderr, Telemetry: tele,
+		Progress: os.Stderr, Telemetry: tele, Observatory: live,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n", time.Since(start).Round(time.Second))
 
@@ -175,6 +208,10 @@ func run() error {
 		fmt.Fprintf(rf, "probe budget %.0f%%: %d rounds sent, %d skipped (%.1f%% of schedule)\n",
 			100**budgetFrac, rounds, skipped,
 			100*float64(rounds)/float64(rounds+skipped))
+	}
+	if live != nil {
+		fmt.Fprintf(rf, "\nstreaming observatory: %d links watched, %d alerts raised through %s\n",
+			live.NumLinks(), live.TotalAlerts(), live.Barrier())
 	}
 	if tele != nil {
 		fmt.Fprintln(rf)

@@ -51,8 +51,12 @@
 //
 // -metrics writes a campaign telemetry snapshot (JSON) at exit;
 // -metrics-addr serves the same snapshot live at /metrics (plus the
-// standard expvar surface at /debug/vars) while the run progresses.
-// Telemetry is strictly read-side: results are unchanged by it.
+// standard expvar surface at /debug/vars) while the run progresses,
+// and carries the streaming observatory's API on the same port:
+// /links, /links/{id}, /alerts (since-cursor, ?wait=1 long-polls),
+// and /stream (SSE barrier feed from the online level-shift
+// detectors). Telemetry and observatory are strictly read-side:
+// results are unchanged by them.
 //
 // With no selection flags, everything is produced. The default run
 // covers the paper's full 13-month campaign at scale 1.0; use -days
@@ -137,6 +141,7 @@ func run() error {
 	}()
 
 	var tele *afrixp.Telemetry
+	var live *afrixp.Observatory
 	if *metricsOut != "" || *metricsAddr != "" {
 		tele = afrixp.NewTelemetry()
 		if *metricsOut != "" {
@@ -151,12 +156,17 @@ func run() error {
 			}()
 		}
 		if *metricsAddr != "" {
-			srv, err := tele.Serve(*metricsAddr)
+			// The streaming observatory rides beside /metrics: the live
+			// link table, alert log, and SSE stream of the campaign's
+			// online detectors. Read-side only — results are unchanged.
+			live = afrixp.NewObservatory(afrixp.ObservatoryConfig{})
+			srv, err := tele.Serve(*metricsAddr, live.Mount)
 			if err != nil {
 				return err
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/metrics\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "observatory: live at http://%s/links /alerts /stream\n", srv.Addr())
 		}
 	}
 
@@ -188,7 +198,7 @@ func run() error {
 		Faults: *doFaults, FaultSeed: *faultSeed,
 		Budget: *budgetFrac, BudgetSeed: *budgetSeed,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *doResume,
-		Progress: progress, Telemetry: tele,
+		Progress: progress, Telemetry: tele, Observatory: live,
 	})
 	fmt.Fprintf(os.Stderr, "campaign finished in %v\n\n", time.Since(start).Round(time.Second))
 

@@ -175,6 +175,67 @@ func (c *Collector) Series() LinkSeries {
 	return LinkSeries{Target: c.TSLP.Target, Near: c.near, Far: c.far}
 }
 
+// AggSpan returns the aggregated grid geometry: the grid origin, the
+// bin width, and the slot count.
+func (c *Collector) AggSpan() (start simclock.Time, step simclock.Duration, n int) {
+	return c.aggStart, c.aggStep, c.nAgg
+}
+
+// FinalizedBefore returns how many leading aggregated slots can no
+// longer change once every probing step strictly before t has run:
+// exactly the bins whose window closes at or before t. The streaming
+// observatory feeds its detectors from this frontier at batch
+// barriers — samples land min-filtered into a bin until virtual time
+// passes its end, so only closed bins are safe to read incrementally.
+func (c *Collector) FinalizedBefore(t simclock.Time) int {
+	if t <= c.aggStart {
+		return 0
+	}
+	n := int(t.Sub(c.aggStart) / c.aggStep)
+	if n > c.nAgg {
+		n = c.nAgg
+	}
+	return n
+}
+
+// CopyAgg copies aggregated slots [from, from+len(near)) of both
+// series into caller-owned buffers (near and far must be the same
+// length). Unlike Series it never seals the chunked builders, so it
+// is safe mid-campaign: the engine's write path continues bit-for-bit
+// as if the read never happened. Allocation-free.
+func (c *Collector) CopyAgg(from int, near, far []float64) {
+	if c.nearB != nil && c.nearS == nil {
+		c.nearB.CopyRange(from, near)
+		c.farB.CopyRange(from, far)
+		return
+	}
+	ns, fs := c.near, c.far
+	if c.nearS != nil {
+		ns, fs = c.nearS, c.farS
+	}
+	copySeriesRange(ns, from, near)
+	copySeriesRange(fs, from, far)
+}
+
+// copySeriesRange copies slots [from, from+len(dst)) of s into dst,
+// backing-agnostic. The chunked walk decodes every block up to the
+// range end; it only runs on sealed series (the mid-campaign fast
+// path reads the builders directly), where the cost is a one-off.
+func copySeriesRange(s *timeseries.Series, from int, dst []float64) {
+	if !s.Chunked() {
+		copy(dst, s.Values[from:from+len(dst)])
+		return
+	}
+	to := from + len(dst)
+	s.Each(func(base int, vals []float64) {
+		for k, v := range vals {
+			if i := base + k; i >= from && i < to {
+				dst[i-from] = v
+			}
+		}
+	})
+}
+
 // FullRes returns the native-resolution window series (nil when not
 // configured).
 func (c *Collector) FullRes() (near, far *timeseries.Series) {

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"afrixp/internal/cusum"
+	"afrixp/internal/diurnal"
+	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+)
+
+// StreamState is a link's live status in the streaming observatory —
+// the online projection of the batch pipeline's verdict ladder:
+// StreamClear ↔ not flagged, StreamSuspected ↔ flagged with a flat
+// near end ("potentially congested" in Table 1 terms), and
+// StreamCongested once the recurring diurnal pattern confirms.
+type StreamState int8
+
+// Streaming link states.
+const (
+	StreamClear StreamState = iota
+	StreamSuspected
+	StreamCongested
+)
+
+// String names the state for the API and alert log.
+func (s StreamState) String() string {
+	switch s {
+	case StreamSuspected:
+		return "suspected"
+	case StreamCongested:
+		return "congested"
+	default:
+		return "clear"
+	}
+}
+
+// StreamTransition is one timestamped state change on one link — the
+// observatory's alert unit. At is the virtual time of the aggregated
+// slot whose evidence crossed, NOT the wall/barrier time it was
+// computed at, which is what keeps the alert log invariant across
+// Workers × BatchSteps × Shards.
+type StreamTransition struct {
+	At       simclock.Time
+	From, To StreamState
+	// ThresholdMs is the magnitude threshold in force.
+	ThresholdMs float64
+	// MagnitudeMs is the estimated level-shift magnitude (current fast
+	// level minus frozen pre-shift baseline) at the transition.
+	MagnitudeMs float64
+	// Evidence is the far-end rank-CUSUM evidence at the transition.
+	Evidence float64
+}
+
+// StreamConfig tunes a StreamDetector.
+type StreamConfig struct {
+	// ThresholdMs is the level-shift magnitude threshold, as in the
+	// batch Config. Default 10 (the paper's operating point).
+	ThresholdMs float64
+	// EvidenceOn is the far-end rank-CUSUM evidence needed to promote
+	// Clear → Suspected. Default 8 rank-sigma.
+	EvidenceOn float64
+	// EvidenceOff is the evidence floor below which (together with a
+	// collapsed magnitude) a link demotes back to Clear. It also gates
+	// the pre-shift baseline freeze. Default 2.
+	EvidenceOff float64
+	// NearFlatMs bounds the near end's own magnitude estimate: a link
+	// only promotes while the near shift stays under it, mirroring the
+	// batch pipeline's NearFlat gate. Default: the analysis threshold.
+	NearFlatMs float64
+	// HoldSlots is how many consecutive qualifying slots the demotion
+	// condition must hold before a non-clear link demotes — diurnal
+	// congestion relaxes every off-peak night, and the batch pipeline
+	// treats the whole epoch as one event, so demotion must survive a
+	// full day of quiet. Default 48 slots (one day at 30-minute bins).
+	HoldSlots int
+	// Rank tunes the far-end rank-CUSUM tap.
+	Rank cusum.RankStreamConfig
+	// Near tunes the near-end rank-CUSUM tap (the "is the shift really
+	// at this link" guard). A rank tap, not an EWMA one, for the same
+	// reason as the far end: a diurnal ramp is slow enough for an EWMA
+	// baseline to absorb, while a ~3-day rank window still sees it.
+	Near cusum.RankStreamConfig
+	// Diurnal gates Suspected → Congested. Defaults follow the online
+	// monitor: MinDays 3 (an operator wants confirmation in days, not
+	// the batch detector's 5) and MinAmplitudeMs ThresholdMs·0.8.
+	Diurnal diurnal.Config
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.ThresholdMs <= 0 {
+		c.ThresholdMs = 10
+	}
+	if c.EvidenceOn <= 0 {
+		c.EvidenceOn = 8
+	}
+	if c.EvidenceOff <= 0 {
+		c.EvidenceOff = 2
+	}
+	if c.NearFlatMs <= 0 {
+		c.NearFlatMs = c.ThresholdMs
+	}
+	if c.HoldSlots <= 0 {
+		c.HoldSlots = 48
+	}
+	if c.Diurnal.MinDays <= 0 {
+		c.Diurnal.MinDays = 3
+	}
+	if c.Diurnal.MinAmplitudeMs <= 0 {
+		c.Diurnal.MinAmplitudeMs = c.ThresholdMs * 0.8
+	}
+	return c
+}
+
+// StreamDetector is the incremental per-link counterpart of
+// AnalyzeLink: fed one finalized aggregated slot at a time it keeps
+// (1) a rank-CUSUM over the far end for robust level-shift evidence,
+// (2) a frozen-baseline magnitude estimate, (3) an EWMA-CUSUM over
+// the near end to reject shifts upstream of the link, and (4) an
+// incremental diurnal fold to confirm the recurring daily pattern —
+// and walks the clear → suspected → congested ladder the moment the
+// evidence crosses, instead of at campaign end.
+//
+// The detector's outputs steer *alert timing only*; end-of-campaign
+// verdicts always come from the batch sweep over the full collected
+// series, which is how bit-identity with AnalyzeLinkSweep is kept (see
+// DESIGN.md §16). Everything here is a pure function of the fed
+// (time, near, far) sequence, so the alert log itself is also
+// deterministic. Allocation-free after New.
+type StreamDetector struct {
+	cfg  StreamConfig
+	far  *cusum.RankStream
+	near *cusum.RankStream
+	fold *diurnal.StreamFold
+
+	// Magnitude estimates per end: slow tracks the pre-shift level
+	// (frozen while that end's evidence is elevated so the shift cannot
+	// leak in), fast tracks the current level.
+	farLvl, nearLvl levelTrack
+
+	state    StreamState
+	holdDown int // consecutive slots the demotion condition held
+}
+
+// levelTrack is a two-speed EWMA level estimator; magnitude is the
+// fast (current) level minus the slow (pre-shift) baseline.
+type levelTrack struct {
+	slow, fast float64
+	primed     bool
+}
+
+func (l *levelTrack) observe(v float64, freeze bool) {
+	if !l.primed {
+		l.slow, l.fast, l.primed = v, v, true
+		return
+	}
+	l.fast += streamFastAlpha * (v - l.fast)
+	if !freeze {
+		l.slow += streamSlowAlpha * (v - l.slow)
+	}
+}
+
+func (l *levelTrack) magnitude() float64 {
+	if !l.primed {
+		return 0
+	}
+	if m := l.fast - l.slow; m > 0 {
+		return m
+	}
+	return 0
+}
+
+func (l *levelTrack) reset() { l.slow, l.fast, l.primed = 0, 0, false }
+
+// NewStreamDetector builds a per-link detector.
+func NewStreamDetector(cfg StreamConfig) *StreamDetector {
+	cfg = cfg.withDefaults()
+	return &StreamDetector{
+		cfg:  cfg,
+		far:  cusum.NewRankStream(cfg.Rank),
+		near: cusum.NewRankStream(cfg.Near),
+		fold: diurnal.NewStreamFold(cfg.Diurnal),
+	}
+}
+
+// EWMA smoothing factors for the magnitude estimate, per 30-minute
+// slot: slow ≈ 4-day memory, fast ≈ 2.5-hour memory.
+const (
+	streamSlowAlpha = 0.005
+	streamFastAlpha = 0.2
+)
+
+// Observe feeds one finalized aggregated slot (virtual time t, near
+// and far RTT in ms, Missing allowed) and reports the state
+// transition it caused, if any. Allocation-free.
+func (d *StreamDetector) Observe(t simclock.Time, nearMs, farMs float64) (StreamTransition, bool) {
+	d.fold.Observe(t, farMs)
+	if !timeseries.IsMissing(nearMs) {
+		d.near.Observe(nearMs)
+		d.nearLvl.observe(nearMs, d.near.Evidence() >= d.cfg.EvidenceOff)
+	}
+	if timeseries.IsMissing(farMs) {
+		return StreamTransition{}, false
+	}
+	d.far.Observe(farMs)
+	// Freeze the pre-shift baseline while any meaningful evidence is
+	// accumulating so the shifted regime cannot absorb into it.
+	d.farLvl.observe(farMs, d.far.Evidence() >= d.cfg.EvidenceOff)
+	return d.step(t)
+}
+
+// step evaluates the state machine after a slot lands.
+func (d *StreamDetector) step(t simclock.Time) (StreamTransition, bool) {
+	ev := d.far.Evidence()
+	mag := d.MagnitudeMs()
+	quiet := ev < d.cfg.EvidenceOff && mag < d.cfg.ThresholdMs/2
+	if quiet {
+		d.holdDown++
+	} else {
+		d.holdDown = 0
+	}
+	from := d.state
+	switch d.state {
+	case StreamClear:
+		if ev >= d.cfg.EvidenceOn && d.far.Upward() && mag >= d.cfg.ThresholdMs &&
+			d.nearLvl.magnitude() < d.cfg.NearFlatMs {
+			d.state = StreamSuspected
+		}
+	case StreamSuspected:
+		if d.fold.Snapshot().Decide(d.cfg.Diurnal).Diurnal {
+			d.state = StreamCongested
+		} else if d.holdDown >= d.cfg.HoldSlots {
+			d.state = StreamClear
+		}
+	case StreamCongested:
+		if d.holdDown >= d.cfg.HoldSlots {
+			d.state = StreamClear
+		}
+	}
+	if d.state == from {
+		return StreamTransition{}, false
+	}
+	d.holdDown = 0
+	return StreamTransition{
+		At:          t,
+		From:        from,
+		To:          d.state,
+		ThresholdMs: d.cfg.ThresholdMs,
+		MagnitudeMs: mag,
+		Evidence:    ev,
+	}, true
+}
+
+// State is the link's current streaming status.
+func (d *StreamDetector) State() StreamState { return d.state }
+
+// Evidence is the current far-end rank-CUSUM evidence.
+func (d *StreamDetector) Evidence() float64 { return d.far.Evidence() }
+
+// MagnitudeMs is the current far-end level-shift magnitude estimate
+// (fast level minus frozen pre-shift baseline, floored at zero).
+func (d *StreamDetector) MagnitudeMs() float64 { return d.farLvl.magnitude() }
+
+// Snapshot is the incremental diurnal fold's verdict so far, gated by
+// the detector's diurnal config.
+func (d *StreamDetector) Snapshot() diurnal.Verdict {
+	return d.fold.Snapshot().Decide(d.cfg.Diurnal)
+}
+
+// Profile appends the current day-folded far-end profile to dst — the
+// /links/{id} diurnal surface.
+func (d *StreamDetector) Profile(dst []float64) []float64 {
+	return d.fold.Profile(dst)
+}
+
+// Reset clears all accumulated state, keeping tuning and allocations —
+// the checkpoint-resume replay path re-feeds from slot zero.
+func (d *StreamDetector) Reset() {
+	d.far.Reset()
+	d.near.Reset()
+	d.fold.Reset()
+	d.farLvl.reset()
+	d.nearLvl.reset()
+	d.state = StreamClear
+	d.holdDown = 0
+}

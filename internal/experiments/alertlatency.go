@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"sort"
 	"time"
 
+	"afrixp/internal/budget"
+	"afrixp/internal/interview"
 	"afrixp/internal/monitor"
+	"afrixp/internal/observatory"
 	"afrixp/internal/prober"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
+	"afrixp/internal/timeseries"
+	"afrixp/internal/worldgen"
 )
 
 // AlertLatency is one case link's online-detection timing: how long
@@ -86,4 +92,96 @@ func RunAlertLatency(opts scenario.Options) ([]AlertLatency, error) {
 		out = append(out, al)
 	}
 	return out, nil
+}
+
+// StreamAlertLatency is the streaming observatory's detection-lag
+// distribution over planted ground truth at one probe-budget fraction:
+// how long of virtual time passed between annotated congestion onset
+// and the first streaming alert (any transition out of "clear") on
+// each truly-congested link.
+type StreamAlertLatency struct {
+	// Budget is the probe-budget fraction this row ran under.
+	Budget float64
+	// Truth counts the annotated congested links the campaign probed.
+	Truth int
+	// Alerted counts those whose streaming detector raised any alert.
+	Alerted int
+	// P50/P95 are virtual-time lag quantiles over the alerted links.
+	P50, P95 simclock.Duration
+}
+
+// RunStreamAlertLatency measures the observatory's alert latency on a
+// 10× generated world: one 7-day campaign per budget fraction with the
+// streaming service attached, lag measured per annotated congested
+// link from ground-truth onset (the annotation's first congested
+// phase, clamped to the campaign start) to the first streaming alert.
+// Where RunAlertLatency times the per-link window monitor on the two
+// paper case studies, this times the campaign-wide streaming detector
+// on planted truth — and quantifies what probing at half budget costs
+// in notification delay.
+func RunStreamAlertLatency(budgets []float64) []StreamAlertLatency {
+	iv := simclock.Interval{
+		Start: simclock.Date(2016, time.July, 20),
+		End:   simclock.Date(2016, time.July, 27),
+	}
+	out := make([]StreamAlertLatency, 0, len(budgets))
+	for _, frac := range budgets {
+		svc := observatory.New(observatory.Config{})
+		res := Run(Config{
+			BuildWorld: func() *scenario.World {
+				return worldgen.Generate(worldgen.Options{Seed: 7, Scale: 10})
+			},
+			Campaign:    iv,
+			Workers:     8,
+			Shards:      2,
+			Budget:      &budget.Config{Fraction: frac, Seed: 1},
+			Observatory: svc,
+		})
+
+		// First alert per link, one pass over the ordered log.
+		alerts, _ := svc.AlertsSince(0, 0, nil)
+		firstAt := make(map[string]simclock.Time, len(alerts))
+		for _, a := range alerts {
+			if a.To == "clear" {
+				continue
+			}
+			if _, ok := firstAt[a.Link]; !ok {
+				firstAt[a.Link] = simclock.Time(a.AtNs)
+			}
+		}
+
+		row := StreamAlertLatency{Budget: frac}
+		var lags []float64
+		for _, vr := range res.VPs {
+			for _, lr := range vr.SortedLinks() {
+				ann, ok := res.World.Interviews.Find(vr.VP.ID, lr.Target)
+				if !ok || !ann.CongestedTruth {
+					continue
+				}
+				row.Truth++
+				at, ok := firstAt[observatory.LinkID(vr.VP.ID, lr.Target)]
+				if !ok {
+					continue
+				}
+				row.Alerted++
+				onset := iv.Start
+				for _, ph := range ann.Phases {
+					if ph.Cause != interview.CauseNone && ph.Cause != "" {
+						if ph.Interval.Start > onset {
+							onset = ph.Interval.Start
+						}
+						break
+					}
+				}
+				lags = append(lags, float64(at.Sub(onset)))
+			}
+		}
+		if len(lags) > 0 {
+			sort.Float64s(lags)
+			row.P50 = simclock.Duration(timeseries.QuantileSorted(lags, 0.5))
+			row.P95 = simclock.Duration(timeseries.QuantileSorted(lags, 0.95))
+		}
+		out = append(out, row)
+	}
+	return out
 }

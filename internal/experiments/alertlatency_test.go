@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
 )
 
 func TestAlertLatency(t *testing.T) {
@@ -41,5 +42,36 @@ func TestAlertLatency(t *testing.T) {
 	}
 	if gh.Cleared {
 		t.Fatal("GHANATEL was never mitigated in-window")
+	}
+}
+
+// TestStreamAlertLatency runs the observatory's latency experiment at
+// full and half probe budget over the 10× generated world: planted
+// congestion must be discovered and alerted on within the campaign
+// window, and starving the prober must not make notification faster.
+func TestStreamAlertLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10x-world latency experiment skipped in -short")
+	}
+	rows := RunStreamAlertLatency([]float64{1, 0.5})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	week := 7 * 24 * time.Hour
+	for _, r := range rows {
+		t.Logf("budget %.0f%%: %d/%d alerted, p50 %v, p95 %v",
+			100*r.Budget, r.Alerted, r.Truth, r.P50, r.P95)
+		if r.Truth < 10 {
+			t.Fatalf("budget %v: campaign saw %d annotated truth links, want ≥ 10", r.Budget, r.Truth)
+		}
+		if r.Alerted*2 < r.Truth {
+			t.Errorf("budget %v: only %d/%d truth links alerted", r.Budget, r.Alerted, r.Truth)
+		}
+		if r.P50 <= 0 || r.P50 > simclock.Duration(week) {
+			t.Errorf("budget %v: p50 lag %v outside (0, one week]", r.Budget, r.P50)
+		}
+		if r.P95 < r.P50 {
+			t.Errorf("budget %v: p95 %v < p50 %v", r.Budget, r.P95, r.P50)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"afrixp/internal/faults"
 	"afrixp/internal/loss"
 	"afrixp/internal/netsim"
+	"afrixp/internal/observatory"
 	"afrixp/internal/prober"
 	"afrixp/internal/scenario"
 	"afrixp/internal/simclock"
@@ -50,6 +51,11 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	var collectors []*analysis.Collector
 	var tslps []*prober.TSLP
 	var outage *faults.Outage
+	// Streaming observatory attached, as the engine attaches it: the
+	// barrier-time detector feed (finalized-slot copy, rank-CUSUM and
+	// diurnal-fold updates, alert-ring append) joins the per-round bill
+	// and must stay off the heap with no subscribers connected.
+	svc := observatory.New(observatory.Config{})
 	for _, vp := range w.VPs {
 		if len(vp.CaseLinks) == 0 {
 			continue
@@ -62,8 +68,10 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 				t.Fatalf("NewTSLP(%v): %v", target, err)
 			}
 			tslps = append(tslps, ts)
-			collectors = append(collectors, analysis.NewCollector(ts,
-				analysis.CollectorConfig{Campaign: campaign, Step: step, Arena: arena}))
+			col := analysis.NewCollector(ts,
+				analysis.CollectorConfig{Campaign: campaign, Step: step, Arena: arena})
+			collectors = append(collectors, col)
+			svc.Watch(vp.ID, target, col, "", false)
 		}
 		break
 	}
@@ -153,6 +161,10 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 		tele.Engine.BatchesOpened.Inc()
 		roundsScheduled++
 		publish()
+		// Observatory barrier feed, exactly as the engine's open step
+		// runs it: advance every link's streaming detector to the
+		// finalized-slot frontier.
+		svc.ObserveBarrier(at)
 		steps[0] = at
 		w.Net.AdvanceQueuesBatch(steps)
 		ref := tele.BeginSpan("probe-batch", "", at)
@@ -243,5 +255,14 @@ func TestSteadyStateProbeStepZeroAlloc(t *testing.T) {
 	}
 	if skippedTotal == 0 {
 		t.Error("budget gate never skipped a round; the budgeted zero-alloc claim is vacuous")
+	}
+	// The observatory-attached claim must not be vacuous: the measured
+	// window must have pushed finalized aggregation slots through the
+	// streaming detectors.
+	if svc.NumLinks() != len(collectors) {
+		t.Errorf("observatory watches %d links, want %d", svc.NumLinks(), len(collectors))
+	}
+	if svc.FedSlots() == 0 {
+		t.Error("observatory fed no finalized slots; the streaming-feed zero-alloc claim is vacuous")
 	}
 }

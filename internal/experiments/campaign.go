@@ -28,6 +28,7 @@ import (
 	"afrixp/internal/loss"
 	"afrixp/internal/netaddr"
 	"afrixp/internal/netsim"
+	"afrixp/internal/observatory"
 	"afrixp/internal/prober"
 	"afrixp/internal/registry"
 	"afrixp/internal/rrcheck"
@@ -132,6 +133,23 @@ type Config struct {
 	// and the steady-state probing step stays allocation-free with
 	// collection enabled (DESIGN.md §11).
 	Telemetry *telemetry.Telemetry
+	// Observatory, when non-nil, attaches the streaming observatory
+	// service (internal/observatory): discovered links are registered
+	// as they appear, and at every batch barrier the service advances
+	// its per-link streaming detectors to the finalized-slot frontier,
+	// emitting live clear/suspected/congested alerts over its HTTP API.
+	// Strictly read-side, like Telemetry: the feed is cursor-based over
+	// finalized aggregation slots with alert timestamps taken from slot
+	// virtual times, so the alert log — and, a fortiori, the campaign
+	// results — stay bit-identical for any Workers × BatchSteps ×
+	// Shards, and the steady-state probing step stays allocation-free
+	// with the service attached (both pinned by tests). After the
+	// analysis phase the engine calls Finalize, which derives the
+	// service's end-of-campaign verdicts from the same batch sweep over
+	// the same frozen series — bit-identical to the engine's own
+	// (DESIGN.md §16). Excluded from the checkpoint manifest: a resumed
+	// run may attach or detach it freely.
+	Observatory *observatory.Service
 	// CheckpointDir, when non-empty, serializes the engine's full
 	// measurement state into the directory every CheckpointEvery of
 	// virtual time (internal/checkpoint, DESIGN.md §15). Checkpoint
@@ -673,6 +691,7 @@ func Run(cfg Config) *Result {
 
 	// Per-VP link slices, refreshed only when discovery grows them, so
 	// the hot loop never walks the Links map.
+	svc := cfg.Observatory
 	links := make([][]*LinkRecord, len(states))
 	refreshLinks := func() {
 		for si, st := range states {
@@ -683,6 +702,16 @@ func Run(cfg Config) *Result {
 					// scheduler; they start at full rate (exploration).
 					for bviews[si].Len() < len(links[si]) {
 						bviews[si].AddLink()
+					}
+				}
+				if svc != nil {
+					// Register newly discovered links with the streaming
+					// observatory (Watch is idempotent by (vp, target);
+					// the service keeps its own sorted feed order, so
+					// registration grouping cannot affect the alert log).
+					for _, lr := range links[si] {
+						svc.Watch(st.vr.VP.ID, lr.Target, lr.Collector,
+							lr.CaseName, lr.Symmetry != nil && !lr.Symmetry.Symmetric)
 					}
 				}
 			}
@@ -999,6 +1028,17 @@ func Run(cfg Config) *Result {
 				sched.RecomputeAt(t)
 			}
 		}
+		if svc != nil && resume == nil {
+			// Streaming observatory feed, last: every earlier batch has
+			// probed all steps strictly before t, so aggregation slots
+			// closing at or before t are final. During checkpoint replay
+			// (resume != nil) collectors are empty and the feed skips;
+			// the restore barrier flips resume to nil above, and this
+			// call then advances each cursor from zero to the frontier
+			// in one sweep — the same per-slot sequence an uninterrupted
+			// run fed, so the alert log is bit-identical across restarts.
+			svc.ObserveBarrier(t)
+		}
 	}
 	// quiescent reports whether step t needs none of open's serialized
 	// work; it runs after every earlier step's open, so the state it
@@ -1063,6 +1103,12 @@ func Run(cfg Config) *Result {
 	pool.close()
 	tele.EndSpan(probeRef, cfg.Campaign.End)
 	publish()
+	if svc != nil {
+		// Drain the tail: slots between the last barrier and campaign
+		// end close at or before End, so one final frontier advance
+		// completes every link's stream.
+		svc.ObserveBarrier(cfg.Campaign.End)
+	}
 
 	// Per-link analysis across the threshold sweep.
 	progress("campaign done; analyzing %s of series (probing took %v)",
@@ -1070,6 +1116,13 @@ func Run(cfg Config) *Result {
 	anaRef := tele.BeginSpan("analysis", "", cfg.Campaign.End)
 	anaWall := time.Now()
 	res.Reanalyze(cfg.Workers)
+	if svc != nil {
+		// The analysis phase sealed every collector; the service now
+		// derives its end-of-campaign verdicts from the same batch
+		// sweep over the same frozen series — bit-identical to
+		// res.Reanalyze's by construction (DESIGN.md §16).
+		svc.Finalize(cfg.Thresholds)
+	}
 	tele.EndSpan(anaRef, cfg.Campaign.End)
 	for _, vr := range res.VPs {
 		progress("%s: %d links analyzed", vr.VP.ID, len(vr.Links))

@@ -15,8 +15,11 @@ type Fleet struct {
 	cfg      Config
 	sessions map[prober.LinkTarget]*fleetEntry
 	order    []prober.LinkTarget
-	// History accumulates every alert raised, in order.
-	History []Alert
+	// history is a bounded ring of the most recent alerts (cap
+	// Config.HistoryCap); histN counts every alert ever raised, so
+	// truncation is visible as TotalAlerts() > len(History()).
+	history []Alert
+	histN   uint64
 }
 
 type fleetEntry struct {
@@ -26,7 +29,11 @@ type fleetEntry struct {
 
 // NewFleet builds an empty fleet.
 func NewFleet(cfg Config) *Fleet {
-	return &Fleet{cfg: cfg, sessions: make(map[prober.LinkTarget]*fleetEntry)}
+	return &Fleet{
+		cfg:      cfg,
+		sessions: make(map[prober.LinkTarget]*fleetEntry),
+		history:  make([]Alert, 0, cfg.withDefaults().HistoryCap),
+	}
 }
 
 // Watch adds a link (idempotent). The TSLP session drives the probes;
@@ -47,16 +54,44 @@ func (f *Fleet) Watch(ts *prober.TSLP) {
 func (f *Fleet) Size() int { return len(f.sessions) }
 
 // Round probes every watched link once and returns the alerts this
-// round raised (also appended to History).
+// round raised (also recorded in the bounded history ring).
 func (f *Fleet) Round(t simclock.Time) []Alert {
 	var alerts []Alert
 	for _, target := range f.order {
 		e := f.sessions[target]
 		alerts = append(alerts, e.mon.Feed(e.tslp.Round(t))...)
 	}
-	f.History = append(f.History, alerts...)
+	f.record(alerts)
 	return alerts
 }
+
+// record commits alerts to the history ring; positions follow from the
+// running count, so eviction never shifts elements.
+func (f *Fleet) record(alerts []Alert) {
+	for _, a := range alerts {
+		if len(f.history) < cap(f.history) {
+			f.history = append(f.history, a)
+		} else {
+			f.history[int(f.histN%uint64(cap(f.history)))] = a
+		}
+		f.histN++
+	}
+}
+
+// History returns the retained alerts, oldest first: the most recent
+// Config.HistoryCap of everything ever raised.
+func (f *Fleet) History() []Alert {
+	out := make([]Alert, 0, len(f.history))
+	first := f.histN - uint64(len(f.history))
+	for i := first; i < f.histN; i++ {
+		out = append(out, f.history[int(i%uint64(cap(f.history)))])
+	}
+	return out
+}
+
+// TotalAlerts counts every alert ever raised, including those the
+// bounded history has evicted.
+func (f *Fleet) TotalAlerts() uint64 { return f.histN }
 
 // Congested returns the targets currently believed congested, sorted.
 func (f *Fleet) Congested() []prober.LinkTarget {

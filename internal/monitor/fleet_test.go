@@ -55,7 +55,7 @@ func TestFleetWatchesWholeVP(t *testing.T) {
 	}
 	// The history carries the onset alert for that link.
 	found := false
-	for _, a := range fleet.History {
+	for _, a := range fleet.History() {
 		if a.Kind == Onset && a.Target == netpage {
 			found = true
 		}
@@ -65,6 +65,32 @@ func TestFleetWatchesWholeVP(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no onset alert in history")
+	}
+}
+
+// TestFleetHistoryBounded pins the history ring's contract: retention
+// caps at Config.HistoryCap, the retained window is the most recent
+// alerts in raise order, and the total count survives eviction.
+func TestFleetHistoryBounded(t *testing.T) {
+	fleet := NewFleet(Config{HistoryCap: 8})
+	for i := 0; i < 20; i++ {
+		fleet.record([]Alert{{Kind: Onset, At: simclock.Time(i)}})
+	}
+	if got := fleet.TotalAlerts(); got != 20 {
+		t.Fatalf("TotalAlerts = %d, want 20", got)
+	}
+	hist := fleet.History()
+	if len(hist) != 8 {
+		t.Fatalf("retained %d alerts, want HistoryCap 8", len(hist))
+	}
+	for i, a := range hist {
+		if want := simclock.Time(12 + i); a.At != want {
+			t.Fatalf("history[%d].At = %v, want %v (most recent tail, oldest first)", i, a.At, want)
+		}
+	}
+	// Defaulted cap: unbounded growth is gone even with a zero config.
+	if def := NewFleet(Config{}); cap(def.history) != 4096 {
+		t.Fatalf("default history cap = %d, want 4096", cap(def.history))
 	}
 }
 

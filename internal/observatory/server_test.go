@@ -1,0 +1,270 @@
+package observatory_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"afrixp/internal/experiments"
+	"afrixp/internal/observatory"
+	"afrixp/internal/scenario"
+	"afrixp/internal/simclock"
+)
+
+// serveCampaign runs the 7-day paper-world case study once with a
+// service attached and hands back the service — the fixture every
+// endpoint test below reads from. Shared across tests via sync.Once:
+// the campaign is the expensive part, the HTTP reads are free.
+var (
+	fixtureOnce sync.Once
+	fixtureSvc  *observatory.Service
+	fixtureEnd  simclock.Time
+)
+
+func serveCampaign(t *testing.T) *observatory.Service {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		svc := observatory.New(observatory.Config{})
+		end := simclock.Date(2016, time.July, 27)
+		experiments.Run(experiments.Config{
+			Opts: scenario.Options{Seed: 5, Scale: 0.1},
+			Campaign: simclock.Interval{
+				Start: simclock.Date(2016, time.July, 20),
+				End:   end,
+			},
+			Workers:     2,
+			BatchSteps:  4096,
+			Observatory: svc,
+		})
+		fixtureSvc = svc
+		fixtureEnd = end
+	})
+	if fixtureSvc == nil {
+		t.Fatal("campaign fixture failed to build")
+	}
+	return fixtureSvc
+}
+
+func getJSON(t *testing.T, h http.Handler, url string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	var body map[string]any
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v", url, err)
+		}
+	}
+	return rec.Code, body
+}
+
+func TestLinksEndpointPaging(t *testing.T) {
+	svc := serveCampaign(t)
+	h := svc.Handler()
+
+	code, body := getJSON(t, h, "/links")
+	if code != http.StatusOK {
+		t.Fatalf("GET /links: status %d", code)
+	}
+	if body["schema"] != observatory.Schema {
+		t.Fatalf("schema = %v, want %v", body["schema"], observatory.Schema)
+	}
+	total := int(body["total"].(float64))
+	if total == 0 {
+		t.Fatal("no links watched; the endpoint test is vacuous")
+	}
+	if body["barrier_ns"].(float64) != float64(fixtureEnd) {
+		t.Errorf("barrier_ns = %v, want campaign end %d", body["barrier_ns"], int64(fixtureEnd))
+	}
+	rows := body["links"].([]any)
+	if len(rows) != total {
+		t.Fatalf("default page returned %d rows, total %d", len(rows), total)
+	}
+	for _, r := range rows {
+		row := r.(map[string]any)
+		for _, key := range []string{"id", "vp", "target", "state", "evidence", "magnitude_ms", "slots"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("links row missing %q: %v", key, row)
+			}
+		}
+		switch row["state"] {
+		case "clear", "suspected", "congested":
+		default:
+			t.Fatalf("row state %q is not a detector state", row["state"])
+		}
+	}
+
+	// One-per-page walk must visit every link exactly once, in id order.
+	var walked []string
+	for page := 1; ; page++ {
+		code, body := getJSON(t, h, fmt.Sprintf("/links?page=%d&per=1", page))
+		if code != http.StatusOK {
+			t.Fatalf("page %d: status %d", page, code)
+		}
+		if int(body["pages"].(float64)) != total {
+			t.Fatalf("per=1 pages = %v, want %d", body["pages"], total)
+		}
+		rows := body["links"].([]any)
+		if len(rows) == 0 {
+			break
+		}
+		walked = append(walked, rows[0].(map[string]any)["id"].(string))
+	}
+	if len(walked) != total {
+		t.Fatalf("paged walk visited %d links, total %d", len(walked), total)
+	}
+	for i := 1; i < len(walked); i++ {
+		if walked[i-1] >= walked[i] {
+			t.Fatalf("paged ids out of order: %q before %q", walked[i-1], walked[i])
+		}
+	}
+}
+
+func TestLinkDetailEndpoint(t *testing.T) {
+	svc := serveCampaign(t)
+	h := svc.Handler()
+
+	_, body := getJSON(t, h, "/links")
+	rows := body["links"].([]any)
+	id := rows[0].(map[string]any)["id"].(string)
+
+	code, detail := getJSON(t, h, "/links/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("GET /links/%s: status %d", id, code)
+	}
+	if detail["schema"] != observatory.Schema {
+		t.Errorf("schema = %v", detail["schema"])
+	}
+	link := detail["link"].(map[string]any)
+	if link["id"] != id {
+		t.Errorf("detail id = %v, want %v", link["id"], id)
+	}
+	diurnal := detail["diurnal"].(map[string]any)
+	for _, key := range []string{"diurnal", "amplitude_ms", "consistency", "peak_hour", "days_evaluated"} {
+		if _, ok := diurnal[key]; !ok {
+			t.Errorf("diurnal snapshot missing %q", key)
+		}
+	}
+	if prof := detail["profile_ms"].([]any); len(prof) == 0 {
+		t.Error("empty day-folded profile after a 7-day campaign")
+	}
+	// The campaign ran to completion, so the batch verdict sweep must be
+	// attached, one entry per threshold with the full decision chain.
+	verdicts, ok := detail["verdicts"].(map[string]any)
+	if !ok || len(verdicts) == 0 {
+		t.Fatalf("no finalized verdicts on %s after campaign end", id)
+	}
+	for thr, v := range verdicts {
+		vm := v.(map[string]any)
+		for _, key := range []string{"flagged", "near_flat", "diurnal", "symmetric", "congested", "class"} {
+			if _, ok := vm[key]; !ok {
+				t.Fatalf("verdict %s missing %q", thr, key)
+			}
+		}
+	}
+
+	if code, _ := getJSON(t, h, "/links/no~such~link"); code != http.StatusNotFound {
+		t.Errorf("unknown link id: status %d, want 404", code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/links", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /links: status %d, want 405", rec.Code)
+	}
+}
+
+func TestAlertsEndpointCursor(t *testing.T) {
+	svc := serveCampaign(t)
+	h := svc.Handler()
+
+	code, body := getJSON(t, h, "/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("GET /alerts: status %d", code)
+	}
+	total := uint64(body["total"].(float64))
+	if total == 0 {
+		t.Fatal("campaign over the congested case-study window emitted no alerts")
+	}
+	alerts := body["alerts"].([]any)
+	if uint64(len(alerts)) != total {
+		t.Fatalf("since=0 returned %d alerts, total %d", len(alerts), total)
+	}
+	for i, a := range alerts {
+		am := a.(map[string]any)
+		if uint64(am["seq"].(float64)) != uint64(i+1) {
+			t.Fatalf("alert %d has seq %v; the log must be gapless from 1", i, am["seq"])
+		}
+		if am["at"] == "" {
+			t.Fatalf("alert %d has no rendered timestamp", i)
+		}
+		if am["to"] == am["from"] {
+			t.Fatalf("alert %d is not a transition: %v", i, am)
+		}
+	}
+	next := uint64(body["next"].(float64))
+	if next != total {
+		t.Fatalf("next cursor = %d, want newest seq %d", next, total)
+	}
+
+	// Resuming from the cursor returns nothing new; a mid-log cursor
+	// returns exactly the tail; limit caps the page.
+	if _, body := getJSON(t, h, fmt.Sprintf("/alerts?since=%d", next)); len(body["alerts"].([]any)) != 0 {
+		t.Error("resuming from the newest cursor returned stale alerts")
+	}
+	if total > 1 {
+		_, body := getJSON(t, h, fmt.Sprintf("/alerts?since=%d", total-1))
+		tail := body["alerts"].([]any)
+		if len(tail) != 1 || uint64(tail[0].(map[string]any)["seq"].(float64)) != total {
+			t.Errorf("since=%d returned %v, want just seq %d", total-1, tail, total)
+		}
+	}
+	_, body = getJSON(t, h, "/alerts?limit=1")
+	if got := body["alerts"].([]any); len(got) != 1 {
+		t.Errorf("limit=1 returned %d alerts", len(got))
+	}
+}
+
+// TestStreamEndpointSmoke holds one SSE watcher over the finished
+// campaign and heartbeats the barrier feed: the watcher must see the
+// hello (with the resume cursor) and at least one barrier event.
+func TestStreamEndpointSmoke(t *testing.T) {
+	svc := serveCampaign(t)
+	h := svc.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := httptest.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil).WithContext(ctx))
+	}()
+	// Heartbeat until the subscriber has certainly attached and been
+	// served, then tear the watcher down.
+	for i := 0; i < 100; i++ {
+		svc.ObserveBarrier(fixtureEnd)
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	out := rec.Body.String()
+	if !strings.Contains(out, "event: hello") {
+		t.Fatalf("no hello event on /stream; got: %.200s", out)
+	}
+	if !strings.Contains(out, observatory.Schema) {
+		t.Error("hello event does not carry the schema")
+	}
+	if !strings.Contains(out, "event: barrier") {
+		t.Fatalf("no barrier event on /stream; got: %.200s", out)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}

@@ -45,13 +45,22 @@ type Server struct {
 // is already accepting — and requests are handled on background
 // goroutines, which is safe because every read path is atomic or
 // mutex-guarded and never perturbs the campaign.
-func (t *Telemetry) Serve(addr string) (*Server, error) {
+//
+// Optional mounts register additional handlers on the same mux —
+// how the streaming observatory's API (internal/observatory) rides
+// beside /metrics on one port. Mounts run before the built-in
+// registrations, so they cannot displace /metrics or /debug/vars
+// (duplicate patterns panic, loudly, at startup).
+func (t *Telemetry) Serve(addr string, mounts ...func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	publishExpvar(t)
 	mux := http.NewServeMux()
+	for _, mount := range mounts {
+		mount(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := t.WriteJSON(w); err != nil {

@@ -316,3 +316,113 @@ func TestServe(t *testing.T) {
 		t.Errorf("expvar afrixp follows stale telemetry: probes = %d, want 456", vars.Afrixp.Probe.Probes)
 	}
 }
+
+// TestServeMounts: extra handlers ride beside /metrics on the same
+// port — the hook the streaming observatory uses — without touching
+// the built-in endpoints.
+func TestServeMounts(t *testing.T) {
+	tele := New()
+	tele.Probe.Probes.Store(7)
+	srv, err := tele.Serve("127.0.0.1:0", func(mux *http.ServeMux) {
+		mux.HandleFunc("/extra", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "mounted")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "mounted" {
+		t.Errorf("/extra = %q", body)
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	resp.Body.Close()
+	if err != nil || s.Schema != SchemaVersion || s.Probe.Probes != 7 {
+		t.Errorf("/metrics broken beside mounts: err=%v schema=%q probes=%d", err, s.Schema, s.Probe.Probes)
+	}
+}
+
+// TestServeScrapeWhilePublishing races live /metrics scrapes against a
+// campaign-shaped publisher hammering every counter family the engine
+// writes at barriers — the exact concurrency a long run with
+// -metrics-addr exhibits. Run under -race in CI; every scrape must
+// still decode as a schema-correct snapshot.
+func TestServeScrapeWhilePublishing(t *testing.T) {
+	tele := New()
+	tele.Engine.SetWorkers(2)
+	tele.Engine.SetShards(1)
+	srv, err := tele.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		at := simclock.Date(2016, time.July, 20)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tele.Engine.BatchesOpened.Inc()
+			tele.Engine.RoundsDispatched.Add(64)
+			tele.Engine.BatchLen.Observe(64)
+			tele.Engine.AddWorkerBusy(i%2, time.Microsecond)
+			tele.Probe.Probes.Store(uint64(i))
+			tele.Probe.Delivered.Store(uint64(i))
+			tele.Probe.RTT.StoreBucket(14, uint64(i))
+			if g := tele.Engine.Shard(0); g != nil {
+				g.ResidentBytes.Set(int64(i))
+				g.Rounds.Set(int64(i))
+			}
+			if i%64 == 0 {
+				ref := tele.BeginSpan("probe-batch", "", at)
+				tele.EndSpan(ref, at)
+				tele.Eventf("progress", at, "round %d", i)
+			}
+			at = at.Add(5 * time.Minute)
+			// Pace the publisher: unthrottled it floods the span log and
+			// every scrape pays to serialize it — the race coverage needs
+			// overlap, not volume.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 25; i++ {
+		resp, err := client.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		var s Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("scrape %d: not snapshot JSON: %v", i, err)
+		}
+		if s.Schema != SchemaVersion {
+			t.Fatalf("scrape %d: schema %q", i, s.Schema)
+		}
+	}
+	close(stop)
+	<-done
+	if tele.Engine.BatchesOpened.Load() == 0 {
+		t.Fatal("publisher never ran; the race test is vacuous")
+	}
+}

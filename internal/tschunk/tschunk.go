@@ -416,6 +416,53 @@ func (b *Builder) At(i int) float64 {
 	return dst[i%BlockLen]
 }
 
+// CopyRange copies slots [from, from+len(dst)) into dst without
+// disturbing the write frontier: sealed blocks decode through a stack
+// scratch, the open block is read raw, and slots the frontier has not
+// reached yet come back Missing. This is the streaming observatory's
+// read path over finalized bins at batch barriers — strictly read-side
+// (the builder keeps compressing exactly as if the read never
+// happened) and allocation-free. Works before and after Seal.
+func (b *Builder) CopyRange(from int, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	to := from + len(dst)
+	if from < 0 || to > b.n {
+		panic(fmt.Sprintf("tschunk: range [%d,%d) out of [0,%d)", from, to, b.n))
+	}
+	var buf [BlockLen]float64
+	for i := from; i < to; {
+		blk := i / BlockLen
+		lo := blk * BlockLen
+		hi := lo + BlockLen
+		if hi > b.n {
+			hi = b.n
+		}
+		j := to
+		if hi < j {
+			j = hi
+		}
+		switch {
+		case b.sealed != nil:
+			vals := b.sealed.DecodeBlock(blk, buf[:0])
+			copy(dst[i-from:j-from], vals[i-lo:])
+		case blk > b.curBlk:
+			for k := i; k < j; k++ {
+				dst[k-from] = Missing
+			}
+		case blk == b.curBlk:
+			copy(dst[i-from:j-from], b.cur[i-lo:])
+		default:
+			ref := b.blocks[blk]
+			vals := buf[:ref.count]
+			decodeBlock(b.arenaBytes()[ref.off:ref.off+ref.size], vals)
+			copy(dst[i-from:j-from], vals[i-lo:])
+		}
+		i = j
+	}
+}
+
 // Seal compresses the remaining blocks and returns the immutable
 // chunk. Idempotent; writes after Seal panic.
 func (b *Builder) Seal() *Chunk {

@@ -12,6 +12,7 @@ import (
 	"afrixp/internal/ixpdir"
 	"afrixp/internal/levelshift"
 	"afrixp/internal/monitor"
+	"afrixp/internal/observatory"
 	"afrixp/internal/registry"
 	"afrixp/internal/report"
 	"afrixp/internal/scenario"
@@ -102,6 +103,16 @@ type CampaignConfig struct {
 	// uninterrupted run. A checkpoint from a differently-configured
 	// run fails loudly; an empty directory starts fresh.
 	Resume bool
+	// Observatory, when non-nil, attaches the streaming observation
+	// service: the engine feeds it collected slots at batch barriers,
+	// its per-link online detectors walk clear → suspected → congested
+	// as virtual time advances, and its HTTP API (mount beside /metrics
+	// via Telemetry.Serve and Observatory.Mount) serves the live link
+	// table, alert log, and SSE stream. Strictly read-side: campaign
+	// results are bit-identical with or without it, and the service's
+	// own alert log and end-of-campaign verdicts are bit-identical for
+	// any Workers × BatchSteps × Shards (DESIGN.md §16).
+	Observatory *Observatory
 	// Progress, when non-nil, receives campaign progress lines.
 	Progress io.Writer
 	// Telemetry, when non-nil, instruments the campaign: counters,
@@ -121,6 +132,23 @@ type TelemetrySnapshot = telemetry.Snapshot
 
 // NewTelemetry builds a telemetry root ready to attach to a campaign.
 func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Observatory is the streaming congestion-observation service (see
+// internal/observatory): per-link online level-shift detectors fed at
+// batch barriers, a deterministic alert log, and a live HTTP/SSE API.
+type Observatory = observatory.Service
+
+// ObservatoryConfig tunes a streaming observatory.
+type ObservatoryConfig = observatory.Config
+
+// ObservatoryAlert is one timestamped link state transition from the
+// streaming detector's clear → suspected → congested ladder.
+type ObservatoryAlert = observatory.Alert
+
+// NewObservatory builds a streaming observatory ready to attach to a
+// campaign (CampaignConfig.Observatory) and to mount beside /metrics
+// (Telemetry.Serve(addr, svc.Mount)).
+func NewObservatory(cfg ObservatoryConfig) *Observatory { return observatory.New(cfg) }
 
 // Campaign is the result of a full run: per-VP discovery snapshots,
 // per-link verdicts, and case-study series.
@@ -157,6 +185,7 @@ func RunCampaign(cfg CampaignConfig) *Campaign {
 		Shards:      cfg.Shards,
 		Progress:    cfg.Progress,
 		Telemetry:   cfg.Telemetry,
+		Observatory: cfg.Observatory,
 
 		CheckpointDir:   cfg.CheckpointDir,
 		CheckpointEvery: simclock.Duration(cfg.CheckpointEvery),

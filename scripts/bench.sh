@@ -24,8 +24,12 @@ trap 'rm -f "$RAW"' EXIT
 # folklore. nproc reflects the cgroup/affinity limit where available.
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
+# BenchmarkAlertLatency rides here too: its alert_latency_p50_s /
+# alert_latency_p95_s metrics are the streaming observatory's measured
+# detection lag against planted ground truth, sanity-checked (warn-only)
+# by the benchjson guard.
 go test -run '^$' \
-  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$|BenchmarkCheckpoint$' \
+  -bench 'BenchmarkFullCampaign$|BenchmarkFaultCampaign$|BenchmarkBudgetCampaign|BenchmarkAlertLatency|BenchmarkTelemetryCampaign$|BenchmarkTSLPSamplingThroughput$|BenchmarkAnalysisSweep|BenchmarkChunkCompression$|BenchmarkCheckpoint$' \
   -benchmem -count "$COUNT" . | tee "$RAW"
 
 # BenchmarkScaleCampaign rides in the multi-proc pass: its 10x/100x

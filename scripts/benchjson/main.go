@@ -312,6 +312,7 @@ func runGuard(benches []Benchmark, prevPath string, tol float64) int {
 	regressions += warnInvertedScaling(benches, baselineLedger.Cores)
 	regressions += warnBudgetSpend(benches)
 	regressions += warnScaleMemory(benches, baselineLedger, tol)
+	regressions += warnAlertLatency(benches)
 	if regressions == 0 {
 		fmt.Printf("bench guard: no regression beyond %.0f%% vs %s\n", tol, prevPath)
 	} else {
@@ -411,6 +412,47 @@ func warnBudgetSpend(benches []Benchmark) int {
 			warnings++
 			fmt.Printf("WARNING: %s (procs=%d) sent %.1f%% of %s/budget=100's probes (want ≤55%%) — the budget scheduler is overspending\n",
 				b.Name, b.Procs, 100*frac, m[1])
+		}
+	}
+	return warnings
+}
+
+// warnAlertLatency sanity-checks the streaming observatory's measured
+// detection lag (BenchmarkAlertLatency's alert_latency_p50_s /
+// alert_latency_p95_s): both quantiles must be positive, inside the
+// experiment's one-week campaign window, and ordered p95 ≥ p50.
+// Warn-only like the rest of the guard, but these metrics come from a
+// deterministic virtual-time campaign, so a warning is a real contract
+// break — the streaming detector stopped noticing planted congestion
+// in time — not noise.
+func warnAlertLatency(benches []Benchmark) int {
+	const week = 7 * 24 * 3600 // campaign window, virtual seconds
+	warnings := 0
+	for _, b := range benches {
+		p50, ok50 := b.Metrics["alert_latency_p50_s"]
+		p95, ok95 := b.Metrics["alert_latency_p95_s"]
+		if !ok50 && !ok95 {
+			continue
+		}
+		if !ok50 || !ok95 {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) reports only one of alert_latency_p50_s/p95_s\n", b.Name, b.Procs)
+			continue
+		}
+		if p50 <= 0 || p50 > week || p95 > week {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) alert latency outside (0, one week]: p50=%.0fs p95=%.0fs — planted congestion is not being alerted in-window\n",
+				b.Name, b.Procs, p50, p95)
+		}
+		if p95 < p50 {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) alert latency quantiles inverted: p95=%.0fs < p50=%.0fs\n",
+				b.Name, b.Procs, p95, p50)
+		}
+		if frac, ok := b.Metrics["alerted_fraction"]; ok && frac < 0.5 {
+			warnings++
+			fmt.Printf("WARNING: %s (procs=%d) alerted only %.0f%% of planted congested links (want ≥50%%)\n",
+				b.Name, b.Procs, 100*frac)
 		}
 	}
 	return warnings

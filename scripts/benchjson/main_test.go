@@ -236,6 +236,46 @@ func TestWarnBudgetSpend(t *testing.T) {
 	}
 }
 
+func TestWarnAlertLatency(t *testing.T) {
+	mk := func(p50, p95, frac float64) Benchmark {
+		return Benchmark{
+			Name:    "BenchmarkAlertLatency/budget=100",
+			Procs:   1,
+			NsPerOp: 1,
+			Metrics: map[string]float64{
+				"alert_latency_p50_s": p50,
+				"alert_latency_p95_s": p95,
+				"alerted_fraction":    frac,
+			},
+		}
+	}
+	// Healthy: p50 14h, p95 18h, everything alerted.
+	if got := warnAlertLatency([]Benchmark{mk(50400, 64710, 1)}); got != 0 {
+		t.Fatalf("healthy latency: %d warnings, want 0", got)
+	}
+	// Outside the campaign week: the detector stopped noticing in time.
+	if got := warnAlertLatency([]Benchmark{mk(50400, 8*24*3600, 1)}); got != 1 {
+		t.Fatalf("p95 past the window: %d warnings, want 1", got)
+	}
+	// Inverted quantiles.
+	if got := warnAlertLatency([]Benchmark{mk(64710, 50400, 1)}); got != 1 {
+		t.Fatalf("inverted quantiles: %d warnings, want 1", got)
+	}
+	// Most planted congestion missed.
+	if got := warnAlertLatency([]Benchmark{mk(50400, 64710, 0.3)}); got != 1 {
+		t.Fatalf("low alerted fraction: %d warnings, want 1", got)
+	}
+	// Half a metric pair is itself a finding; no metrics is a skip.
+	half := Benchmark{Name: "BenchmarkAlertLatency/budget=50", Procs: 1, NsPerOp: 1,
+		Metrics: map[string]float64{"alert_latency_p50_s": 50400}}
+	if got := warnAlertLatency([]Benchmark{half}); got != 1 {
+		t.Fatalf("lone p50: %d warnings, want 1", got)
+	}
+	if got := warnAlertLatency([]Benchmark{{Name: "BenchmarkFullCampaign", Procs: 1, NsPerOp: 1}}); got != 0 {
+		t.Fatalf("metric-free benchmark: %d warnings, want 0", got)
+	}
+}
+
 func TestAddNoteDeduplicates(t *testing.T) {
 	// Regression: the single-core caveat was stamped with a plain
 	// append, so a note already present (or stamped twice) duplicated

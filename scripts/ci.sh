@@ -64,20 +64,51 @@ GOMAXPROCS=4 go test -race -count=1 \
   ./internal/experiments/
 GOMAXPROCS=4 go test -race -count=1 ./internal/worldgen/
 
-echo "== /metrics endpoint smoke =="
+echo "== streaming observatory determinism smoke (raced) =="
+# The observatory rides the campaign read-side: its alert log and
+# end-of-campaign verdicts must stay bit-identical across the
+# Workers x BatchSteps x Shards matrix (the matrix test self-reduces
+# to its far corners under the race detector), the SSE hub must
+# survive 1000 concurrent watchers against a publishing feeder, and
+# /metrics scrapes must race a live publisher cleanly.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestObservatoryCampaignMatrix' ./internal/experiments/
+GOMAXPROCS=4 go test -race -count=1 ./internal/observatory/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestServeMounts|TestServeScrapeWhilePublishing' ./internal/telemetry/
+
+echo "== /metrics + observatory endpoint smoke =="
 # Start a short observatory run with the live telemetry endpoint and a
 # linger window, poll until /metrics answers, and assert the snapshot
 # carries the instrumented keys end to end (engine counters, probe
 # counters, schema tag). Exercises the full wiring: flag parsing, the
 # HTTP server, the barrier republication, and the deferred shutdown.
+# The same port mounts the streaming observatory API; a background
+# curl holds /stream open from before the first batch barrier so the
+# smoke can assert a live SSE barrier event, then the paged /links
+# table, a /links/{id} detail view, and the /alerts cursor log are
+# spot-checked for the observatory schema.
 METRICS_ADDR="127.0.0.1:18573"
 OBS_OUT="$(mktemp -d)"
+STREAM_OUT="$(mktemp)"
 go run ./cmd/observatory -out "$OBS_OUT" -days 2 -scale 0.05 -no-loss \
   -metrics-addr "$METRICS_ADDR" -metrics-linger 30s >/dev/null 2>&1 &
 OBS_PID=$!
+# Hold the SSE stream open while the campaign runs: retry until the
+# server accepts (it starts before the first barrier), then collect
+# events until the main flow has seen what it needs. On a fast runner
+# the short campaign can finish before the first successful connect;
+# the -metrics-linger window then republishes the final barrier once
+# a second, so a barrier event arrives either way.
+(
+  for _ in $(seq 1 120); do
+    curl -sN --max-time 60 "http://$METRICS_ADDR/stream" >>"$STREAM_OUT" 2>/dev/null || true
+    [ -s "$STREAM_OUT" ] && break
+    sleep 0.5
+  done
+) &
+STREAM_PID=$!
 # Scoped cleanup: the bench section below installs its own EXIT trap
 # once this block has already torn everything down inline.
-trap 'kill "$OBS_PID" 2>/dev/null || true; rm -rf "$OBS_OUT"' EXIT
+trap 'kill "$OBS_PID" "$STREAM_PID" 2>/dev/null || true; rm -rf "$OBS_OUT" "$STREAM_OUT"' EXIT
 METRICS_JSON=""
 for _ in $(seq 1 60); do
   if METRICS_JSON="$(curl -fsS "http://$METRICS_ADDR/metrics" 2>/dev/null)" \
@@ -91,10 +122,53 @@ for key in '"schema": "afrixp-telemetry/1"' '"probes"' '"batches_opened"' '"swee
   echo "$METRICS_JSON" | grep -qF "$key" \
     || { echo "FAIL: /metrics snapshot missing $key"; exit 1; }
 done
+
+# SSE: the hello handshake plus at least one barrier event raised
+# while virtual time was still advancing.
+for _ in $(seq 1 120); do
+  if grep -q '^event: barrier' "$STREAM_OUT" 2>/dev/null; then break; fi
+  sleep 0.5
+done
+grep -q '^event: hello' "$STREAM_OUT" \
+  || { echo "FAIL: /stream sent no hello event"; exit 1; }
+grep -qF '"schema":"afrixp-observatory/1"' "$STREAM_OUT" \
+  || { echo "FAIL: /stream hello missing observatory schema"; exit 1; }
+grep -q '^event: barrier' "$STREAM_OUT" \
+  || { echo "FAIL: /stream produced no live barrier event"; exit 1; }
+kill "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+
+# Paged status table: schema tag and a non-empty watched-link set.
+LINKS_JSON="$(curl -fsS "http://$METRICS_ADDR/links?per=5")" \
+  || { echo "FAIL: /links did not answer"; exit 1; }
+echo "$LINKS_JSON" | grep -qF '"schema": "afrixp-observatory/1"' \
+  || { echo "FAIL: /links missing observatory schema"; exit 1; }
+if echo "$LINKS_JSON" | grep -qE '"total": 0,?$'; then
+  echo "FAIL: /links reports zero watched links"; exit 1
+fi
+
+# Detail view for the first listed link id.
+LINK_ID="$(echo "$LINKS_JSON" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)"
+[ -n "$LINK_ID" ] || { echo "FAIL: /links page carried no link ids"; exit 1; }
+DETAIL_JSON="$(curl -fsS "http://$METRICS_ADDR/links/$LINK_ID")" \
+  || { echo "FAIL: /links/$LINK_ID did not answer"; exit 1; }
+for key in '"schema": "afrixp-observatory/1"' '"diurnal"' '"profile_ms"'; do
+  echo "$DETAIL_JSON" | grep -qF "$key" \
+    || { echo "FAIL: /links/$LINK_ID missing $key"; exit 1; }
+done
+
+# Alert log: schema tag and a resumable cursor.
+ALERTS_JSON="$(curl -fsS "http://$METRICS_ADDR/alerts?limit=5")" \
+  || { echo "FAIL: /alerts did not answer"; exit 1; }
+for key in '"schema": "afrixp-observatory/1"' '"next"' '"alerts"'; do
+  echo "$ALERTS_JSON" | grep -qF "$key" \
+    || { echo "FAIL: /alerts missing $key"; exit 1; }
+done
+
 kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
-rm -rf "$OBS_OUT"
-echo "metrics endpoint OK"
+rm -rf "$OBS_OUT" "$STREAM_OUT"
+echo "metrics + observatory endpoints OK"
 
 echo "== checkpoint-restart smoke (kill -9 mid-campaign, resume, byte-identical) =="
 # An uninterrupted faulted+budgeted campaign prints its result digest;
